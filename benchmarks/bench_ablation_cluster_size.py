@@ -1,0 +1,55 @@
+"""Ablation: cluster size k — speed vs numerical accuracy.
+
+The paper (Sec. III-A2) uses k ~ 10: each QR step then covers k slice
+matrices, cutting the QR count by k while the intra-cluster product
+stays well-enough conditioned. This bench sweeps k and records both the
+evaluation time and the deviation of the resulting G from the k = 1
+(one-QR-per-slice) reference.
+
+Expected: monotone speedup with k; error grows with k but stays below
+1e-8 through k = 10 at the paper's parameter scale.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import format_table, make_field_engine, time_call
+from repro.core import GreensFunctionEngine
+
+KS = [1, 2, 5, 10, 20]
+L = 40
+
+
+def test_ablation_cluster_size(benchmark, report):
+    factory, field, _ = make_field_engine(8, 8, u=6.0, n_slices=L, cluster=10)
+
+    def engine_for(k):
+        return GreensFunctionEngine(factory, field, cluster_size=k)
+
+    reference = engine_for(1).boundary_greens(1, 0)
+    rows = []
+    times = {}
+    errors = {}
+    for k in KS:
+        eng = engine_for(k)
+
+        def eval_once():
+            eng.invalidate_all()
+            return eng.boundary_greens(1, 0)
+
+        g = eval_once()
+        err = np.linalg.norm(g - reference) / np.linalg.norm(reference)
+        t = time_call(eval_once)
+        times[k] = t
+        errors[k] = err
+        rows.append([k, f"{t*1e3:.2f}", f"{err:.2e}"])
+    report(
+        "ablation_cluster_size",
+        format_table(["k", "eval time (ms)", "rel. error vs k=1"], rows),
+    )
+
+    assert times[10] < times[1], "clustering must pay off"
+    assert errors[10] < 1e-8, "k = 10 stays numerically safe (paper's choice)"
+    assert errors[20] >= errors[2], "error grows with cluster size"
+
+    benchmark(lambda: engine_for(10).boundary_greens(1, 0))

@@ -1,0 +1,56 @@
+"""Ablation: delayed-update block size.
+
+QUEST delays accepted-flip updates into rank-m GEMMs (paper Sec. II-B).
+This bench sweeps the block size over full sweeps and records the sweep
+time; physics is identical by construction (asserted via the field
+state), so this is a pure performance knob.
+
+Expected: delaying beats plain rank-1 (m = 1) once N is large enough for
+GEMM to out-run n^2 memory-bound rank-1 touches; the curve flattens
+beyond m ~ 32 (the paper-era sweet spot).
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import format_table, make_field_engine, time_call
+from repro.dqmc import sweep
+
+DELAYS = [1, 4, 16, 32, 64]
+
+
+def _sweep_time(delay: int) -> float:
+    factory, field, engine = make_field_engine(
+        12, 12, u=4.0, n_slices=24, cluster=8, seed=1
+    )
+    rng = np.random.default_rng(5)
+    sweep(engine, rng, max_delay=delay)  # thermalize buffers/caches
+    rng = np.random.default_rng(6)
+    return time_call(
+        lambda: sweep(engine, rng, max_delay=delay), repeats=1
+    )
+
+
+def test_ablation_delay(benchmark, report):
+    times = {d: _sweep_time(d) for d in DELAYS}
+    rows = [[d, f"{times[d]*1e3:.1f}"] for d in DELAYS]
+    report(
+        "ablation_delay",
+        format_table(["max_delay", "sweep time (ms)"], rows),
+    )
+
+    assert times[32] <= times[1] * 1.1, (
+        "delayed updates must not lose to rank-1"
+    )
+
+    # physics invariance: identical Markov chain for any delay
+    fields = {}
+    for d in (1, 32):
+        factory, field, engine = make_field_engine(
+            6, 6, u=4.0, n_slices=16, cluster=8, seed=2
+        )
+        sweep(engine, np.random.default_rng(7), max_delay=d)
+        fields[d] = field.h.copy()
+    assert np.array_equal(fields[1], fields[32])
+
+    benchmark(_sweep_time, 32)

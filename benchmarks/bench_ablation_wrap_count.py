@@ -1,0 +1,50 @@
+"""Ablation: wrap count l — drift of the wrapped Green's function.
+
+The paper (Sec. III-B1) wraps l ~ 10 times between fresh
+stratifications. This bench measures the relative drift of the wrapped G
+against the exactly stratified one as a function of the number of
+consecutive wraps, at two interaction strengths.
+
+Measured behaviour (and the reason l = 10 is the universal choice): the
+drift is harmless through l ~ 10 (1e-12 .. 1e-8 here), grows roughly
+multiplicatively with each wrap — every wrap amplifies roundoff by
+~cond(B)^2 — and *detonates* past l ~ 20, reaching O(1) and beyond.
+Wrapping without periodic re-stratification is not an optimization, it
+is a correctness requirement.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import format_table, make_field_engine
+
+WRAPS = [1, 5, 10, 20, 40]
+
+
+def test_ablation_wrap_count(benchmark, report):
+    rows = []
+    drift_at = {}
+    for u in (2.0, 8.0):
+        factory, field, engine = make_field_engine(
+            6, 6, u=u, n_slices=40, cluster=10, seed=3
+        )
+        drifts = [engine.wrap_drift(1, n_wraps=w) for w in WRAPS]
+        drift_at[u] = dict(zip(WRAPS, drifts))
+        rows.append([f"U={u:g}"] + [f"{d:.2e}" for d in drifts])
+    report(
+        "ablation_wrap_count",
+        format_table(["U"] + [f"l={w}" for w in WRAPS], rows),
+    )
+
+    for u, d in drift_at.items():
+        assert d[10] < 1e-6, (u, d[10])  # the paper's l = 10 is safe
+        assert d[40] > d[10] > d[1], "drift accumulates with wraps"
+    assert drift_at[8.0][10] > drift_at[2.0][10], (
+        "stronger coupling drifts faster"
+    )
+    # past the safe window the wrapped G is garbage — the reason the
+    # periodic re-stratification exists at all
+    assert drift_at[8.0][40] > 1.0
+
+    factory, field, engine = make_field_engine(6, 6, u=4.0, n_slices=40, cluster=10)
+    benchmark(engine.wrap_drift, 1, 10)

@@ -1,0 +1,74 @@
+"""Figure 3: mean time per Green's function evaluation vs number of sites.
+
+The paper compares the *previous* method (full QRP stratification, no
+cluster reuse) against the improved pipeline (pre-pivoting + cluster
+recycling) and reports up to 3x faster evaluations. Same comparison here
+at bench sizes N = 36..196, L = 40.
+
+Asserted shape: the improved path wins at every size, and by a growing
+or stable factor >= 1.3x at the largest N.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import format_table, make_field_engine, time_call
+from repro.core import GreensFunctionEngine
+
+SIZES = [(6, 6), (8, 8), (10, 10), (14, 14), (16, 16)]
+L = 40
+
+
+def _old_method_eval(engine: GreensFunctionEngine) -> None:
+    """The baseline: QRP stratification over freshly rebuilt clusters."""
+    engine.invalidate_all()
+    engine.boundary_greens(1, 0)
+
+
+def _new_method_eval(engine: GreensFunctionEngine) -> None:
+    """The paper's pipeline: pre-pivoted QR + recycled clusters.
+
+    In a real sweep only one cluster per refresh is stale; emulate that
+    steady state by invalidating a single cluster."""
+    engine.invalidate_slice(0)
+    engine.boundary_greens(1, 0)
+
+
+def _setup(lx, ly, method):
+    factory, field, engine = make_field_engine(
+        lx, ly, u=4.0, n_slices=L, cluster=10, method=method
+    )
+    engine.boundary_greens(1, 0)  # warm the cluster cache
+    return engine
+
+
+def test_fig3_series(benchmark, report):
+    rows = []
+    speedups = []
+    for lx, ly in SIZES:
+        n = lx * ly
+        t_old = time_call(_old_method_eval, _setup(lx, ly, "qrp"))
+        t_new = time_call(_new_method_eval, _setup(lx, ly, "prepivot"))
+        speedups.append(t_old / t_new)
+        rows.append(
+            [n, f"{t_old*1e3:.1f}", f"{t_new*1e3:.1f}", f"{t_old/t_new:.2f}x"]
+        )
+    text = format_table(
+        ["N", "old method (ms)", "improved (ms)", "speedup"], rows
+    )
+    report("fig03_gf_time", text)
+
+    assert all(s > 1.0 for s in speedups), "improved method must always win"
+    assert speedups[-1] > 1.3, "paper reports up to ~3x; demand >= 1.3x"
+
+    benchmark(_new_method_eval, _setup(*SIZES[-1], "prepivot"))
+
+
+@pytest.mark.parametrize("method", ["qrp", "prepivot"])
+def test_gf_evaluation(benchmark, method):
+    """Headline: one evaluation at N = 100 under each policy."""
+    engine = _setup(10, 10, method)
+    if method == "qrp":
+        benchmark(_old_method_eval, engine)
+    else:
+        benchmark(_new_method_eval, engine)

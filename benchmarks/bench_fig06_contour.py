@@ -1,0 +1,63 @@
+"""Figure 6: <n_k> over the full Brillouin zone, small vs large lattice.
+
+The paper contrasts a 12x12 contour map against 32x32 to show the
+resolution gain. Bench scale contrasts 4x4 against 8x8; the artifact is
+the text-rendered k-grid of <n_k> for both, and the assertions check the
+map's C4 point-group symmetry and the fourfold increase in k-points.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import format_table
+from repro import HubbardModel, Simulation, SquareLattice
+from repro.lattice import BrillouinZone
+
+SIZES = [4, 8]
+
+
+def _run(size: int) -> np.ndarray:
+    lat = SquareLattice(size, size)
+    model = HubbardModel(lat, u=2.0, beta=4.0, n_slices=32)
+    sim = Simulation(model, seed=40 + size, cluster_size=8)
+    res = sim.run(warmup_sweeps=10, measurement_sweeps=30)
+    return np.asarray(res.observables["momentum_distribution"].mean)
+
+
+def _grid_text(lat: SquareLattice, nk: np.ndarray) -> str:
+    bz = BrillouinZone(lat)
+    grid = bz.grid_values(nk)
+    kx, ky = bz.grid_axes()
+    header = ["ky\\kx"] + [f"{k:+.2f}" for k in kx]
+    rows = [
+        [f"{ky[i]:+.2f}"] + [f"{grid[i, j]:.3f}" for j in range(len(kx))]
+        for i in range(len(ky))
+    ]
+    return format_table(header, rows)
+
+
+def test_fig6_contour_maps(benchmark, report):
+    sections = []
+    grids = {}
+    for size in SIZES:
+        lat = SquareLattice(size, size)
+        nk = _run(size)
+        grids[size] = nk
+        sections.append(f"# {size}x{size} <n_k> grid\n" + _grid_text(lat, nk))
+
+        # C4 symmetry of the map: n(kx, ky) = n(ky, kx) = n(-kx, ky)
+        for nx in range(size):
+            for ny in range(size):
+                a = nk[lat.index(nx, ny)]
+                assert nk[lat.index(ny, nx)] == pytest.approx(a, abs=0.08)
+                assert nk[lat.index(-nx, ny)] == pytest.approx(a, abs=0.08)
+
+        # the map must span filled to empty
+        assert nk.max() > 0.85 and nk.min() < 0.15
+
+    report("fig06_contour", "\n\n".join(sections))
+
+    # resolution: the large lattice has 4x the k-points of the small one
+    assert grids[8].size == 4 * grids[4].size
+
+    benchmark(_run, 4)

@@ -1,0 +1,57 @@
+"""Figure 8: whole-simulation time vs number of sites, against N^3 nominal.
+
+The paper times full DQMC runs (1000 + 2000 sweeps) from N = 256 to
+N = 1024 and finds the measured growth *slower* than the nominal N^3
+prediction, because BLAS efficiency improves with matrix size over this
+range. The same effect appears at bench scale: per-sweep times from
+N = 16 to N = 144 grow by less than the (N/N0)^3 nominal ratio.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import format_table, time_call
+from repro import HubbardModel, Simulation, SquareLattice
+
+SIZES = [4, 6, 8, 10, 12]
+L = 32
+SWEEPS = 3
+
+
+def _sweep_time(size: int) -> float:
+    model = HubbardModel(
+        SquareLattice(size, size), u=4.0, beta=4.0, n_slices=L
+    )
+    sim = Simulation(model, seed=size, cluster_size=8, measure_arrays=False)
+    sim.warmup(1)  # populate caches, thermalize buffers
+    return time_call(lambda: sim.warmup(SWEEPS), repeats=1) / SWEEPS
+
+
+def test_fig8_scaling(benchmark, report):
+    times = {s: _sweep_time(s) for s in SIZES}
+    n0 = SIZES[0] ** 2
+    t0 = times[SIZES[0]]
+    rows = []
+    for s in SIZES:
+        n = s * s
+        nominal = t0 * (n / n0) ** 3
+        rows.append(
+            [n, f"{times[s]*1e3:.1f}", f"{nominal*1e3:.1f}",
+             f"{times[s]/nominal:.3f}"]
+        )
+    text = format_table(
+        ["N", "measured ms/sweep", "nominal N^3 ms", "measured/nominal"], rows
+    )
+    report("fig08_scaling", text)
+
+    # the paper's observation: measured growth beats the nominal N^3
+    # prediction (28x instead of 64x for 4x the sites)
+    n_last = SIZES[-1] ** 2
+    nominal_last = t0 * (n_last / n0) ** 3
+    assert times[SIZES[-1]] < nominal_last, (
+        "large-N runs should beat the N^3 extrapolation from small N"
+    )
+    # ... but the cost must still grow substantially (it *is* ~N^3 work)
+    assert times[SIZES[-1]] > 5 * t0
+
+    benchmark(_sweep_time, SIZES[0])

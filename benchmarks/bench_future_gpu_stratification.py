@@ -1,0 +1,75 @@
+"""Future-work experiment: Algorithm 3 run on the (simulated) GPU.
+
+The paper closes Sec. VI with "our future research direction is to
+implement most of the stratification procedure on the GPU using the
+recent advances for the QR decomposition on these systems". This bench
+executes that projection on the simulated device
+(:mod:`repro.gpu.stratification`) and quantifies, per matrix size:
+
+* correctness against the CPU pipeline (must be ~1e-10),
+* projected GPU time (virtual clock) vs measured CPU time,
+* host<->device traffic per chain step — O(n) beyond the factor
+  uploads, the property pre-pivoting buys (QP3 would need a pivot
+  round-trip per column).
+
+Expected shape: the device loses at small n (launch latency) and wins
+increasingly past n ~ a few hundred, mirroring Fig 9/10's crossovers.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import format_table, make_field_engine, time_call
+from repro.core import stratified_inverse
+from repro.gpu import SimulatedDevice, gpu_stratified_inverse
+
+SIZES = [(6, 6), (10, 10), (14, 14), (18, 18)]
+L = 80
+K = 10
+
+
+def _chain(lx, ly):
+    factory, field, engine = make_field_engine(
+        lx, ly, u=6.0, beta=10.0, n_slices=L, cluster=K, seed=lx
+    )
+    return engine.cache.chain(1, 0)
+
+
+def test_future_gpu_stratification(benchmark, report):
+    rows = []
+    ratios = []
+    for lx, ly in SIZES:
+        n = lx * ly
+        chain = _chain(lx, ly)
+        g_cpu = stratified_inverse(chain, method="prepivot")
+        t_cpu = time_call(stratified_inverse, chain, method="prepivot")
+
+        dev = SimulatedDevice()
+        g_gpu = gpu_stratified_inverse(dev, chain, block=min(64, n))
+        err = float(
+            np.linalg.norm(g_gpu - g_cpu) / np.linalg.norm(g_cpu)
+        )
+        t_gpu = dev.elapsed
+        ratios.append(t_cpu / t_gpu)
+        rows.append(
+            [
+                n,
+                f"{t_cpu*1e3:.2f}",
+                f"{t_gpu*1e3:.2f}",
+                f"{t_cpu/t_gpu:.2f}x",
+                f"{err:.1e}",
+            ]
+        )
+        assert err < 1e-8, (n, err)
+    report(
+        "future_gpu_stratification",
+        format_table(
+            ["N", "CPU ms (measured)", "GPU ms (model)", "speedup", "rel err"],
+            rows,
+        ),
+    )
+
+    # projected advantage must grow with matrix size
+    assert ratios[-1] > ratios[0]
+
+    benchmark(stratified_inverse, _chain(6, 6), method="prepivot")

@@ -1,0 +1,35 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure of Tomas et al.
+(IPDPS 2012) at a bench-friendly scale. Besides the pytest-benchmark
+timings, each writes the paper-style data series to
+``benchmarks/results/<name>.txt`` so the reproduction artifacts survive
+output capture; EXPERIMENTS.md indexes them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Write a named reproduction artifact and echo it."""
+
+    def _report(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"\n[{name}]\n{text}")
+        return path
+
+    return _report

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Bulk-limit extrapolation of the AF correlation (paper Sec. V-A).
+
+The paper: "the correlation function at the longest distance
+C_zz(Lx/2, Ly/2) will need to be measured on different lattice sizes.
+The results are then extrapolated to the N -> infinity limit to
+determine the existence of the magnetic structure in the bulk limit."
+
+This example performs exactly that workflow at example scale: ensemble
+runs on a sequence of lattices, jackknife-free binned errors per size,
+and the 1/L weighted fit whose intercept is the bulk order parameter
+(squared). It also demonstrates the Trotter dtau -> 0 extrapolation on
+the double occupancy.
+
+Usage:
+    python examples/extrapolation_study.py [--sizes 4 6 8] [--sweeps 60]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import HubbardModel, SquareLattice
+from repro.dqmc import run_ensemble
+from repro.lattice import SquareLattice as SL
+from repro.measure import (
+    extrapolate_finite_size,
+    extrapolate_trotter,
+    longest_distance_correlation,
+)
+
+
+def czz_longest(size: int, beta: float, sweeps: int) -> tuple:
+    lat = SquareLattice(size, size)
+    n_slices = max(8, int(round(beta / 0.125 / 8)) * 8)
+    model = HubbardModel(lat, u=4.0, beta=beta, n_slices=n_slices)
+    res = run_ensemble(
+        model, n_chains=2, warmup_sweeps=max(8, sweeps // 4),
+        measurement_sweeps=sweeps, cluster_size=8, base_seed=size,
+    )
+    czz = res.observables["spin_zz"]
+    idx = lat.index(size // 2, size // 2)
+    return float(np.asarray(czz.mean)[idx]), float(np.asarray(czz.error)[idx])
+
+
+def docc_at_dtau(n_slices: int, beta: float, sweeps: int) -> tuple:
+    model = HubbardModel(
+        SL(4, 4), u=4.0, beta=beta, n_slices=n_slices
+    )
+    res = run_ensemble(
+        model, n_chains=2, warmup_sweeps=max(8, sweeps // 4),
+        measurement_sweeps=sweeps, cluster_size=n_slices // 4,
+        base_seed=n_slices, measure_arrays=False,
+    )
+    d = res.observables["double_occupancy"]
+    return float(d.mean), float(d.error)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[4, 6, 8])
+    parser.add_argument("--beta", type=float, default=3.0)
+    parser.add_argument("--sweeps", type=int, default=60)
+    args = parser.parse_args()
+
+    # ---- finite size: C_zz at the longest distance --------------------------
+    print(f"finite-size study: C_zz(L/2, L/2) at U = 4, beta = {args.beta}")
+    print(f"{'L':>4} {'C_zz(L/2,L/2)':>14} {'error':>9}")
+    values, errors = [], []
+    for size in args.sizes:
+        v, e = czz_longest(size, args.beta, args.sweeps)
+        values.append(v)
+        errors.append(max(e, 1e-5))
+        print(f"{size:>4} {v:14.5f} {errors[-1]:9.5f}")
+    fit = extrapolate_finite_size(args.sizes, values, errors)
+    print(f"\nbulk limit (1/L -> 0): {fit}")
+    verdict = (
+        "long-range AF order survives"
+        if fit.value - 2 * fit.error > 0
+        else "no resolvable bulk order at this temperature/statistics"
+    )
+    print(f"verdict at 2 sigma: {verdict}")
+
+    # ---- Trotter: double occupancy vs dtau^2 ---------------------------------
+    beta_t = 2.0
+    print(f"\nTrotter study: <n+ n-> on 4x4 at U = 4, beta = {beta_t}")
+    print(f"{'L':>4} {'dtau':>8} {'<n+n->':>10} {'error':>9}")
+    dtaus, dvals, derrs = [], [], []
+    for n_slices in (8, 16, 32):
+        v, e = docc_at_dtau(n_slices, beta_t, args.sweeps)
+        dtaus.append(beta_t / n_slices)
+        dvals.append(v)
+        derrs.append(max(e, 1e-5))
+        print(f"{n_slices:>4} {dtaus[-1]:8.4f} {v:10.5f} {derrs[-1]:9.5f}")
+    tfit = extrapolate_trotter(dtaus, dvals, derrs)
+    print(f"\ncontinuum limit (dtau -> 0): {tfit}")
+    print(
+        "note: the dtau^2 slope is the systematic the paper's "
+        "dtau = 0.2 production runs accept; quote the extrapolated value."
+    )
+
+
+if __name__ == "__main__":
+    main()

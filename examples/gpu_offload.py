@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""GPU offload walkthrough (paper Sec. VI, on the simulated device).
+
+Demonstrates the offload layer end to end:
+
+1. builds the same Green's function once on the CPU engine and once on
+   the hybrid CPU+GPU engine, checks they agree to machine precision;
+2. contrasts the plain CUBLAS listings (Algorithm 4/6: a kernel launch
+   per matrix row) against the fused custom kernels (Algorithm 5/7: one
+   launch per scaling) on launch counts and modelled time;
+3. reports the transfer ledger — the reason clustering offloads so well
+   (N*L floats up + N^2 down per k-slice product) while wrapping pays a
+   full G round trip per slice.
+
+All numerics execute for real; GPU *timings* come from the calibrated
+Tesla C2050 model documented in DESIGN.md.
+
+Usage:
+    python examples/gpu_offload.py [--size 8] [--slices 40]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+from repro.core import GreensFunctionEngine
+from repro.gpu import GPUPropagatorOps, HybridGreensEngine, SimulatedDevice
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=8)
+    parser.add_argument("--slices", type=int, default=40)
+    args = parser.parse_args()
+
+    lattice = SquareLattice(args.size, args.size)
+    model = HubbardModel(
+        lattice, u=4.0, beta=args.slices * 0.125, n_slices=args.slices
+    )
+    rng = np.random.default_rng(0)
+    field = HSField.random(args.slices, model.n_sites, rng)
+    factory = BMatrixFactory(model)
+    n = model.n_sites
+
+    # 1. numerical equivalence ------------------------------------------------
+    cpu = GreensFunctionEngine(factory, field, cluster_size=10)
+    hybrid = HybridGreensEngine(factory, field, cluster_size=10)
+    g_cpu = cpu.boundary_greens(1, 0)
+    g_gpu = hybrid.boundary_greens(1, 0)
+    diff = np.linalg.norm(g_cpu - g_gpu) / np.linalg.norm(g_cpu)
+    print(f"N = {n}, L = {args.slices}")
+    print(f"CPU vs hybrid Green's function: relative difference {diff:.2e}")
+    print(
+        f"hybrid clocks: GPU {hybrid.gpu_seconds*1e3:.2f} ms (virtual), "
+        f"CPU {hybrid.cpu_seconds*1e3:.2f} ms (measured)\n"
+    )
+
+    # 2. fused kernels vs per-row CUBLAS calls ----------------------------------
+    vs = [field.v_diagonal(l, 1, factory.nu) for l in range(10)]
+    print("one 10-slice cluster product (Algorithm 4):")
+    print(f"{'variant':>10} {'kernel launches':>16} {'model time (ms)':>16}")
+    for fused, label in ((False, "cublas"), (True, "fused")):
+        dev = SimulatedDevice()
+        ops = GPUPropagatorOps(dev, factory.expk, factory.inv_expk, fused=fused)
+        before = dev.kernel_launches
+        dev.reset_clock()
+        ops.cluster_product(vs)
+        print(
+            f"{label:>10} {dev.kernel_launches - before:16d} "
+            f"{dev.elapsed * 1e3:16.3f}"
+        )
+    print(
+        "-> Algorithm 5 replaces the per-row dscal storm with one "
+        "coalesced launch per scaling.\n"
+    )
+
+    # 3. the transfer ledger ----------------------------------------------------
+    dev = SimulatedDevice()
+    ops = GPUPropagatorOps(dev, factory.expk, factory.inv_expk)
+    h0, d0 = dev.h2d_bytes, dev.d2h_bytes
+    ops.cluster_product(vs)
+    print("transfer ledger per operation (bytes):")
+    print(
+        f"{'cluster product':>16}: host->dev "
+        f"{dev.h2d_bytes - h0:8d}  dev->host {dev.d2h_bytes - d0:8d}"
+        f"   (= N*L*8 up, N^2*8 down)"
+    )
+    h0, d0 = dev.h2d_bytes, dev.d2h_bytes
+    ops.wrap(g_cpu.copy(), vs[0])
+    print(
+        f"{'wrap':>16}: host->dev "
+        f"{dev.h2d_bytes - h0:8d}  dev->host {dev.d2h_bytes - d0:8d}"
+        f"   (= (N^2+N)*8 up, N^2*8 down)"
+    )
+    print(
+        "\n-> clustering amortizes one transfer over k GEMMs; wrapping "
+        "round-trips G every call — the gap between the two curves of "
+        "the paper's Fig 9."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Drive a simulation from a QUEST-style input file (paper Sec. I).
+
+QUEST configures everything through a plain-text input file; so does
+this package. The example writes a sample file, parses it, runs the
+configured simulation, and archives the observables to a portable .npz
+next to the input.
+
+Usage:
+    python examples/input_file_run.py [path/to/run.in]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import load_config
+from repro.io import load_observables, save_observables
+
+SAMPLE = """\
+# sample DQMC input (QUEST-style): half-filled 4x4 plane at U = 4
+nx     = 4
+ny     = 4
+u      = 4.0
+mu     = 0.0
+dtau   = 0.125
+l      = 32          # beta = l * dtau = 4
+north  = 8           # cluster size k (and the wrap count)
+ndelay = 32          # delayed-update block size
+method = prepivot    # the paper's Algorithm 3
+nwarm  = 30
+npass  = 100
+nmeas  = 2           # measurements per sweep
+seed   = 2012
+"""
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+    else:
+        path = Path(tempfile.mkdtemp()) / "run.in"
+        path.write_text(SAMPLE)
+        print(f"wrote sample input to {path}\n{SAMPLE}")
+
+    cfg = load_config(path)
+    print(
+        f"parsed: {cfg.nx}x{cfg.ny}"
+        + (f"x{cfg.nlayers}" if cfg.nlayers > 1 else "")
+        + f", U = {cfg.u}, beta = {cfg.beta:g}, L = {cfg.l}, "
+        f"method = {cfg.method}"
+    )
+
+    sim = cfg.simulation()
+    result = sim.run(warmup_sweeps=cfg.nwarm, measurement_sweeps=cfg.npass)
+    print()
+    print(result.summary())
+
+    out = path.with_suffix(".npz")
+    save_observables(
+        out,
+        result.observables,
+        metadata={
+            "input": cfg.dumps(),
+            "acceptance": result.sweep_stats.acceptance_rate,
+        },
+    )
+    print(f"\narchived observables -> {out}")
+
+    loaded, meta = load_observables(out)
+    print(
+        f"round-trip check: {len(loaded)} observables, "
+        f"acceptance {meta['acceptance']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Strong-coupling toolkit: grading diagnostics + global worldline flips.
+
+At large beta*U two separate things get hard, and this example shows the
+tool for each:
+
+1. **Numerics** — the propagator chain's graded spectrum explodes; the
+   conditioning report (`repro.linalg.chain_conditioning_report`) bounds
+   how many slices one cluster may safely absorb, and
+   ``engine.grading_profile()`` shows the actual measured spectrum the
+   stratification is taming.
+
+2. **Sampling** — the HS field develops stiff worldlines that local
+   flips cross exponentially slowly. Starting *deliberately* from the
+   worst case (a fully ordered field), the example races local-only
+   sweeps against local + global worldline flips and prints how fast
+   each relaxes the field's uniform magnetization toward equilibrium
+   (~0 at these temperatures).
+
+Usage:
+    python examples/strong_coupling.py [--u 8] [--beta 4] [--sweeps 30]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+from repro.core import GreensFunctionEngine
+from repro.dqmc import sweep
+from repro.dqmc.global_moves import GlobalMoveStats, global_site_flips
+from repro.linalg import chain_conditioning_report
+
+
+def field_polarization(field: HSField) -> float:
+    """|mean(h)| — 1.0 for the ordered start, ~0 in equilibrium."""
+    return float(abs(field.h.mean()))
+
+
+def relax(model, use_global: bool, sweeps: int, seed: int):
+    rng = np.random.default_rng(seed)
+    field = HSField.ordered(model.n_slices, model.n_sites)  # worst start
+    factory = BMatrixFactory(model)
+    engine = GreensFunctionEngine(factory, field, cluster_size=8)
+    gstats = GlobalMoveStats()
+    sign = engine.configuration_sign()
+    trace = [field_polarization(field)]
+    for _ in range(sweeps):
+        st = sweep(engine, rng, start_sign=sign)
+        sign = st.sign
+        if use_global:
+            gs, sign = global_site_flips(
+                engine, rng, n_proposals=model.n_sites // 4, start_sign=sign
+            )
+            gstats.merge(gs)
+        trace.append(field_polarization(field))
+    return trace, gstats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--u", type=float, default=8.0)
+    parser.add_argument("--beta", type=float, default=4.0)
+    parser.add_argument("--size", type=int, default=4)
+    parser.add_argument("--sweeps", type=int, default=30)
+    args = parser.parse_args()
+
+    n_slices = max(8, int(round(args.beta / 0.125 / 8)) * 8)
+    model = HubbardModel(
+        SquareLattice(args.size, args.size), u=args.u,
+        beta=args.beta, n_slices=n_slices,
+    )
+
+    # 1. numerics report
+    rep = chain_conditioning_report(model)
+    print(f"U = {args.u}, beta = {args.beta}, L = {n_slices}")
+    print(f"conditioning: {rep.describe()}")
+    factory = BMatrixFactory(model)
+    field = HSField.random(n_slices, model.n_sites, np.random.default_rng(0))
+    engine = GreensFunctionEngine(factory, field,
+                                  cluster_size=rep.suggested_cluster_size
+                                  if n_slices % rep.suggested_cluster_size == 0
+                                  else 8)
+    d = engine.grading_profile(1)
+    print(
+        f"measured chain grading: |D| spans {d[0]:.3e} .. {d[-1]:.3e} "
+        f"(ratio {d[0]/d[-1]:.2e})\n"
+    )
+
+    # 2. ergodicity race from the ordered start
+    print(f"relaxation of |mean(h)| from the ordered field, {args.sweeps} sweeps:")
+    trace_local, _ = relax(model, use_global=False, sweeps=args.sweeps, seed=1)
+    trace_global, gstats = relax(model, use_global=True, sweeps=args.sweeps, seed=1)
+    print(f"{'sweep':>6} {'local only':>12} {'+ global flips':>15}")
+    step = max(1, args.sweeps // 10)
+    for s in range(0, args.sweeps + 1, step):
+        print(f"{s:>6} {trace_local[s]:>12.3f} {trace_global[s]:>15.3f}")
+    print(
+        f"\nglobal flips: {gstats.accepted}/{gstats.proposed} accepted "
+        f"({100*gstats.acceptance_rate:.0f}%)"
+    )
+    print(
+        "-> with worldline flips available, the ordered start decays "
+        "toward the disordered equilibrium in a handful of sweeps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Mirrors how QUEST is driven in production — an input file in, a results
+archive out — with checkpoint/resume for long runs:
+
+``run``
+    Execute the simulation an input file describes; write observables to
+    ``<input>.npz``; optionally checkpoint every N sweeps and resume.
+
+``info``
+    Parse an input file and report the derived quantities a user wants
+    before committing hours: beta, nu, matrix sizes, memory estimate and
+    the conditioning-based safe cluster size.
+
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import __version__
+from .dqmc import load_checkpoint, load_config, save_checkpoint
+from .io import save_observables
+from .linalg import chain_conditioning_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DQMC for the Hubbard model (IPDPS 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run the simulation in an input file")
+    p_run.add_argument("input", type=Path, help="QUEST-style input file")
+    p_run.add_argument(
+        "--output", type=Path, default=None,
+        help="results archive (default: <input>.npz)",
+    )
+    p_run.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="checkpoint file to write during the run (and resume from "
+        "if it already exists)",
+    )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=100, metavar="SWEEPS",
+        help="measurement sweeps between checkpoints (default 100)",
+    )
+    p_run.add_argument(
+        "--quiet", action="store_true", help="suppress the progress lines"
+    )
+
+    p_info = sub.add_parser("info", help="analyze an input file without running")
+    p_info.add_argument("input", type=Path)
+
+    sub.add_parser("version", help="print the package version")
+    return parser
+
+
+def _emit(quiet: bool, text: str) -> None:
+    if not quiet:
+        print(text)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = load_config(args.input)
+    sim = cfg.simulation()
+    output = args.output if args.output else args.input.with_suffix(".npz")
+
+    measured = 0
+    if args.checkpoint and args.checkpoint.exists():
+        load_checkpoint(args.checkpoint, sim)
+        measured = sim.collector.n_measurements // cfg.nmeas
+        _emit(
+            args.quiet,
+            f"resumed from {args.checkpoint}: "
+            f"{measured}/{cfg.npass} measurement sweeps done",
+        )
+    else:
+        _emit(
+            args.quiet,
+            f"warmup: {cfg.nwarm} sweeps on {sim.model.lattice} "
+            f"(U = {cfg.u}, beta = {cfg.beta:g}, L = {cfg.l})",
+        )
+        sim.warmup(cfg.nwarm)
+
+    step = max(1, args.checkpoint_every)
+    while measured < cfg.npass:
+        chunk = min(step, cfg.npass - measured)
+        sim.measure_sweeps(chunk)
+        measured += chunk
+        if args.checkpoint:
+            save_checkpoint(args.checkpoint, sim)
+        _emit(args.quiet, f"measured {measured}/{cfg.npass} sweeps")
+
+    result = sim.result(n_warmup=cfg.nwarm, n_measurement=cfg.npass)
+    save_observables(
+        output,
+        result.observables,
+        metadata={
+            "input": cfg.dumps(),
+            "acceptance": result.sweep_stats.acceptance_rate,
+            "mean_sign": result.mean_sign,
+        },
+    )
+    _emit(args.quiet, "")
+    _emit(args.quiet, result.summary())
+    _emit(args.quiet, f"\nobservables -> {output}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    cfg = load_config(args.input)
+    model = cfg.model()
+    report = chain_conditioning_report(model)
+    n = model.n_sites
+    matrices_cached = 2 * (cfg.l // cfg.north)  # cluster cache, both spins
+    mem_mb = matrices_cached * n * n * 8 / 1e6
+    print(f"input            {args.input}")
+    print(f"lattice          {model.lattice} (N = {n})")
+    print(f"U = {cfg.u:g}, t = {cfg.t:g}, mu = {cfg.mu:g}")
+    print(f"beta = {cfg.beta:g}  (L = {cfg.l}, dtau = {cfg.dtau:g})")
+    print(f"HS coupling nu   {model.nu:.6f}")
+    print(f"method           {cfg.method}, k = {cfg.north}, delay = {cfg.ndelay}")
+    print(f"conditioning     {report.describe()}")
+    if cfg.north > report.suggested_cluster_size:
+        print(
+            f"WARNING: configured k = {cfg.north} exceeds the safe bound "
+            f"{report.suggested_cluster_size}; expect accuracy loss"
+        )
+    print(f"cluster cache    ~{mem_mb:.1f} MB ({matrices_cached} matrices)")
+    print(f"sweeps           {cfg.nwarm} warmup + {cfg.npass} measurement")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "version":
+        print(__version__)
+        return 0
+    if args.command == "info":
+        return cmd_info(args)
+    if args.command == "run":
+        return cmd_run(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Matrix clustering: pre-multiplying k slice propagators per QR step.
+
+Paper Sec. III-A2: instead of one (pivoted) QR per time slice, multiply
+``k`` consecutive B matrices into one dense *cluster*
+
+    Btilde_j = B_{jk} ... B_{(j-1)k+1}
+
+and stratify the chain of ``L/k`` clusters. The QR count drops by k while
+the GEMM count is unchanged — a direct trade of slow kernel for fast
+kernel. k ~ 10 keeps the intra-cluster product well-conditioned enough
+(each B has modest dynamic range at DQMC parameter values).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..hamiltonian import BMatrixFactory, HSField
+
+__all__ = ["cluster_slices", "cluster_product", "build_clusters"]
+
+
+def cluster_slices(n_slices: int, cluster_size: int) -> List[range]:
+    """Slice index ranges of each cluster.
+
+    Requires ``cluster_size`` to divide ``n_slices`` so wrapping re-
+    stratification always lands on a cluster boundary (the paper runs
+    k = l = 10 with L = 160).
+    """
+    if cluster_size < 1:
+        raise ValueError("cluster_size must be >= 1")
+    if n_slices % cluster_size != 0:
+        raise ValueError(
+            f"cluster_size={cluster_size} must divide n_slices={n_slices}"
+        )
+    return [
+        range(j * cluster_size, (j + 1) * cluster_size)
+        for j in range(n_slices // cluster_size)
+    ]
+
+
+def cluster_product(
+    factory: BMatrixFactory, field: HSField, sigma: int, slices: range
+) -> np.ndarray:
+    """Dense ``B_{last} ... B_{first}`` over the given slice range.
+
+    Built by repeated ``apply_b_left`` so each step is one GEMM against
+    the fixed kinetic exponential plus a row scaling (this is the CPU
+    analogue of the paper's GPU Algorithm 4).
+    """
+    out = factory.b_matrix(field, slices[0], sigma)
+    for l in slices[1:]:
+        out = factory.apply_b_left(field, l, sigma, out)
+    return out
+
+
+def build_clusters(
+    factory: BMatrixFactory,
+    field: HSField,
+    sigma: int,
+    cluster_size: int,
+) -> List[np.ndarray]:
+    """All cluster matrices for one spin species, in cluster order."""
+    return [
+        cluster_product(factory, field, sigma, r)
+        for r in cluster_slices(field.n_slices, cluster_size)
+    ]

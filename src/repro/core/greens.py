@@ -1,0 +1,227 @@
+"""The Green's function engine: stratification + clustering + wrapping.
+
+This is the component the paper spends Secs. III-IV on. One engine owns,
+for a fixed model and a live HS field:
+
+* a :class:`~repro.core.recycling.ClusterCache` of dense k-slice products,
+* fresh (stratified) evaluation of the equal-time Green's function at any
+  cluster boundary, under any pivoting policy,
+* wrapping between adjacent slices,
+* drift diagnostics (wrapped vs. freshly stratified G).
+
+Orientation convention: ``boundary_greens(sigma, c)`` returns
+
+    G = (I + Btilde_{c-1} ... Btilde_0 Btilde_{Lk-1} ... Btilde_c)^{-1}
+
+i.e. the Green's function *before* slice ``c*k`` is wrapped through. The
+sweep then wraps through each slice of cluster c in turn, updating sites
+after each wrap (see :mod:`repro.dqmc.sweep`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..hamiltonian import BMatrixFactory, HSField
+from ..profiling import PhaseProfiler, ensure_profiler
+from .recycling import ClusterCache
+from .stratification import (
+    StratificationMethod,
+    StratificationStats,
+    stratified_inverse,
+)
+from .wrapping import wrap_backward, wrap_forward
+
+__all__ = ["GreensFunctionEngine"]
+
+
+class GreensFunctionEngine:
+    """Computes and advances equal-time Green's functions for both spins.
+
+    Parameters
+    ----------
+    factory:
+        B-matrix factory (fixes model, K exponentials, nu).
+    field:
+        The live HS field; mutated externally by the sweep, which must
+        call :meth:`invalidate_slice` after any change.
+    method:
+        Stratification pivoting policy ("prepivot" is the paper's
+        Algorithm 3 and the default; "qrp" is Algorithm 2).
+    cluster_size:
+        k — slices pre-multiplied per stratification step. The paper (and
+        default here) ties the wrap count to it: a fresh stratification
+        happens every ``cluster_size`` wraps.
+    profiler:
+        Optional :class:`PhaseProfiler`; phases "clustering",
+        "stratification" and "wrapping" are reported.
+    """
+
+    def __init__(
+        self,
+        factory: BMatrixFactory,
+        field: HSField,
+        method: StratificationMethod = "prepivot",
+        cluster_size: int = 10,
+        profiler: Optional[PhaseProfiler] = None,
+        threaded_norms: bool = False,
+    ):
+        self.factory = factory
+        self.field = field
+        self.method = method
+        self.threaded_norms = threaded_norms
+        self.profiler = ensure_profiler(profiler)
+        self.cache = ClusterCache(factory, field, cluster_size)
+        self.last_stats = StratificationStats()
+
+    @property
+    def n(self) -> int:
+        return self.factory.n
+
+    @property
+    def n_clusters(self) -> int:
+        return self.cache.n_clusters
+
+    @property
+    def cluster_size(self) -> int:
+        return self.cache.cluster_size
+
+    # -- cache maintenance -------------------------------------------------
+
+    def invalidate_slice(self, l: int) -> None:
+        """Must be called after the HS field changes at slice l."""
+        self.cache.invalidate_slice(l)
+
+    def invalidate_all(self) -> None:
+        self.cache.invalidate_all()
+
+    # -- fresh evaluation ----------------------------------------------------
+
+    def boundary_greens(self, sigma: int, start_cluster: int = 0) -> np.ndarray:
+        """Freshly stratified G at the boundary before cluster ``start_cluster``.
+
+        Cluster products come from the recycling cache (phase
+        "clustering" inside the cache's misses); the chain itself is
+        phase "stratification".
+        """
+        with self.profiler.phase("clustering"):
+            chain = self.cache.chain(sigma, start_cluster)
+        with self.profiler.phase("stratification"):
+            stats = StratificationStats()
+            g = stratified_inverse(
+                chain,
+                method=self.method,
+                stats=stats,
+                threaded_norms=self.threaded_norms,
+            )
+            self.last_stats = stats
+        return g
+
+    def greens_at_slice(self, sigma: int, l: int) -> np.ndarray:
+        """G_l (leftmost factor B_l) built fresh: boundary G + wraps.
+
+        Stratifies at the cluster boundary at-or-before slice l, then
+        wraps forward through slices ``c*k .. l``. Used for measurements
+        at arbitrary slices and by tests; the sweep itself keeps a
+        running wrapped G instead.
+        """
+        c = self.cache.cluster_of_slice(l)
+        g = self.boundary_greens(sigma, c)
+        for ll in range(c * self.cluster_size, l + 1):
+            g = self.wrap(g, ll, sigma)
+        return g
+
+    def greens_at_slice_direct(self, sigma: int, l: int) -> np.ndarray:
+        """G_l stratified slice-by-slice (no clustering, no wrapping).
+
+        The most conservative evaluation available: one QR step per time
+        slice over individual B matrices, chain order
+        ``[l+1, ..., L-1, 0, ..., l]`` (rightmost first). Serves as the
+        independent reference for wrap-drift and clustering-accuracy
+        diagnostics.
+        """
+        nl = self.field.n_slices
+        if not 0 <= l < nl:
+            raise IndexError(f"slice {l} out of range")
+        order = [(l + 1 + j) % nl for j in range(nl)]
+        factors = (
+            self.factory.b_matrix(self.field, ll, sigma) for ll in order
+        )
+        with self.profiler.phase("stratification"):
+            return stratified_inverse(factors, method=self.method)
+
+    # -- wrapping -----------------------------------------------------------
+
+    def wrap(self, g: np.ndarray, l: int, sigma: int) -> np.ndarray:
+        """``B_l G B_l^{-1}``: advance so slice l becomes the leftmost factor."""
+        with self.profiler.phase("wrapping"):
+            return wrap_forward(self.factory, self.field, g, l, sigma)
+
+    def unwrap(self, g: np.ndarray, l: int, sigma: int) -> np.ndarray:
+        """Inverse of :meth:`wrap` (used by reverse sweeps and tests)."""
+        with self.profiler.phase("wrapping"):
+            return wrap_backward(self.factory, self.field, g, l, sigma)
+
+    def configuration_sign(self) -> float:
+        """Sign of ``det M_+ det M_-`` for the current field.
+
+        Computed through the graded decomposition (no overflow). The
+        simulation seeds its running sign with this once; sweeps then
+        track it incrementally through Metropolis ratio signs.
+        """
+        from ..linalg import stable_log_det_from_graded
+        from .stratification import stratified_decomposition
+
+        sign = 1.0
+        for sigma in (1, -1):
+            with self.profiler.phase("clustering"):
+                chain = self.cache.chain(sigma, 0)
+            with self.profiler.phase("stratification"):
+                dec = stratified_decomposition(chain, method=self.method)
+            s, _ = stable_log_det_from_graded(dec)
+            sign *= s
+        return sign
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def grading_profile(self, sigma: int, start_cluster: int = 0) -> np.ndarray:
+        """The graded scales |D| of the current chain, sorted descending.
+
+        The spectrum whose dynamic range the whole stratification
+        machinery exists to tame: its spread is exp(O(beta * (U + W))).
+        Under QR-based methods these are diag(R) magnitudes — singular
+        values up to modest factors; run the engine with
+        ``method="jacobi"`` for the exact singular spectrum. Useful for
+        diagnosing why a parameter point needs a smaller cluster size
+        (see :func:`repro.linalg.chain_conditioning_report`).
+        """
+        from .stratification import stratified_decomposition
+
+        with self.profiler.phase("clustering"):
+            chain = self.cache.chain(sigma, start_cluster)
+        with self.profiler.phase("stratification"):
+            dec = stratified_decomposition(
+                chain, method=self.method, threaded_norms=self.threaded_norms
+            )
+        return np.sort(np.abs(dec.d))[::-1]
+
+    def wrap_drift(self, sigma: int, n_wraps: Optional[int] = None) -> float:
+        """Relative error accumulated by ``n_wraps`` consecutive wraps.
+
+        Starting from a fresh G at boundary 0, wraps through the first
+        ``n_wraps`` slices and compares against the freshly stratified
+        G at the same position: ``||G_wrap - G_fresh||_F / ||G_fresh||_F``.
+        This is the quantity that justifies the choice of l_wrap ~ 10
+        (ablation bench).
+        """
+        n_wraps = self.cluster_size if n_wraps is None else n_wraps
+        if not 1 <= n_wraps <= self.field.n_slices:
+            raise ValueError("n_wraps out of range")
+        g = self.boundary_greens(sigma, 0)
+        for l in range(n_wraps):
+            g = self.wrap(g, l, sigma)
+        fresh = self.greens_at_slice_direct(sigma, n_wraps - 1)
+        denom = np.linalg.norm(fresh)
+        return float(np.linalg.norm(g - fresh) / denom)

@@ -1,0 +1,101 @@
+"""Cluster recycling: cache the dense cluster products across sweeps.
+
+Paper Sec. III-B2: within a sweep, each fresh stratification consumes the
+same ``L/k`` cluster matrices in a rotated order, and between consecutive
+stratifications only *one* cluster (the one just swept) has changed. The
+dense products are therefore cached and rebuilt only on invalidation —
+storage is ``L/k`` matrices per spin (< 100 matrices of <= 8 MB in the
+paper's largest runs, trivially affordable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..hamiltonian import BMatrixFactory, HSField
+from .clustering import cluster_product, cluster_slices
+
+__all__ = ["ClusterCache"]
+
+
+class ClusterCache:
+    """Per-spin cache of dense cluster matrices with slice-level invalidation.
+
+    The sweep notifies the cache whenever it mutates the HS field at a
+    slice (``invalidate_slice``); the owning cluster's cached product is
+    dropped for both spins and lazily rebuilt on next access.
+    """
+
+    def __init__(
+        self,
+        factory: BMatrixFactory,
+        field: HSField,
+        cluster_size: int,
+        product_fn=None,
+    ):
+        """``product_fn(sigma, slices) -> ndarray`` overrides how a dense
+        cluster product is built — the hook the GPU offload layer uses to
+        route rebuilds through Algorithm 4/5 instead of the CPU path."""
+        self.factory = factory
+        self.field = field
+        self.cluster_size = cluster_size
+        self.ranges = cluster_slices(field.n_slices, cluster_size)
+        self._product_fn = product_fn
+        # (sigma, cluster_index) -> dense product, or absent if stale.
+        self._cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.ranges)
+
+    def cluster_of_slice(self, l: int) -> int:
+        """Index of the cluster owning time slice ``l``."""
+        if not 0 <= l < self.field.n_slices:
+            raise IndexError(f"slice {l} out of range")
+        return l // self.cluster_size
+
+    def invalidate_slice(self, l: int) -> None:
+        """Drop cached products (both spins) of the cluster owning slice l."""
+        j = self.cluster_of_slice(l)
+        self._cache.pop((1, j), None)
+        self._cache.pop((-1, j), None)
+
+    def invalidate_all(self) -> None:
+        self._cache.clear()
+
+    def get(self, sigma: int, j: int) -> np.ndarray:
+        """The dense product of cluster ``j`` for spin ``sigma``.
+
+        Returned arrays are owned by the cache — callers must not mutate
+        them (the stratification chain only reads its factors).
+        """
+        key = (sigma, j)
+        cached: Optional[np.ndarray] = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        if self._product_fn is not None:
+            prod = self._product_fn(sigma, self.ranges[j])
+        else:
+            prod = cluster_product(self.factory, self.field, sigma, self.ranges[j])
+        self._cache[key] = prod
+        return prod
+
+    def chain(self, sigma: int, start_cluster: int) -> List[np.ndarray]:
+        """Cluster chain rightmost-first starting at ``start_cluster``.
+
+        ``chain(sigma, c)`` lists the factors of
+        ``Btilde_{c-1} ... Btilde_0 Btilde_{Lk-1} ... Btilde_c`` in the
+        order stratification consumes them — the rotation pattern of the
+        paper's sequence (5).
+        """
+        nc = self.n_clusters
+        if not 0 <= start_cluster < nc:
+            raise IndexError(f"cluster {start_cluster} out of range")
+        order = [(start_cluster + j) % nc for j in range(nc)]
+        return [self.get(sigma, j) for j in order]

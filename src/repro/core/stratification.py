@@ -1,0 +1,304 @@
+"""Stratified evaluation of long B-matrix products (paper Algorithms 2 & 3).
+
+Both algorithms turn a chain of slice propagators
+
+    B_L * B_{L-1} * ... * B_1      (rightmost factor applied first)
+
+into a graded decomposition ``Q diag(D) T`` step by step, keeping the
+enormous dynamic range of the product inside the diagonal ``D`` at every
+intermediate stage so nothing small is ever added to anything large.
+
+Three pivoting policies are offered:
+
+``"qrp"``
+    Algorithm 2 (Loh et al.) — full column-pivoted QR at every step. The
+    numerically canonical method, bottlenecked by DGEQP3's level-2 pivot
+    updates.
+
+``"prepivot"``
+    Algorithm 3 — **the paper's contribution**. One column-norm sort
+    *before* each factorization (a single synchronization point), then a
+    fully blocked unpivoted QR. Valid because the chain's ``D_i`` is
+    already in descending order, so the matrix ``C_i`` arrives almost
+    column-graded and true pivoting would barely move anything.
+
+``"nopivot"``
+    No grading control at all beyond the diagonal split — an ablation
+    that exposes why some pivoting is required at strong coupling.
+
+``"svd"``
+    The historical alternative (Sugiyama & Koonin; Sorella et al. — the
+    paper's refs [28], [29]): a LAPACK singular value decomposition per
+    step. **Caveat measured and tested here:** bidiagonalization SVDs
+    are only *absolutely* accurate, so on adversarially graded chains
+    (ordered HS fields at large beta*U) this method silently loses the
+    small scales where QRP does not — a concrete reason the DQMC
+    community standardized on pivoted-QR stratification.
+
+``"jacobi"``
+    The relative-accuracy repair of "svd": a one-sided Jacobi SVD
+    (Drmac & Veselic — the paper's ref [30]) per step. Matches QRP even
+    on the adversarial chains, at many times the cost; the gold
+    standard for verification, never a production kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..linalg import (
+    GradedDecomposition,
+    flops,
+    qr_nopivot,
+    qr_pivoted,
+    qr_prepivoted,
+    stable_inverse_from_graded,
+)
+
+__all__ = [
+    "StratificationMethod",
+    "METHODS",
+    "IncrementalStratifier",
+    "stratified_decomposition",
+    "stratified_inverse",
+    "StratificationStats",
+]
+
+
+StratificationMethod = str
+
+METHODS = ("qrp", "prepivot", "nopivot", "svd", "jacobi")
+
+_FACTORIZERS: dict = {
+    "qrp": qr_pivoted,
+    "prepivot": qr_prepivoted,
+    "nopivot": qr_nopivot,
+}
+
+
+def _step_factorize(method: str, c: np.ndarray, threaded_norms: bool = False):
+    """One chain step's factorization: ``c = q @ diag(d) @ t_factor``
+    with ``t_factor`` well-conditioned; returns
+    ``(q, d, t_factor, piv, sync_points)`` where ``piv`` is the row
+    permutation to apply to the accumulated T (``P^T T = T[piv]``).
+
+    ``threaded_norms`` routes the pre-pivot column-norm pass through the
+    worker pool (paper Sec. IV-B: "our implementation uses OpenMP to
+    compute several norms simultaneously") — identical permutation,
+    different execution.
+    """
+    if method == "svd":
+        import scipy.linalg as sla
+
+        u, s, vt = sla.svd(c, check_finite=False)
+        flops.record("svd", 22 * c.shape[0] ** 3)  # LAPACK gesdd-ish count
+        _check_diag(s)
+        # the implicit QR iteration inside the SVD is at least as
+        # serial as pivoting
+        return u, s, vt, np.arange(c.shape[1]), min(c.shape)
+    if method == "jacobi":
+        from ..linalg.jacobi import jacobi_svd
+
+        u, s, vt = jacobi_svd(c)
+        _check_diag(s)
+        return u, s, vt, np.arange(c.shape[1]), min(c.shape)
+    if method == "prepivot" and threaded_norms:
+        from ..parallel import parallel_prepivot_permutation
+
+        res = qr_prepivoted(c, piv=parallel_prepivot_permutation(c))
+    else:
+        res = _FACTORIZERS[method](c)
+    d = np.diag(res.r).copy()
+    _check_diag(d)
+    return res.q, d, res.r / d[:, None], res.piv, res.sync_points
+
+
+@dataclass
+class StratificationStats:
+    """Diagnostics of one stratified chain evaluation."""
+
+    n_factors: int = 0
+    sync_points: int = 0
+    #: max over steps of (number of columns the pivot permutation moved)
+    max_pivot_displacement: int = 0
+    #: grading ratio max|D|/min|D| of the final decomposition
+    grading_ratio: float = 1.0
+
+
+def _check_diag(d: np.ndarray) -> np.ndarray:
+    if np.any(d == 0.0):
+        raise np.linalg.LinAlgError(
+            "exactly singular factor in the stratified chain "
+            "(zero diagonal in R)"
+        )
+    return d
+
+
+def _pivot_displacement(piv: np.ndarray) -> int:
+    return int(np.max(np.abs(piv - np.arange(piv.size)), initial=0))
+
+
+def stratified_decomposition(
+    factors: Iterable[np.ndarray],
+    method: StratificationMethod = "prepivot",
+    stats: StratificationStats | None = None,
+    threaded_norms: bool = False,
+) -> GradedDecomposition:
+    """Graded decomposition of ``F_L ... F_2 F_1``.
+
+    Parameters
+    ----------
+    factors:
+        The chain, *rightmost factor first* (the order it is applied to a
+        vector). Items may be individual B matrices or pre-multiplied
+        clusters; each must be square of the same size.
+    method:
+        One of :data:`METHODS`. Both "qrp" and "prepivot" pivot the very
+        first factor fully (paper Algorithm 3 step 1); they differ in the
+        L-1 chain steps.
+    stats:
+        Optional mutable diagnostics accumulator.
+
+    Returns
+    -------
+    GradedDecomposition
+        ``Q diag(D) T`` equal to the product, with T carried in original
+        (unpermuted) column order.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    it = iter(factors)
+    try:
+        first = np.asarray(next(it), dtype=np.float64)
+    except StopIteration:
+        raise ValueError("empty factor chain") from None
+    n = first.shape[0]
+    if first.shape != (n, n):
+        raise ValueError("factors must be square")
+
+    # Step 1-2: the first factor is fully pivoted under both QR policies
+    # (paper Algorithm 3 keeps QRP there); svd/nopivot use themselves.
+    first_method = "qrp" if method in ("qrp", "prepivot") else method
+    q, d, tf, piv, sync = _step_factorize(first_method, first)
+    t = np.empty((n, n))
+    t[:, piv] = tf  # T = (graded factor) P^T: scatter columns back
+
+    n_factors = 1
+    sync_points = sync
+    max_disp = _pivot_displacement(piv)
+
+    # Step 3: fold in the remaining factors left-to-right.
+    for f in it:
+        f = np.asarray(f, dtype=np.float64)
+        if f.shape != (n, n):
+            raise ValueError("factors must all be square of the same size")
+        # 3a: C = (F @ Q) * D  — GEMM first, diagonal column scaling after,
+        # so nothing graded enters the GEMM.
+        flops.record(
+            "stratification", flops.gemm_flops(n, n, n) + flops.scale_flops(n, n)
+        )
+        c = (f @ q) * d[None, :]
+        # 3b/3c: factor C under the chosen policy.
+        q, d, tf, piv, sync = _step_factorize(
+            method, c, threaded_norms=threaded_norms
+        )
+        sync_points += sync
+        max_disp = max(max_disp, _pivot_displacement(piv))
+        # 3d: T <- (graded factor)(P^T T); P^T permutes T's *rows* by piv.
+        flops.record(
+            "stratification", flops.gemm_flops(n, n, n) + flops.scale_flops(n, n)
+        )
+        t = tf @ t[piv, :]
+        n_factors += 1
+
+    out = GradedDecomposition(q=q, d=d, t=t)
+    if stats is not None:
+        stats.n_factors = n_factors
+        stats.sync_points = sync_points
+        stats.max_pivot_displacement = max_disp
+        stats.grading_ratio = out.grading_ratio()
+    return out
+
+
+def stratified_inverse(
+    factors: Sequence[np.ndarray],
+    method: StratificationMethod = "prepivot",
+    stats: StratificationStats | None = None,
+    threaded_norms: bool = False,
+) -> np.ndarray:
+    """``(I + F_L ... F_1)^{-1}`` via stratification + the stable solve.
+
+    This is the full Algorithm 2 (``method="qrp"``) or Algorithm 3
+    (``method="prepivot"``) including step 4; ``threaded_norms`` engages
+    the Sec. IV-B parallel norm pass for the pre-pivot permutations.
+    """
+    g = stratified_decomposition(
+        factors, method=method, stats=stats, threaded_norms=threaded_norms
+    )
+    return stable_inverse_from_graded(g)
+
+
+class IncrementalStratifier:
+    """Stratified chain built one factor at a time, snapshot-able.
+
+    The batch entry point :func:`stratified_decomposition` consumes a
+    whole chain; algorithms that need the decomposition of *every prefix*
+    (e.g. the fast time-displaced series, which pairs prefix and suffix
+    decompositions at each cluster boundary) push factors incrementally
+    and snapshot after each push — O(1) QR steps per prefix instead of
+    restratifying from scratch.
+    """
+
+    def __init__(self, method: StratificationMethod = "prepivot"):
+        if method not in METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        self.method = method
+        self._q: np.ndarray | None = None
+        self._d: np.ndarray | None = None
+        self._t: np.ndarray | None = None
+
+    @property
+    def n_factors(self) -> int:
+        return 0 if self._q is None else self._n_factors
+
+    def push(self, factor: np.ndarray) -> None:
+        """Fold one more (leftmost) factor into the chain."""
+        f = np.asarray(factor, dtype=np.float64)
+        n = f.shape[0]
+        if f.shape != (n, n):
+            raise ValueError("factors must be square")
+        if self._q is None:
+            first_method = (
+                "qrp" if self.method in ("qrp", "prepivot") else self.method
+            )
+            q, d, tf, piv, _ = _step_factorize(first_method, f)
+            t = np.empty((n, n))
+            t[:, piv] = tf
+            self._q, self._d, self._t = q, d, t
+            self._n_factors = 1
+            return
+        if f.shape != self._q.shape:
+            raise ValueError("factors must all be square of the same size")
+        flops.record(
+            "stratification",
+            2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n),
+        )
+        c = (f @ self._q) * self._d[None, :]
+        q, d, tf, piv, _ = _step_factorize(self.method, c)
+        self._t = tf @ self._t[piv, :]
+        self._q, self._d = q, d
+        self._n_factors += 1
+
+    def decomposition(self) -> GradedDecomposition:
+        """A snapshot of the current chain (copies; safe to keep)."""
+        if self._q is None:
+            raise ValueError("no factors pushed yet")
+        return GradedDecomposition(
+            q=self._q.copy(), d=self._d.copy(), t=self._t.copy()
+        )

@@ -1,0 +1,64 @@
+"""Wrapping: advancing the equal-time Green's function between slices.
+
+Paper Sec. III-B1. With the slice-l Green's function
+
+    G_l = (I + B_l B_{l-1} ... B_0 B_{L-1} ... B_{l+1})^{-1}
+
+(leftmost factor B_l — the orientation the Metropolis ratio at slice l
+needs), the next slice's function is the similarity transform
+
+    G_{l+1} = B_{l+1} G_l B_{l+1}^{-1}.
+
+Each wrap is four GEMM-sized operations (two dense products against the
+fixed kinetic exponentials plus two diagonal scalings) and slowly loses
+accuracy; after ``l_wrap`` wraps the engine re-stratifies from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hamiltonian import BMatrixFactory, HSField
+
+__all__ = ["wrap_forward", "wrap_backward"]
+
+
+def wrap_forward(
+    factory: BMatrixFactory,
+    field: HSField,
+    g: np.ndarray,
+    l: int,
+    sigma: int,
+) -> np.ndarray:
+    """``B_l G B_l^{-1}`` — move the Green's function from slice l-1 to l.
+
+    Expanded as ``V_l (expK @ G @ invexpK) V_l^{-1}`` so the two GEMMs act
+    on well-scaled matrices and the diagonal factors are pure row/column
+    scalings (the shape of the paper's GPU Algorithm 6/7).
+    """
+    out = factory.apply_b_left(field, l, sigma, g)  # B_l @ G
+    return factory.apply_b_inv_right(field, l, sigma, out)  # ... @ B_l^{-1}
+
+
+def wrap_backward(
+    factory: BMatrixFactory,
+    field: HSField,
+    g: np.ndarray,
+    l: int,
+    sigma: int,
+) -> np.ndarray:
+    """``B_l^{-1} G B_l`` — the inverse transform (undo a wrap through l).
+
+    Used by reverse-order sweeps and by tests (a forward wrap followed by
+    a backward wrap must be the identity up to rounding).
+    """
+    v = field.v_diagonal(l, sigma, factory.nu)
+    n = factory.n
+    # B^{-1} @ G = invexpK @ (V^{-1} G): row scaling then GEMM.
+    out = factory.inv_expk @ (g / v[:, None])
+    # ... @ B = (out @ V... careful: G @ B = (G V) expK — column scale then GEMM.
+    out = (out * v[None, :]) @ factory.expk
+    from ..linalg import flops
+
+    flops.record("wrapping", 2 * flops.gemm_flops(n, n, n) + 2 * n * n)
+    return out

@@ -1,0 +1,28 @@
+"""DQMC driver: Metropolis sweeps, simulation stages, input files."""
+
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .config import SimulationConfig, load_config, parse_config
+from .ensemble import EnsembleResult, run_ensemble
+from .global_moves import GlobalMoveStats, global_site_flips
+from .tuning import MuCalibration, calibrate_mu
+from .simulation import Simulation, SimulationResult
+from .sweep import SweepStats, sweep
+
+__all__ = [
+    "CheckpointError",
+    "EnsembleResult",
+    "GlobalMoveStats",
+    "MuCalibration",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SweepStats",
+    "calibrate_mu",
+    "global_site_flips",
+    "load_checkpoint",
+    "load_config",
+    "parse_config",
+    "run_ensemble",
+    "save_checkpoint",
+    "sweep",
+]

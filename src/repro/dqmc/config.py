@@ -1,0 +1,136 @@
+"""QUEST-style plain-text input files.
+
+QUEST configures lattice size and physical parameters "very generally
+through an input file" (paper Sec. I). This module reads the same kind of
+``key = value`` file (``#`` comments, case-insensitive keys) into a typed
+:class:`SimulationConfig`, from which a model and simulation are built::
+
+    nx      = 8        # lattice x extent
+    ny      = 8
+    nlayers = 1        # > 1 selects the multilayer geometry
+    u       = 2.0
+    mu      = 0.0
+    dtau    = 0.125
+    l       = 40       # number of time slices (beta = l * dtau)
+    nwarm   = 100
+    npass   = 400
+    seed    = 7
+    method  = prepivot # or qrp / nopivot
+    north   = 10       # cluster size k (QUEST's name for it)
+    ndelay  = 32
+    altdir  = 1        # alternate forward/backward sweeps
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Union
+
+from ..hamiltonian import HubbardModel
+from ..lattice import MultilayerLattice, SquareLattice
+from .simulation import Simulation
+
+__all__ = ["SimulationConfig", "parse_config", "load_config"]
+
+
+@dataclass
+class SimulationConfig:
+    """Typed view of an input file. Field names double as file keys."""
+
+    nx: int = 4
+    ny: int = 4
+    nlayers: int = 1
+    u: float = 2.0
+    t: float = 1.0
+    tperp: float = 1.0
+    mu: float = 0.0
+    dtau: float = 0.125
+    l: int = 40
+    nwarm: int = 100
+    npass: int = 400
+    seed: int = 0
+    method: str = "prepivot"
+    north: int = 10
+    ndelay: int = 32
+    nmeas: int = 1
+    altdir: int = 0
+
+    @property
+    def beta(self) -> float:
+        return self.l * self.dtau
+
+    def model(self) -> HubbardModel:
+        if self.nlayers > 1:
+            lattice = MultilayerLattice(self.nx, self.ny, self.nlayers)
+        else:
+            lattice = SquareLattice(self.nx, self.ny)
+        return HubbardModel(
+            lattice,
+            u=self.u,
+            t=self.t,
+            t_perp=self.tperp,
+            mu=self.mu,
+            beta=self.beta,
+            n_slices=self.l,
+        )
+
+    def simulation(self) -> Simulation:
+        return Simulation(
+            self.model(),
+            seed=self.seed,
+            method=self.method,
+            cluster_size=self.north,
+            max_delay=self.ndelay,
+            measurements_per_sweep=self.nmeas,
+            alternate_directions=bool(self.altdir),
+        )
+
+    def dumps(self) -> str:
+        """Serialize back to input-file text (round-trips with parse)."""
+        out = io.StringIO()
+        for f in fields(self):
+            out.write(f"{f.name} = {getattr(self, f.name)}\n")
+        return out.getvalue()
+
+
+def parse_config(text: str) -> SimulationConfig:
+    """Parse input-file text. Unknown keys raise (typos must not pass
+    silently); types are coerced from the dataclass annotations."""
+    known = {f.name: f.type for f in fields(SimulationConfig)}
+    coerce = {"int": int, "float": float, "str": str}
+    values = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise ValueError(f"line {lineno}: expected 'key = value', got {raw!r}")
+        key, _, val = line.partition("=")
+        key = key.strip().lower()
+        val = val.strip()
+        if key not in known:
+            raise ValueError(f"line {lineno}: unknown key {key!r}")
+        typ = known[key]
+        typ_name = typ if isinstance(typ, str) else typ.__name__
+        try:
+            values[key] = coerce[typ_name](val)
+        except (KeyError, ValueError) as exc:
+            raise ValueError(
+                f"line {lineno}: cannot parse {val!r} as {typ_name} for {key!r}"
+            ) from exc
+    cfg = SimulationConfig(**values)
+    if cfg.method not in ("prepivot", "qrp", "nopivot"):
+        raise ValueError(f"unknown method {cfg.method!r}")
+    if cfg.l % cfg.north != 0:
+        raise ValueError(
+            f"north = {cfg.north} must divide l = {cfg.l} "
+            "(cluster boundaries must tile the time axis)"
+        )
+    return cfg
+
+
+def load_config(path: Union[str, Path]) -> SimulationConfig:
+    """Read and parse an input file from disk."""
+    return parse_config(Path(path).read_text())

@@ -1,0 +1,185 @@
+"""The Metropolis sweep (paper Algorithm 1) with delayed updates.
+
+One sweep visits every (slice, site) entry of the HS field once. The
+slice loop is organized around the cluster structure:
+
+1. at each cluster boundary, the Green's functions of both spins are
+   recomputed *fresh* by stratification (replacing the accumulated
+   wrapping error — paper Sec. III-B),
+2. inside a cluster, the functions are *wrapped* slice to slice,
+3. at each slice, all N sites are visited; accepted flips are folded into
+   the Green's functions through :class:`~repro.core.DelayedUpdater`
+   block updates (flushed before every wrap).
+
+The Metropolis ratio at slice l, site i (leftmost-B_l orientation):
+
+    d_sigma = 1 + alpha_{i,sigma} * (1 - G_sigma(i, i)),
+    r = d_+ * d_-,    accept with probability min(1, |r|).
+
+The sign of r is tracked: at half filling it is always +1 (particle-hole
+symmetry), away from it the average sign is an observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core import DelayedUpdater, GreensFunctionEngine
+from ..profiling import PhaseProfiler, ensure_profiler
+
+__all__ = ["SweepStats", "sweep"]
+
+#: Spin species labels used throughout.
+SPINS = (1, -1)
+
+
+@dataclass
+class SweepStats:
+    """Counters from one (or several accumulated) sweeps."""
+
+    proposed: int = 0
+    accepted: int = 0
+    negative_ratios: int = 0
+    sign: float = 1.0
+    #: number of fresh stratifications performed
+    refreshes: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.proposed if self.proposed else 0.0
+
+    def merge(self, other: "SweepStats") -> None:
+        self.proposed += other.proposed
+        self.accepted += other.accepted
+        self.negative_ratios += other.negative_ratios
+        self.refreshes += other.refreshes
+
+
+def sweep(
+    engine: GreensFunctionEngine,
+    rng: np.random.Generator,
+    max_delay: int = 32,
+    profiler: Optional[PhaseProfiler] = None,
+    on_boundary: Optional[Callable[[int, Dict[int, np.ndarray], float], None]] = None,
+    start_sign: float = 1.0,
+    direction: str = "forward",
+) -> SweepStats:
+    """Run one full DQMC sweep, mutating the engine's HS field in place.
+
+    Parameters
+    ----------
+    engine:
+        Green's function engine (owns field, cluster cache, method).
+    rng:
+        Source of Metropolis randomness (one uniform per proposal).
+    max_delay:
+        Delayed-update block size; 1 recovers plain rank-1 updates.
+    profiler:
+        Optional per-phase timer ("delayed_update" covers the site loop).
+    on_boundary:
+        Callback invoked at every cluster boundary with
+        ``(cluster_index, {sigma: G}, sign)`` — *after* the fresh
+        recompute, *before* any wrap. The measurement hook; the G arrays
+        must not be mutated by the callback.
+    start_sign:
+        The sign of the configuration entering the sweep (the simulation
+        driver threads it between sweeps; it is +1 at half filling).
+    direction:
+        "forward" walks the time slices 0..L-1 (wrapping each slice to
+        the leftmost position before updating it); "backward" walks
+        L-1..0, *un*-wrapping after each slice. QUEST alternates the two
+        to reduce autocorrelation along imaginary time; either alone
+        satisfies detailed balance.
+
+    Returns
+    -------
+    SweepStats
+        Acceptance counters and the running configuration sign estimate.
+    """
+    prof = ensure_profiler(profiler)
+    field = engine.field
+    nu = engine.factory.nu
+    n_sites = field.n_sites
+    stats = SweepStats()
+    sign = start_sign
+
+    if direction not in ("forward", "backward"):
+        raise ValueError(f"unknown direction {direction!r}")
+    forward = direction == "forward"
+    nc = engine.n_clusters
+    cluster_order = range(nc) if forward else range(nc - 1, -1, -1)
+
+    for c in cluster_order:
+        # Forward: the boundary-c G (rightmost factor = first slice of
+        # cluster c), wrapped through each slice before updating it.
+        # Backward: the boundary-(c+1) G already has the cluster's *last*
+        # slice leftmost — update first, then unwrap toward slice c*k.
+        boundary = c if forward else (c + 1) % nc
+        g: Dict[int, np.ndarray] = {
+            s: engine.boundary_greens(s, boundary) for s in SPINS
+        }
+        stats.refreshes += 1
+        if on_boundary is not None:
+            on_boundary(boundary, g, sign)
+
+        slices = engine.cache.ranges[c]
+        slice_order = slices if forward else reversed(slices)
+        for l in slice_order:
+            if forward:
+                # Move slice l to the leftmost position before updating.
+                for s in SPINS:
+                    g[s] = engine.wrap(g[s], l, s)
+            upd = {s: DelayedUpdater(g[s], max_delay=max_delay) for s in SPINS}
+
+            with prof.phase("delayed_update"):
+                # Flip factors for the whole slice, vectorized up front.
+                # Safe because each site is visited exactly once per
+                # slice, so a flip at site i never changes alpha[j > i].
+                exp_up = np.exp(-2.0 * nu * field.h[l])
+                alpha_up = exp_up - 1.0
+                alpha_dn = 1.0 / exp_up - 1.0
+                uniforms = rng.random(n_sites)
+                up, dn = upd[1], upd[-1]
+                # Hot loop: locals only. The effective diagonals are the
+                # updaters' incrementally maintained views, so a rejected
+                # proposal costs a handful of scalar ops.
+                diag_up, diag_dn = up._diag, dn._diag
+                h_row = field.h[l]
+                accepted = 0
+                negative = 0
+                for i in range(n_sites):
+                    a_up = alpha_up[i]
+                    a_dn = alpha_dn[i]
+                    d_up = 1.0 + a_up * (1.0 - diag_up[i])
+                    d_dn = 1.0 + a_dn * (1.0 - diag_dn[i])
+                    r = d_up * d_dn
+                    if r < 0.0:
+                        negative += 1
+                    if uniforms[i] < abs(r):
+                        h_row[i] = -h_row[i]
+                        up.accept(i, a_up, d_up)
+                        dn.accept(i, a_dn, d_dn)
+                        # accept() may auto-flush and re-anchor; re-fetch
+                        diag_up, diag_dn = up._diag, dn._diag
+                        if r < 0.0:
+                            sign = -sign
+                        accepted += 1
+                stats.proposed += n_sites
+                stats.negative_ratios += negative
+                stats.accepted += accepted
+                if accepted:
+                    engine.invalidate_slice(l)
+                up.flush()
+                dn.flush()
+
+            if not forward and l != slices[0]:
+                # Retreat: remove the (freshly updated) B_l from the
+                # leftmost position so slice l-1 is exposed next.
+                for s in SPINS:
+                    g[s] = engine.unwrap(g[s], l, s)
+
+    stats.sign = sign
+    return stats

@@ -1,0 +1,140 @@
+"""Production helpers: chemical-potential calibration.
+
+Away from half filling the density is an *output* of a DQMC run, not an
+input; studies at fixed doping (e.g. the cuprate phase diagram) must
+first find the ``mu`` that delivers the target density. This module does
+the standard bisection: density is monotone in mu (compressibility is
+non-negative), so a bracketing search over short calibration runs
+converges in ~log2(range/tol) runs.
+
+Away from mu = 0 the model has a sign problem; the calibration runs use
+the sign-weighted density (valid as long as <sign> stays away from 0,
+which the result reports so the caller can judge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..hamiltonian import HubbardModel, free_greens_function
+from ..measure import total_density
+from .simulation import Simulation
+
+__all__ = ["MuCalibration", "calibrate_mu"]
+
+
+@dataclass
+class MuCalibration:
+    """Outcome of a chemical-potential search."""
+
+    mu: float
+    density: float
+    target: float
+    n_runs: int
+    mean_sign: float
+    history: List[tuple]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"mu = {self.mu:+.5f} -> rho = {self.density:.4f} "
+            f"(target {self.target:.4f}, {self.n_runs} runs, "
+            f"<sign> = {self.mean_sign:+.3f})"
+        )
+
+
+def _density_at(model: HubbardModel, mu: float, sweeps: int, seed: int):
+    m = model.with_(mu=mu)
+    if m.u == 0.0:
+        # exact, no Monte Carlo needed
+        g = free_greens_function(m.kinetic_matrix(), m.beta)
+        return total_density(g, g), 1.0
+    sim = Simulation(m, seed=seed, cluster_size=_cluster_for(m),
+                     measure_arrays=False)
+    res = sim.run(
+        warmup_sweeps=max(5, sweeps // 4), measurement_sweeps=sweeps
+    )
+    dens = res.observables["density"].scalar
+    sign = res.mean_sign
+    # sign-corrected density <rho * s> / <s>
+    if abs(sign) > 1e-3:
+        dens = dens / sign
+    return dens, sign
+
+
+def _cluster_for(model: HubbardModel) -> int:
+    k = 10
+    while model.n_slices % k:
+        k -= 1
+    return k
+
+
+def calibrate_mu(
+    model: HubbardModel,
+    target_density: float,
+    mu_range: tuple = (-6.0, 6.0),
+    tol: float = 0.01,
+    sweeps: int = 60,
+    seed: int = 0,
+    max_runs: int = 24,
+) -> MuCalibration:
+    """Find mu with ``|rho(mu) - target| <= tol`` by bisection.
+
+    Parameters
+    ----------
+    model:
+        Template model; its ``mu`` field is ignored.
+    target_density:
+        Desired rho in (0, 2).
+    mu_range:
+        Bracketing interval; must actually bracket the target (checked).
+    tol:
+        Density tolerance.
+    sweeps:
+        Measurement sweeps per calibration run (short on purpose).
+    max_runs:
+        Hard cap on calibration runs (raises if exceeded — usually means
+        tol is below the Monte Carlo noise of ``sweeps``).
+    """
+    if not 0.0 < target_density < 2.0:
+        raise ValueError("target density must lie in (0, 2)")
+    lo, hi = float(mu_range[0]), float(mu_range[1])
+    if lo >= hi:
+        raise ValueError("mu_range must be increasing")
+
+    history: List[tuple] = []
+    runs = 0
+
+    def rho(mu: float):
+        nonlocal runs
+        runs += 1
+        d, s = _density_at(model, mu, sweeps, seed + runs)
+        history.append((mu, d, s))
+        return d, s
+
+    d_lo, _ = rho(lo)
+    d_hi, _ = rho(hi)
+    if not d_lo - tol <= target_density <= d_hi + tol:
+        raise ValueError(
+            f"mu_range does not bracket the target: rho({lo}) = {d_lo:.3f}, "
+            f"rho({hi}) = {d_hi:.3f}, target {target_density}"
+        )
+
+    mu_mid, d_mid, s_mid = lo, d_lo, 1.0
+    while runs < max_runs:
+        mu_mid = 0.5 * (lo + hi)
+        d_mid, s_mid = rho(mu_mid)
+        if abs(d_mid - target_density) <= tol:
+            return MuCalibration(
+                mu=mu_mid, density=d_mid, target=target_density,
+                n_runs=runs, mean_sign=s_mid, history=history,
+            )
+        if d_mid < target_density:
+            lo = mu_mid
+        else:
+            hi = mu_mid
+    raise RuntimeError(
+        f"calibration did not converge in {max_runs} runs "
+        f"(last: mu = {mu_mid:.4f}, rho = {d_mid:.4f}); "
+        "raise sweeps or tol"
+    )

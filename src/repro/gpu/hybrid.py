@@ -1,0 +1,107 @@
+"""Hybrid CPU+GPU Green's function engine (paper Sec. VI, Fig 10).
+
+Division of labour exactly as in the paper's preliminary results:
+
+* **GPU** (simulated): cluster product rebuilds (Algorithm 4/5) and the
+  wrapping transforms (Algorithm 6/7) — the GEMM-dominated, pivot-free
+  work.
+* **CPU** (real): the stratification chain's QR factorizations and the
+  final stable solve — the paper defers porting these and so do we.
+
+Numerical results are bit-for-bit the work of the same numpy kernels as
+the CPU engine (the device is a simulator), so physics downstream of a
+hybrid engine is identical; only the *timing* story differs. Timing is
+split into ``gpu_seconds`` (virtual clock of the simulated device) and
+``cpu_seconds`` (measured wall-clock of the host doing the QR work), and
+the Fig 10 bench combines them into one GFlops figure, labelled
+model-derived in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core import GreensFunctionEngine
+from ..core.recycling import ClusterCache
+from ..hamiltonian import BMatrixFactory, HSField
+from ..profiling import PhaseProfiler
+from .device import SimulatedDevice
+from .ops import GPUPropagatorOps
+from .perfmodel import TESLA_C2050, GPUModel
+
+__all__ = ["HybridGreensEngine"]
+
+
+class HybridGreensEngine(GreensFunctionEngine):
+    """Drop-in :class:`GreensFunctionEngine` with GPU-offloaded kernels."""
+
+    def __init__(
+        self,
+        factory: BMatrixFactory,
+        field: HSField,
+        method: str = "prepivot",
+        cluster_size: int = 10,
+        profiler: Optional[PhaseProfiler] = None,
+        device: Optional[SimulatedDevice] = None,
+        model: GPUModel = TESLA_C2050,
+        fused: bool = True,
+    ):
+        # A real profiler is required: the hybrid CPU-time accounting is
+        # read off the "stratification" phase.
+        profiler = profiler if profiler is not None else PhaseProfiler()
+        super().__init__(
+            factory, field, method=method, cluster_size=cluster_size,
+            profiler=profiler,
+        )
+        self.device = device if device is not None else SimulatedDevice(model)
+        self.ops = GPUPropagatorOps(
+            self.device,
+            factory.expk,
+            factory.inv_expk,
+            fused=fused,
+        )
+        # Re-route cluster rebuilds through the GPU path.
+        self.cache = ClusterCache(
+            factory, field, cluster_size, product_fn=self._gpu_cluster_product
+        )
+
+    # -- offloaded pieces -------------------------------------------------------
+
+    def _gpu_cluster_product(self, sigma: int, slices: range) -> np.ndarray:
+        vs = [
+            self.field.v_diagonal(l, sigma, self.factory.nu) for l in slices
+        ]
+        return self.ops.cluster_product(vs)
+
+    def wrap(self, g: np.ndarray, l: int, sigma: int) -> np.ndarray:
+        with self.profiler.phase("wrapping"):
+            v = self.field.v_diagonal(l, sigma, self.factory.nu)
+            return self.ops.wrap(g, v)
+
+    # -- timing accounting --------------------------------------------------------
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Measured host wall-clock of the QR/stable-solve portion.
+
+        The "clustering"/"wrapping" phases run on the simulated device
+        and are accounted on its virtual clock instead; the real seconds
+        numpy burns executing them on the host are deliberately excluded
+        (on the modelled system they would not be host work at all).
+        """
+        return self.profiler.seconds.get("stratification", 0.0)
+
+    @property
+    def gpu_seconds(self) -> float:
+        return self.device.elapsed
+
+    def hybrid_seconds(self) -> float:
+        """Combined model time of the run so far.
+
+        CPU and GPU phases in this pipeline are serialized (the paper's
+        preliminary implementation does not overlap them), so the hybrid
+        time is the plain sum.
+        """
+        return self.cpu_seconds + self.gpu_seconds

@@ -1,0 +1,136 @@
+"""Algorithm 3 executed (almost) entirely on the simulated device.
+
+The paper's closing outlook: move the stratification itself onto the
+GPU. Pre-pivoting is what makes this viable — with DGEQP3, every column
+step needs a pivot decision synchronized with the host (or a serialized
+device-side reduction); with pre-pivoting, the *only* per-step host
+involvement is an n-element norm vector down and an n-element
+permutation up. Everything else — chain GEMMs, scalings, the blocked QR,
+the T updates — stays in device memory.
+
+Division of labour per chain step:
+
+========================  =============================================
+device                    ``C = (F Q) D`` (DGEMM + column-scale kernel),
+                          norm reduction, column gather, blocked QR
+                          (:class:`~repro.gpu.qr.GpuBlockedQR`),
+                          ``T <- (D^{-1} R)(P^T T)`` (row-scale kernel,
+                          row gather, DGEMM)
+host                      argsort of n norms, diagonal bookkeeping,
+                          the final small stable solve (step 4)
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..linalg import (
+    GradedDecomposition,
+    flops,
+    stable_inverse_from_graded,
+)
+from .cublas import Cublas
+from .device import SimulatedDevice
+from .kernels import (
+    extract_diagonal,
+    permute_rows_kernel,
+    scale_columns_kernel,
+    scale_rows_kernel,
+)
+from .qr import GpuBlockedQR, column_norms_kernel, permute_columns_kernel
+
+__all__ = ["gpu_stratified_decomposition", "gpu_stratified_inverse"]
+
+
+def _check_diag(d: np.ndarray) -> np.ndarray:
+    if np.any(d == 0.0):
+        raise np.linalg.LinAlgError("singular factor in the GPU chain")
+    return d
+
+
+def gpu_stratified_decomposition(
+    device: SimulatedDevice,
+    factors: Sequence[np.ndarray],
+    block: int = 64,
+) -> GradedDecomposition:
+    """Pre-pivoted stratification of a chain, device-resident.
+
+    ``factors`` are host matrices, rightmost first (they are uploaded
+    once each — in a full engine they would already live on device as
+    cluster products). Returns a host-side graded decomposition ready
+    for the final stable solve.
+    """
+    if not factors:
+        raise ValueError("empty factor chain")
+    n = factors[0].shape[0]
+    blas = Cublas(device)
+    qr = GpuBlockedQR(device, block=block)
+
+    # scratch device buffers
+    d_c = device.alloc((n, n))
+    d_tmp = device.alloc((n, n))
+    d_t = device.alloc((n, n))
+    d_v = device.alloc((n,))
+
+    # --- first factor: upload, pre-pivot, QR -------------------------------
+    d_f = device.set_matrix(np.asarray(factors[0], dtype=np.float64))
+    norms = column_norms_kernel(device, d_f)
+    piv = np.argsort(-norms, kind="stable")
+    permute_columns_kernel(device, d_f, piv, d_c)
+    d_q, d_r = qr.factor(d_c)
+    d = _check_diag(extract_diagonal(device, d_r))
+    # T = (D^{-1} R) P^T: row-scale R on device, then scatter columns.
+    device.set_matrix(1.0 / d, dest=d_v)
+    scale_rows_kernel(device, d_v, d_r, d_tmp)
+    # column scatter = gather with the inverse permutation
+    inv = np.empty_like(piv)
+    inv[piv] = np.arange(n)
+    permute_columns_kernel(device, d_tmp, inv, d_t)
+    device.free(d_f)
+
+    # --- chain steps ---------------------------------------------------------
+    for f in factors[1:]:
+        f = np.asarray(f, dtype=np.float64)
+        if f.shape != (n, n):
+            raise ValueError("factors must all be square of the same size")
+        d_fi = device.set_matrix(f)
+        blas.dgemm(d_fi, d_q, d_tmp)  # F @ Q
+        device.free(d_fi)
+        device.free(d_q)
+        device.free(d_r)
+        device.set_matrix(d, dest=d_v)
+        scale_columns_kernel(device, d_tmp, d_v, d_c)  # C = (F Q) D
+        norms = column_norms_kernel(device, d_c)
+        piv = np.argsort(-norms, kind="stable")
+        permute_columns_kernel(device, d_c, piv, d_tmp)
+        d_q, d_r = qr.factor(d_tmp)
+        d = _check_diag(extract_diagonal(device, d_r))
+        # T <- (D^{-1} R) @ (P^T T): row scale, row gather, DGEMM.
+        device.set_matrix(1.0 / d, dest=d_v)
+        scale_rows_kernel(device, d_v, d_r, d_tmp)
+        permute_rows_kernel(device, d_t, piv, d_c)  # P^T T
+        blas.dgemm(d_tmp, d_c, d_t)
+        flops.record("gpu_stratification", flops.gemm_flops(n, n, n))
+
+    q_host = device.get_matrix(d_q)
+    t_host = device.get_matrix(d_t)
+    for arr in (d_c, d_tmp, d_t, d_q, d_r, d_v):
+        device.free(arr)
+    return GradedDecomposition(q=q_host, d=d, t=t_host)
+
+
+def gpu_stratified_inverse(
+    device: SimulatedDevice,
+    factors: Sequence[np.ndarray],
+    block: int = 64,
+) -> np.ndarray:
+    """``(I + F_L ... F_1)^{-1}`` with the chain run on the device.
+
+    Step 4 (the small, final stable solve) remains on the host, as in
+    the paper's projected division of labour.
+    """
+    dec = gpu_stratified_decomposition(device, factors, block=block)
+    return stable_inverse_from_graded(dec)

@@ -1,0 +1,162 @@
+"""Checkerboard (split-bond) approximation of the kinetic propagator.
+
+QUEST supports two kinetic propagators: the exact dense ``exp(-dtau K)``
+(this package's default, :mod:`repro.hamiltonian.kinetic`) and the
+*checkerboard* method, which partitions the bonds into groups of
+non-overlapping pairs and writes
+
+.. math::
+
+    e^{-\\Delta\\tau K} \\approx \\prod_g e^{-\\Delta\\tau K_g}
+
+where each group exponential is *exact and cheap*: a K made of disjoint
+2x2 bond blocks exponentiates to independent 2x2 rotations
+(``cosh``/``sinh`` pairs), applied in O(N) per group instead of a dense
+O(N^2) GEMM. The splitting adds another O(dtau^2) Trotter error of the
+same order as the one already accepted in the time discretization.
+
+On a periodic rectangular lattice four groups suffice: even/odd bonds in
+x, even/odd bonds in y (for odd extents a fifth wrap group appears).
+This module builds the groups, applies the checkerboard propagator, and
+quantifies the splitting error against the exact exponential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Tuple
+
+import numpy as np
+
+from ..lattice import SquareLattice
+
+__all__ = ["bond_groups", "CheckerboardPropagator"]
+
+
+def bond_groups(lattice: SquareLattice) -> List[List[Tuple[int, int]]]:
+    """Partition nearest-neighbor bonds into non-overlapping groups.
+
+    Returns groups of (i, j) site pairs such that within a group no site
+    appears twice — the property that makes the group exponential exact.
+    Groups are even-x, odd-x, even-y, odd-y; odd extents place their
+    periodic wrap bond in an extra group per direction. Extent-2
+    directions contribute their doubled bond once with doubled weight at
+    application time (handled by the caller via the adjacency count).
+    """
+    groups: List[List[Tuple[int, int]]] = []
+    lx, ly = lattice.lx, lattice.ly
+
+    def direction_groups(extent: int, make_bond) -> List[List[Tuple[int, int]]]:
+        out: List[List[Tuple[int, int]]] = []
+        if extent < 2:
+            return out
+        if extent == 2:
+            # single doubled bond per row/column: one group
+            out.append([make_bond(0)])
+            return out
+        even = [make_bond(x) for x in range(0, extent - 1, 2)]
+        odd = [make_bond(x) for x in range(1, extent - 1, 2)]
+        wrap = make_bond(extent - 1)  # (extent-1) -> 0
+        if extent % 2 == 0:
+            odd.append(wrap)
+            out.extend([even, odd])
+        else:
+            out.extend([even, odd, [wrap]])
+        return out
+
+    # x-direction bonds, replicated down each row
+    for proto in direction_groups(
+        lx, lambda x: (x, (x + 1) % lx)
+    ):
+        group = [
+            (lattice.index(x0, y), lattice.index(x1, y))
+            for (x0, x1) in proto
+            for y in range(ly)
+        ]
+        groups.append(group)
+    # y-direction bonds, replicated across each column
+    for proto in direction_groups(
+        ly, lambda y: (y, (y + 1) % ly)
+    ):
+        group = [
+            (lattice.index(x, y0), lattice.index(x, y1))
+            for (y0, y1) in proto
+            for x in range(lx)
+        ]
+        groups.append(group)
+    return groups
+
+
+@dataclass(frozen=True)
+class CheckerboardPropagator:
+    """Applies ``prod_g exp(-dtau K_g)`` in O(N) per bond group.
+
+    Parameters
+    ----------
+    lattice:
+        Geometry; bond weights come from its adjacency (so extent-2
+        doubled bonds are honoured).
+    t:
+        Hopping amplitude.
+    dtau:
+        Trotter step.
+    mu:
+        Chemical potential — applied as one exact diagonal factor
+        ``exp(dtau * mu)`` (it commutes with everything).
+    """
+
+    lattice: SquareLattice
+    t: float
+    dtau: float
+    mu: float = 0.0
+
+    @cached_property
+    def groups(self) -> List[List[Tuple[int, int]]]:
+        return bond_groups(self.lattice)
+
+    @cached_property
+    def _group_arrays(self) -> List[Tuple[np.ndarray, np.ndarray, float, float]]:
+        """Per group: (i-indices, j-indices, cosh, sinh) of the 2x2 blocks."""
+        adj = self.lattice.adjacency
+        out = []
+        for group in self.groups:
+            ii = np.array([b[0] for b in group], dtype=np.int64)
+            jj = np.array([b[1] for b in group], dtype=np.int64)
+            # all bonds in a group share a weight on these lattices
+            w = float(adj[ii[0], jj[0]]) * self.t
+            arg = self.dtau * w
+            out.append((ii, jj, float(np.cosh(arg)), float(np.sinh(arg))))
+        return out
+
+    def apply_left(self, a: np.ndarray) -> np.ndarray:
+        """``B_cb @ a`` where ``B_cb ~ exp(-dtau K)`` (checkerboard order).
+
+        Each group applies independent 2x2 rotations
+        ``[[c, s], [s, c]]`` to the (i, j) row pairs — pure gather /
+        fused-multiply work, no GEMM.
+        """
+        a = np.array(a, dtype=np.float64, copy=True)
+        for ii, jj, c, s in self._group_arrays:
+            rows_i = a[ii]
+            rows_j = a[jj]
+            a[ii] = c * rows_i + s * rows_j
+            a[jj] = s * rows_i + c * rows_j
+        if self.mu != 0.0:
+            a *= np.exp(self.dtau * self.mu)
+        return a
+
+    def dense(self) -> np.ndarray:
+        """Materialize the checkerboard propagator as a dense matrix."""
+        return self.apply_left(np.eye(self.lattice.n_sites))
+
+    def splitting_error(self) -> float:
+        """``||B_cb - exp(-dtau K)|| / ||exp(-dtau K)||`` — the O(dtau^2)
+        Trotter cost of the split, measurable and testable."""
+        from .kinetic import KineticPropagator
+
+        k = -self.t * self.lattice.adjacency
+        np.fill_diagonal(k, -self.mu)
+        exact = KineticPropagator(k, self.dtau).expk
+        approx = self.dense()
+        return float(np.linalg.norm(approx - exact) / np.linalg.norm(exact))

@@ -1,0 +1,98 @@
+"""The discrete Hubbard-Stratonovich auxiliary field.
+
+One Ising-like variable ``h_{l,i} = +-1`` per (time slice, site) pair.
+The Metropolis sweep (paper Algorithm 1) proposes single-entry flips; the
+field also knows how to produce the diagonal interaction factors
+
+    V_{l,sigma} = exp(sigma * nu * diag(h_l))
+
+that enter the B matrices, and the flip ratios
+
+    alpha_{i,sigma} = exp(-2 sigma nu h_{l,i}) - 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["HSField"]
+
+
+class HSField:
+    """An (L, N) array of +-1 HS spins with DQMC-specific helpers.
+
+    Mutable by design — the Metropolis sweep flips entries in place. Use
+    :meth:`copy` to snapshot a configuration.
+    """
+
+    def __init__(self, h: np.ndarray):
+        h = np.asarray(h, dtype=np.float64)
+        if h.ndim != 2:
+            raise ValueError("HS field must be (L, N)")
+        if not np.all(np.abs(h) == 1.0):
+            raise ValueError("HS field entries must be +-1")
+        self.h = h
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls, n_slices: int, n_sites: int, rng: Optional[np.random.Generator] = None
+    ) -> "HSField":
+        """A uniformly random configuration (the paper's initial state)."""
+        rng = rng if rng is not None else np.random.default_rng()
+        h = rng.choice([-1.0, 1.0], size=(n_slices, n_sites))
+        return cls(h)
+
+    @classmethod
+    def ordered(cls, n_slices: int, n_sites: int, value: float = 1.0) -> "HSField":
+        """A uniform configuration — deterministic tests start here."""
+        if value not in (-1.0, 1.0):
+            raise ValueError("value must be +-1")
+        return cls(np.full((n_slices, n_sites), value))
+
+    def copy(self) -> "HSField":
+        return HSField(self.h.copy())
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def n_slices(self) -> int:
+        return self.h.shape[0]
+
+    @property
+    def n_sites(self) -> int:
+        return self.h.shape[1]
+
+    # -- DQMC helpers -----------------------------------------------------------
+
+    def flip(self, l: int, i: int) -> None:
+        """Flip ``h[l, i]`` in place."""
+        self.h[l, i] = -self.h[l, i]
+
+    def v_diagonal(self, l: int, sigma: int, nu: float) -> np.ndarray:
+        """Diagonal of ``V_{l,sigma} = exp(sigma nu diag(h_l))`` (length N)."""
+        if sigma not in (1, -1):
+            raise ValueError("sigma must be +-1")
+        return np.exp(sigma * nu * self.h[l])
+
+    def alpha(self, l: int, i: int, sigma: int, nu: float) -> float:
+        """Flip factor ``alpha = exp(-2 sigma nu h[l, i]) - 1``.
+
+        This is the multiplicative change of the (i, i) entry of
+        ``V_{l,sigma}`` under ``h[l,i] -> -h[l,i]``, and the only input the
+        O(1) Metropolis ratio needs besides ``G(i, i)``.
+        """
+        if sigma not in (1, -1):
+            raise ValueError("sigma must be +-1")
+        return float(np.exp(-2.0 * sigma * nu * self.h[l, i]) - 1.0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HSField):
+            return NotImplemented
+        return self.h.shape == other.h.shape and bool(np.all(self.h == other.h))
+
+    def __hash__(self) -> None:  # mutable container
+        raise TypeError("HSField is mutable and unhashable")

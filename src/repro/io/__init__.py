@@ -1,0 +1,12 @@
+"""Input files and result archives."""
+
+from ..dqmc.config import SimulationConfig, load_config, parse_config
+from .results import load_observables, save_observables
+
+__all__ = [
+    "SimulationConfig",
+    "load_config",
+    "load_observables",
+    "parse_config",
+    "save_observables",
+]

@@ -1,0 +1,64 @@
+"""Result serialization: save/load measurement output as portable .npz.
+
+A finished run's observables (means, errors, metadata) round-trip through
+a single compressed numpy archive, so long simulations can checkpoint
+their measurements and the benchmark harness can archive paper-figure
+data for EXPERIMENTS.md without any external dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..measure import BinnedEstimate
+
+__all__ = ["save_observables", "load_observables"]
+
+_META_KEY = "__meta__"
+
+
+def save_observables(
+    path: Union[str, Path],
+    observables: Dict[str, BinnedEstimate],
+    metadata: Dict[str, object] | None = None,
+) -> None:
+    """Write observables (and JSON-serializable metadata) to ``path``.
+
+    Layout: for each observable ``name`` the archive holds arrays
+    ``name/mean`` and ``name/error`` plus ``name/counts`` =
+    ``[n_bins, n_samples]``; metadata is stored as a JSON string.
+    """
+    payload: Dict[str, np.ndarray] = {}
+    for name, est in observables.items():
+        if "/" in name or name == _META_KEY:
+            raise ValueError(f"illegal observable name {name!r}")
+        payload[f"{name}/mean"] = np.asarray(est.mean)
+        payload[f"{name}/error"] = np.asarray(est.error)
+        payload[f"{name}/counts"] = np.array([est.n_bins, est.n_samples])
+    payload[_META_KEY] = np.array(json.dumps(metadata or {}))
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_observables(
+    path: Union[str, Path]
+) -> tuple[Dict[str, BinnedEstimate], Dict[str, object]]:
+    """Inverse of :func:`save_observables`."""
+    with np.load(Path(path), allow_pickle=False) as npz:
+        meta = json.loads(str(npz[_META_KEY]))
+        names = sorted(
+            {k.split("/", 1)[0] for k in npz.files if k != _META_KEY}
+        )
+        out: Dict[str, BinnedEstimate] = {}
+        for name in names:
+            counts = npz[f"{name}/counts"]
+            out[name] = BinnedEstimate(
+                mean=npz[f"{name}/mean"],
+                error=npz[f"{name}/error"],
+                n_bins=int(counts[0]),
+                n_samples=int(counts[1]),
+            )
+    return out, meta

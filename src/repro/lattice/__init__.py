@@ -1,0 +1,23 @@
+"""Lattice geometries: periodic planes, multilayer stacks, momentum space."""
+
+from .kspace import (
+    SYMMETRY_CORNERS,
+    BrillouinZone,
+    fourier_two_point,
+    momentum_grid,
+    symmetry_path,
+)
+from .general import GeneralLattice
+from .multilayer import MultilayerLattice
+from .square import SquareLattice
+
+__all__ = [
+    "SYMMETRY_CORNERS",
+    "BrillouinZone",
+    "GeneralLattice",
+    "MultilayerLattice",
+    "SquareLattice",
+    "fourier_two_point",
+    "momentum_grid",
+    "symmetry_path",
+]

@@ -1,0 +1,111 @@
+"""Dynamic (imaginary-time-displaced) observables.
+
+Built on :mod:`repro.core.displaced`. The workhorse quantity is the
+momentum-resolved imaginary-time Green's function
+
+.. math::
+
+    G(k, \\tau) = \\frac{1}{N} \\sum_{r, r'} e^{-i k (r - r')}
+                  \\, G(\\tau)(r, r')
+
+from which two standard DQMC diagnostics follow:
+
+* the **local Green's function** ``G_loc(tau) = (1/N) Tr G(tau)``, and
+* the **Fermi-level spectral weight proxy** ``beta * G(k, beta/2)`` —
+  the mid-interval value of the imaginary-time correlator filters the
+  spectral function A(k, omega) with a ~T-wide window around omega = 0,
+  so a large value at a momentum k marks a gapless (Fermi-surface)
+  point, a small value a gapped one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.displaced import displaced_greens
+from ..hamiltonian import BMatrixFactory, HSField
+from ..lattice import SquareLattice, fourier_two_point
+from .equal_time import greens_displacement_average
+
+__all__ = [
+    "momentum_greens_tau",
+    "local_greens_tau",
+    "spectral_weight_proxy",
+    "DynamicMeasurement",
+]
+
+
+def momentum_greens_tau(
+    lattice: SquareLattice, g_tau: np.ndarray
+) -> np.ndarray:
+    """``G(k, tau)`` for every allowed momentum, from a dense G(tau).
+
+    One translation-averaged gather + FFT, indexed like lattice momenta.
+    """
+    avg = greens_displacement_average(lattice, g_tau, transpose=True)
+    return fourier_two_point(lattice, avg)
+
+
+def local_greens_tau(g_tau: np.ndarray) -> float:
+    """Site-averaged ``G_loc(tau) = (1/N) Tr G(tau)``."""
+    n = g_tau.shape[0]
+    return float(np.trace(g_tau) / n)
+
+
+def spectral_weight_proxy(
+    lattice: SquareLattice, g_half_beta: np.ndarray, beta: float
+) -> np.ndarray:
+    """``beta * G(k, beta/2)`` per momentum — the gaplessness marker."""
+    return beta * momentum_greens_tau(lattice, g_half_beta)
+
+
+class DynamicMeasurement:
+    """Samples G(k, tau) on a tau grid during a simulation.
+
+    Stateless per call: hand it the factory/field (typically the
+    engine's) and it evaluates the displaced functions with the stable
+    two-chain inversion. Expensive — O(L N^3) per tau point — so the
+    default grid is just {dtau, beta/2, beta}.
+
+    Parameters
+    ----------
+    lattice:
+        Geometry for the momentum transform.
+    tau_slices:
+        Displacement slice indices to sample (0-based, ``l`` meaning
+        ``tau = (l+1) dtau``); default picks first / middle / last.
+    """
+
+    def __init__(
+        self,
+        lattice: SquareLattice,
+        tau_slices: Optional[Sequence[int]] = None,
+    ):
+        self.lattice = lattice
+        self.tau_slices = None if tau_slices is None else list(tau_slices)
+
+    def grid(self, n_slices: int) -> List[int]:
+        if self.tau_slices is not None:
+            return self.tau_slices
+        return sorted({0, n_slices // 2 - 1, n_slices - 1})
+
+    def measure(
+        self,
+        factory: BMatrixFactory,
+        field: HSField,
+        method: str = "prepivot",
+    ) -> dict:
+        """One sample: ``{"tau": array, "g_k_tau": (n_tau, N) array,
+        "g_loc_tau": (n_tau,) array}`` averaged over spins."""
+        slices = self.grid(field.n_slices)
+        taus = np.array([(l + 1) * factory.model.dtau for l in slices])
+        gk = np.zeros((len(slices), self.lattice.n_sites))
+        gloc = np.zeros(len(slices))
+        for sigma in (1, -1):
+            for j, l in enumerate(slices):
+                g_tau = displaced_greens(factory, field, sigma, l, method)
+                gk[j] += 0.5 * momentum_greens_tau(self.lattice, g_tau)
+                gloc[j] += 0.5 * local_greens_tau(g_tau)
+        return {"tau": taus, "g_k_tau": gk, "g_loc_tau": gloc}

@@ -1,0 +1,47 @@
+"""Momentum distribution ``<n_k>`` (paper Figs 5 and 6).
+
+.. math::
+
+    \\langle n_{k\\sigma} \\rangle
+      = \\frac{1}{N} \\sum_{r,r'} e^{i k (r - r')}
+        \\langle c^\\dagger_{r\\sigma} c_{r'\\sigma} \\rangle
+      = \\sum_d e^{-i k d} \\Big( \\delta_{d0}
+          - \\frac{1}{N} \\sum_r G_\\sigma(r + d, r) \\Big)
+
+computed as one translation-averaged gather plus a 2D FFT. The result is
+indexed like lattice momenta (see :mod:`repro.lattice.kspace`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import SquareLattice, fourier_two_point
+from .equal_time import greens_displacement_average
+
+__all__ = ["momentum_distribution", "momentum_distribution_spin_mean"]
+
+
+def momentum_distribution(lattice: SquareLattice, g: np.ndarray) -> np.ndarray:
+    """``<n_k>`` for one spin species, indexed like lattice momenta.
+
+    Per-sample values are not confined to [0, 1] — only the Monte Carlo
+    average is a physical occupancy.
+    """
+    n = lattice.n_sites
+    cdag_c = -greens_displacement_average(lattice, g, transpose=True)
+    cdag_c[0] += 1.0  # the delta_{d,0} term
+    nk = fourier_two_point(lattice, cdag_c)
+    if nk.shape != (n,):
+        raise AssertionError("momentum grid size mismatch")
+    return nk
+
+
+def momentum_distribution_spin_mean(
+    lattice: SquareLattice, g_up: np.ndarray, g_dn: np.ndarray
+) -> np.ndarray:
+    """Spin-averaged ``<n_k>`` — the quantity the paper plots."""
+    return 0.5 * (
+        momentum_distribution(lattice, g_up)
+        + momentum_distribution(lattice, g_dn)
+    )

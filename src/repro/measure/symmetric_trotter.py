@@ -1,0 +1,59 @@
+"""Symmetric-Trotter measurement correction.
+
+The sampler uses the asymmetric split ``B_l = V_l e^{-dtau K}`` (paper
+Eq. 2). The *symmetric* split ``B_l = e^{-dtau K/2} V_l e^{-dtau K/2}``
+has the same partition function — by cyclic invariance of the trace,
+
+    prod_l e^{-K/2} V_l e^{-K/2}  =  e^{-K/2} [ prod_l V_l e^{-K} ] e^{+K/2}
+
+is a similarity transform of the asymmetric chain — so the Markov chain
+and all its weights are *identical*. What changes is the Green's
+function the observables should be evaluated with:
+
+    G_sym = e^{-dtau K / 2} G_asym e^{+dtau K / 2}
+
+Measuring through ``G_sym`` upgrades equal-time observables that do not
+commute with K (kinetic energy, momentum distribution, any off-site
+correlator) to the symmetric split's smaller Trotter-error prefactor —
+for free, one GEMM pair per measurement. Density-like diagonal
+observables in the K eigenbasis are unaffected at half filling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hamiltonian import BMatrixFactory
+
+__all__ = ["HalfKineticTransform", "symmetrized_greens"]
+
+
+class HalfKineticTransform:
+    """Caches ``exp(-+dtau K / 2)`` and applies the similarity transform."""
+
+    def __init__(self, factory: BMatrixFactory):
+        w, v = np.linalg.eigh(np.asarray(factory.model.kinetic_matrix()))
+        half = factory.model.dtau / 2.0
+        self._fwd = (v * np.exp(-half * w)) @ v.T
+        self._bwd = (v * np.exp(half * w)) @ v.T
+
+    def apply(self, g: np.ndarray) -> np.ndarray:
+        """``e^{-dtau K/2} G e^{+dtau K/2}``."""
+        return self._fwd @ g @ self._bwd
+
+
+def symmetrized_greens(
+    factory: BMatrixFactory, g: np.ndarray
+) -> np.ndarray:
+    """One-shot symmetric-Trotter Green's function (builds the transform
+    each call; hold a :class:`HalfKineticTransform` in measurement loops).
+
+    Measured behaviour (pinned in tests against exact enumeration + ED
+    on the dimer): observables that commute with K — kinetic energy,
+    ``<n_k>`` — are *invariant* under the transform (the similarity
+    commutes through them); site-diagonal observables like the double
+    occupancy keep an O(dtau^2) error of reduced magnitude and
+    *opposite sign*, so the average of the asymmetric and symmetric
+    estimates cancels most of the quadratic term on these observables.
+    """
+    return HalfKineticTransform(factory).apply(g)

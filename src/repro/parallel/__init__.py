@@ -1,0 +1,31 @@
+"""Shared-memory (OpenMP-style) parallel substrate."""
+
+from .kernels import (
+    parallel_column_norms,
+    parallel_prepivot_permutation,
+    scale_columns,
+    scale_rows,
+    scale_two_sided,
+)
+from .pool import (
+    WorkerPool,
+    chunk_ranges,
+    get_num_threads,
+    get_pool,
+    parallel_for,
+    set_num_threads,
+)
+
+__all__ = [
+    "WorkerPool",
+    "chunk_ranges",
+    "get_num_threads",
+    "get_pool",
+    "parallel_column_norms",
+    "parallel_for",
+    "parallel_prepivot_permutation",
+    "scale_columns",
+    "scale_rows",
+    "scale_two_sided",
+    "set_num_threads",
+]

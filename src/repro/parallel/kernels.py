@@ -1,0 +1,123 @@
+"""Thread-parallel fine-grain kernels (paper Sec. IV-B).
+
+The operations QUEST had to hand-parallelize with OpenMP because neither
+MKL nor (here) numpy threads them at DQMC matrix sizes:
+
+* row scaling ``diag(v) @ A`` (inside every B-matrix application),
+* column scaling ``A @ diag(v)`` (stratification steps 3a/3d),
+* two-sided scaling ``diag(v) @ A @ diag(v)^{-1}`` (wrapping),
+* column 2-norms (the pre-pivot permutation input).
+
+Each kernel has the same signature as its serial counterpart and runs
+chunked over the process-wide :class:`~repro.parallel.pool.WorkerPool`.
+Numpy's elementwise loops release the GIL, so chunks genuinely overlap.
+The ``grain`` floors keep tiny matrices serial, where fork/join overhead
+would exceed the work (measured crossover is a few hundred rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import flops
+from .pool import get_pool
+
+__all__ = [
+    "scale_rows",
+    "scale_columns",
+    "scale_two_sided",
+    "parallel_column_norms",
+    "parallel_prepivot_permutation",
+]
+
+#: Minimum rows/columns per chunk before threading engages.
+_GRAIN = 128
+
+
+def scale_rows(a: np.ndarray, v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """``diag(v) @ a``, chunked across row blocks."""
+    a = np.asarray(a)
+    m, n = a.shape
+    if v.shape != (m,):
+        raise ValueError("v must have one entry per row")
+    res = np.empty_like(a) if out is None else out
+    flops.record("scaling", flops.scale_flops(m, n))
+
+    def body(r0: int, r1: int) -> None:
+        np.multiply(a[r0:r1], v[r0:r1, None], out=res[r0:r1])
+
+    get_pool().parallel_for(m, body, grain=_GRAIN)
+    return res
+
+
+def scale_columns(a: np.ndarray, v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """``a @ diag(v)``, chunked across row blocks (C-order friendly)."""
+    a = np.asarray(a)
+    m, n = a.shape
+    if v.shape != (n,):
+        raise ValueError("v must have one entry per column")
+    res = np.empty_like(a) if out is None else out
+    flops.record("scaling", flops.scale_flops(m, n))
+
+    def body(r0: int, r1: int) -> None:
+        np.multiply(a[r0:r1], v[None, :], out=res[r0:r1])
+
+    get_pool().parallel_for(m, body, grain=_GRAIN)
+    return res
+
+
+def scale_two_sided(
+    a: np.ndarray, v: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """``diag(v) @ a @ diag(v)^{-1}`` — the wrapping scaling (Algorithm 7).
+
+    Fused into one pass: each element is multiplied by ``v_i / v_j``.
+    This is the CPU analogue of the paper's texture-cached CUDA kernel.
+    """
+    a = np.asarray(a)
+    m, n = a.shape
+    if m != n or v.shape != (n,):
+        raise ValueError("two-sided scaling needs square a and matching v")
+    res = np.empty_like(a) if out is None else out
+    inv = 1.0 / v
+    flops.record("scaling", 2 * flops.scale_flops(m, n))
+
+    def body(r0: int, r1: int) -> None:
+        np.multiply(a[r0:r1], v[r0:r1, None], out=res[r0:r1])
+        res[r0:r1] *= inv[None, :]
+
+    get_pool().parallel_for(m, body, grain=_GRAIN)
+    return res
+
+
+def parallel_column_norms(a: np.ndarray) -> np.ndarray:
+    """Column 2-norms with chunked partial sums (Sec. IV-B's norm loop).
+
+    Chunks run over *rows* so each worker does one contiguous pass and
+    produces a partial sum-of-squares per column; the reduce adds the
+    partials. Mathematically identical (up to roundoff reassociation) to
+    :func:`repro.linalg.column_norms`.
+    """
+    a = np.asarray(a)
+    m, n = a.shape
+    flops.record("norms", flops.norms_flops(m, n))
+
+    def mapper(r0: int, r1: int) -> np.ndarray:
+        blk = a[r0:r1]
+        return np.einsum("ij,ij->j", blk, blk)
+
+    def reducer(parts) -> np.ndarray:
+        if not parts:
+            return np.zeros(n)
+        total = parts[0].copy()
+        for p in parts[1:]:
+            total += p
+        return np.sqrt(total)
+
+    return get_pool().map_reduce(m, mapper, reducer, grain=_GRAIN)
+
+
+def parallel_prepivot_permutation(a: np.ndarray) -> np.ndarray:
+    """Descending-norm permutation using the thread-parallel norms."""
+    nrm = parallel_column_norms(a)
+    return np.argsort(-nrm, kind="stable")

@@ -1,0 +1,153 @@
+"""OpenMP-like shared-memory parallel substrate.
+
+The paper's Sec. IV-B parallelizes two kinds of work:
+
+* **Level-3 kernels** (GEMM, QR) — delegated to the threaded BLAS that
+  backs numpy/scipy, exactly as QUEST delegates to MKL.
+* **Fine-grain level-1/2 kernels** (row/column scalings, column norms) —
+  too little work per call for BLAS threading, so QUEST provides its own
+  OpenMP loops that chunk the work across cores.
+
+This module is the second piece: a process-wide worker pool with an
+OpenMP-style ``parallel_for`` over index chunks. Workers execute numpy
+slice kernels, which release the GIL inside the C loops, so chunked
+elementwise work does scale with threads for matrices beyond the L2-size
+crossover (and the benches measure exactly where).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WorkerPool",
+    "get_pool",
+    "set_num_threads",
+    "get_num_threads",
+    "parallel_for",
+    "chunk_ranges",
+]
+
+_lock = threading.Lock()
+_pool: Optional["WorkerPool"] = None
+
+
+def _default_threads() -> int:
+    env = os.environ.get("REPRO_NUM_THREADS") or os.environ.get("OMP_NUM_THREADS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def chunk_ranges(n: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into up to ``n_chunks`` contiguous chunks.
+
+    Contiguity matters: each worker touches a contiguous block of rows or
+    columns, the cache-friendly access pattern the paper's OpenMP loops
+    are written for.
+    """
+    if n <= 0:
+        return []
+    n_chunks = max(1, min(n_chunks, n))
+    bounds = np.linspace(0, n, n_chunks + 1).astype(int)
+    return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+class WorkerPool:
+    """A persistent thread pool with an OpenMP-style for-loop primitive.
+
+    Threads are long-lived (pool startup is paid once, like an OpenMP
+    runtime) and the pool degrades gracefully to serial execution when
+    sized at one thread.
+    """
+
+    def __init__(self, n_threads: Optional[int] = None):
+        self.n_threads = n_threads if n_threads is not None else _default_threads()
+        if self.n_threads < 1:
+            raise ValueError("need at least one thread")
+        self._executor = (
+            ThreadPoolExecutor(max_workers=self.n_threads)
+            if self.n_threads > 1
+            else None
+        )
+
+    def parallel_for(
+        self,
+        n: int,
+        body: Callable[[int, int], None],
+        grain: int = 1,
+    ) -> None:
+        """Run ``body(start, stop)`` over a chunked ``range(n)``.
+
+        ``grain`` is the minimum chunk size; loops smaller than
+        ``grain * 2`` run serially (fork/join overhead would dominate —
+        the same reason OpenMP schedules have a chunk floor).
+        """
+        if grain < 1:
+            raise ValueError("grain must be >= 1")
+        if self._executor is None or n < 2 * grain:
+            if n > 0:
+                body(0, n)
+            return
+        chunks = chunk_ranges(n, min(self.n_threads, max(1, n // grain)))
+        if len(chunks) == 1:
+            body(0, n)
+            return
+        futures = [self._executor.submit(body, a, b) for a, b in chunks]
+        for f in futures:
+            f.result()
+
+    def map_reduce(
+        self,
+        n: int,
+        mapper: Callable[[int, int], object],
+        reducer: Callable[[Sequence[object]], object],
+        grain: int = 1,
+    ):
+        """Chunked map + single-threaded reduce (for norms/reductions)."""
+        if self._executor is None or n < 2 * grain:
+            return reducer([mapper(0, n)] if n > 0 else [])
+        chunks = chunk_ranges(n, min(self.n_threads, max(1, n // grain)))
+        futures = [self._executor.submit(mapper, a, b) for a, b in chunks]
+        return reducer([f.result() for f in futures])
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def get_pool() -> WorkerPool:
+    """The process-wide pool (created on first use)."""
+    global _pool
+    with _lock:
+        if _pool is None:
+            _pool = WorkerPool()
+        return _pool
+
+
+def set_num_threads(n: int) -> WorkerPool:
+    """Resize the process-wide pool (shutting the old one down)."""
+    global _pool
+    with _lock:
+        if _pool is not None:
+            _pool.shutdown()
+        _pool = WorkerPool(n)
+        return _pool
+
+
+def get_num_threads() -> int:
+    return get_pool().n_threads
+
+
+def parallel_for(n: int, body: Callable[[int, int], None], grain: int = 1) -> None:
+    """Module-level shorthand for ``get_pool().parallel_for``."""
+    get_pool().parallel_for(n, body, grain=grain)

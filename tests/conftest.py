@@ -1,0 +1,44 @@
+"""Shared fixtures: small models, fields and engines sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+from repro.core import GreensFunctionEngine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def lattice4x4():
+    return SquareLattice(4, 4)
+
+
+@pytest.fixture
+def model4x4(lattice4x4):
+    """A moderately interacting model whose chains are well-conditioned
+    enough for brute-force cross-checks yet graded enough to be
+    non-trivial."""
+    return HubbardModel(lattice4x4, u=4.0, beta=2.0, n_slices=20)
+
+
+@pytest.fixture
+def field4x4(model4x4, rng):
+    return HSField.random(model4x4.n_slices, model4x4.n_sites, rng)
+
+
+@pytest.fixture
+def factory4x4(model4x4):
+    return BMatrixFactory(model4x4)
+
+
+@pytest.fixture
+def engine4x4(factory4x4, field4x4):
+    return GreensFunctionEngine(factory4x4, field4x4, cluster_size=10)
+
+

@@ -1,0 +1,121 @@
+"""Exact diagonalization reference for tiny Hubbard clusters.
+
+Full Fock-space ED with Jordan-Wigner fermion signs. Exponential in the
+number of spin-orbitals — intended for <= 4 sites (256-dim Fock space),
+where it provides continuum-imaginary-time expectation values that DQMC
+must approach as dtau -> 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["HubbardED"]
+
+
+class HubbardED:
+    """ED of ``H = sum_ij K_ij c^dag_i c_j (per spin)
+    + U sum_i (n_i+ - 1/2)(n_i- - 1/2)`` on ``n`` sites.
+
+    Spin-orbital ordering: orbital ``i`` is site ``i`` spin-up for
+    ``i < n`` and site ``i - n`` spin-down otherwise. K carries hoppings
+    and the chemical potential on its diagonal, exactly like
+    :meth:`repro.HubbardModel.kinetic_matrix`.
+    """
+
+    def __init__(self, k_matrix: np.ndarray, u: float):
+        k = np.asarray(k_matrix, dtype=np.float64)
+        n = k.shape[0]
+        if k.shape != (n, n) or not np.allclose(k, k.T):
+            raise ValueError("K must be square symmetric")
+        if n > 4:
+            raise ValueError("ED reference limited to 4 sites")
+        self.n_sites = n
+        self.n_orbitals = 2 * n
+        self.dim = 1 << self.n_orbitals
+        self.u = u
+        self.h = self._build(k)
+        self.eigvals, self.eigvecs = np.linalg.eigh(self.h)
+
+    # -- second quantization ----------------------------------------------
+
+    def _jw_sign(self, state: int, orb: int) -> float:
+        """(-1)^(number of occupied orbitals below orb)."""
+        mask = (1 << orb) - 1
+        return -1.0 if bin(state & mask).count("1") % 2 else 1.0
+
+    def _hop(self, state: int, dst: int, src: int) -> Tuple[int, float]:
+        """Apply c^dag_dst c_src; returns (new_state, amplitude)."""
+        if not state & (1 << src):
+            return 0, 0.0
+        sign = self._jw_sign(state, src)
+        mid = state & ~(1 << src)
+        if mid & (1 << dst):
+            return 0, 0.0
+        sign *= self._jw_sign(mid, dst)
+        return mid | (1 << dst), sign
+
+    def _build(self, k: np.ndarray) -> np.ndarray:
+        n = self.n_sites
+        h = np.zeros((self.dim, self.dim))
+        for state in range(self.dim):
+            # interaction + diagonal kinetic terms
+            diag = 0.0
+            for i in range(n):
+                n_up = (state >> i) & 1
+                n_dn = (state >> (i + n)) & 1
+                diag += self.u * (n_up - 0.5) * (n_dn - 0.5)
+                diag += k[i, i] * (n_up + n_dn)
+            h[state, state] += diag
+            # hopping, both spin sectors
+            for i in range(n):
+                for j in range(n):
+                    if i == j or k[i, j] == 0.0:
+                        continue
+                    for spin_off in (0, n):
+                        new, amp = self._hop(
+                            state, i + spin_off, j + spin_off
+                        )
+                        if amp:
+                            h[new, state] += k[i, j] * amp
+        return h
+
+    # -- thermal expectation values ---------------------------------------------
+
+    def _thermal(self, diag_op: np.ndarray, beta: float) -> float:
+        """<O> for an operator diagonal in the occupation basis."""
+        w = self.eigvals - self.eigvals.min()
+        bw = np.exp(-beta * w)
+        z = bw.sum()
+        op_eig = np.einsum(
+            "ai,a,ai->i", self.eigvecs, diag_op, self.eigvecs
+        )
+        return float((op_eig * bw).sum() / z)
+
+    def _occupation_vector(self, orb: int) -> np.ndarray:
+        states = np.arange(self.dim)
+        return ((states >> orb) & 1).astype(np.float64)
+
+    def density(self, beta: float) -> float:
+        """Mean electron density (site- and spin-summed, per site)."""
+        total = np.zeros(self.dim)
+        for orb in range(self.n_orbitals):
+            total += self._occupation_vector(orb)
+        return self._thermal(total, beta) / self.n_sites
+
+    def double_occupancy(self, beta: float) -> float:
+        """Site-averaged <n_up n_dn>."""
+        total = np.zeros(self.dim)
+        for i in range(self.n_sites):
+            total += self._occupation_vector(i) * self._occupation_vector(
+                i + self.n_sites
+            )
+        return self._thermal(total, beta) / self.n_sites
+
+    def spin_zz(self, beta: float, i: int, j: int) -> float:
+        """<(n_i+ - n_i-)(n_j+ - n_j-)>."""
+        mi = self._occupation_vector(i) - self._occupation_vector(i + self.n_sites)
+        mj = self._occupation_vector(j) - self._occupation_vector(j + self.n_sites)
+        return self._thermal(mi * mj, beta)

@@ -1,0 +1,27 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dense_chain(factory, field, sigma):
+    """All slice B matrices, rightmost-first."""
+    return [factory.b_matrix(field, l, sigma) for l in range(field.n_slices)]
+
+
+def brute_product(factory, field, sigma):
+    """Unstabilized B_L ... B_1 for benign chains."""
+    out = np.eye(factory.n)
+    for b in dense_chain(factory, field, sigma):
+        out = b @ out
+    return out
+
+
+def brute_greens(factory, field, sigma):
+    """Unstabilized (I + B_L ... B_1)^{-1}; benign chains only."""
+    return np.linalg.inv(np.eye(factory.n) + brute_product(factory, field, sigma))
+
+
+def relerr(a, b):
+    return float(np.linalg.norm(a - b) / np.linalg.norm(b))

@@ -1,0 +1,61 @@
+"""Unit tests for matrix clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_clusters, cluster_product, cluster_slices
+from tests.helpers import brute_product, relerr
+
+
+class TestClusterSlices:
+    def test_partition(self):
+        ranges = cluster_slices(20, 5)
+        assert len(ranges) == 4
+        flat = [l for r in ranges for l in r]
+        assert flat == list(range(20))
+
+    def test_cluster_size_one(self):
+        assert len(cluster_slices(6, 1)) == 6
+
+    def test_full_chain_as_one_cluster(self):
+        assert cluster_slices(8, 8) == [range(0, 8)]
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            cluster_slices(20, 6)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            cluster_slices(10, 0)
+
+
+class TestClusterProduct:
+    def test_matches_dense_product(self, factory4x4, field4x4):
+        slices = range(4, 9)
+        expected = np.eye(16)
+        for l in slices:
+            expected = factory4x4.b_matrix(field4x4, l, 1) @ expected
+        got = cluster_product(factory4x4, field4x4, 1, slices)
+        assert relerr(got, expected) < 1e-13
+
+    def test_single_slice_cluster(self, factory4x4, field4x4):
+        got = cluster_product(factory4x4, field4x4, -1, range(7, 8))
+        expected = factory4x4.b_matrix(field4x4, 7, -1)
+        assert relerr(got, expected) < 1e-14
+
+
+class TestBuildClusters:
+    def test_product_of_clusters_is_full_chain(self, factory4x4, field4x4):
+        """Clustering must not change the represented product."""
+        clusters = build_clusters(factory4x4, field4x4, 1, cluster_size=5)
+        assert len(clusters) == 4
+        total = np.eye(16)
+        for c in clusters:
+            total = c @ total
+        expected = brute_product(factory4x4, field4x4, 1)
+        assert relerr(total, expected) < 1e-12
+
+    def test_spin_dependence(self, factory4x4, field4x4):
+        up = build_clusters(factory4x4, field4x4, 1, cluster_size=10)
+        dn = build_clusters(factory4x4, field4x4, -1, cluster_size=10)
+        assert relerr(up[0], dn[0]) > 1e-3  # genuinely different at U > 0

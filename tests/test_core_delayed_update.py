@@ -1,0 +1,124 @@
+"""Unit tests for delayed (block) rank-1 Green's function updates."""
+
+import numpy as np
+import pytest
+
+from repro.core import DelayedUpdater
+from tests.helpers import relerr
+
+
+def reference_update(g, i, alpha):
+    """Direct Sherman-Morrison update of (I + B...)^{-1} after a flip at
+    site i multiplying row i of the leftmost B by (1 + alpha)."""
+    d = 1.0 + alpha * (1.0 - g[i, i])
+    u = g[:, i].copy()
+    w = -g[i, :].copy()
+    w[i] += 1.0
+    return g - (alpha / d) * np.outer(u, w), d
+
+
+@pytest.fixture
+def g0(rng):
+    # a generic dense matrix playing the role of G
+    return rng.normal(size=(12, 12)) * 0.3 + 0.5 * np.eye(12)
+
+
+class TestSingleUpdate:
+    def test_matches_reference(self, g0):
+        g = g0.copy()
+        upd = DelayedUpdater(g, max_delay=8)
+        alpha = 0.7
+        i = 3
+        d = 1.0 + alpha * (1.0 - upd.diag_element(i))
+        upd.accept(i, alpha, d)
+        upd.flush()
+        expected, _ = reference_update(g0, i, alpha)
+        assert relerr(g, expected) < 1e-13
+
+    def test_matches_brute_force_inverse(self, rng):
+        """End-to-end: updating G = (I + A)^{-1} for A <- (I+alpha e_i e_i^T) A
+        must equal inverting the modified matrix from scratch."""
+        n = 10
+        a = rng.normal(size=(n, n)) * 0.5
+        g = np.linalg.inv(np.eye(n) + a)
+        upd = DelayedUpdater(g, max_delay=4)
+        i, alpha = 6, -0.45
+        d = 1.0 + alpha * (1.0 - upd.diag_element(i))
+        upd.accept(i, alpha, d)
+        upd.flush()
+        a2 = a.copy()
+        a2[i, :] *= 1.0 + alpha
+        expected = np.linalg.inv(np.eye(n) + a2)
+        assert relerr(g, expected) < 1e-12
+
+
+class TestDelayedSemantics:
+    def test_effective_reads_before_flush(self, g0):
+        g = g0.copy()
+        upd = DelayedUpdater(g, max_delay=16)
+        seq = [(2, 0.4), (7, -0.3), (2, 0.9)]
+        ref = g0.copy()
+        for i, alpha in seq:
+            d_ref = 1.0 + alpha * (1.0 - ref[i, i])
+            d = 1.0 + alpha * (1.0 - upd.diag_element(i))
+            assert d == pytest.approx(d_ref, rel=1e-12)
+            np.testing.assert_allclose(upd.column(i), ref[:, i], atol=1e-12)
+            np.testing.assert_allclose(upd.row(i), ref[i, :], atol=1e-12)
+            upd.accept(i, alpha, d)
+            ref, _ = reference_update(ref, i, alpha)
+        upd.flush()
+        assert relerr(g, ref) < 1e-12
+
+    def test_delay_one_equals_delay_many(self, g0, rng):
+        seq = [(int(i), float(a)) for i, a in
+               zip(rng.integers(0, 12, size=10), rng.normal(size=10) * 0.3)]
+
+        def run(delay):
+            g = g0.copy()
+            upd = DelayedUpdater(g, max_delay=delay)
+            for i, alpha in seq:
+                d = 1.0 + alpha * (1.0 - upd.diag_element(i))
+                upd.accept(i, alpha, d)
+            upd.flush()
+            return g
+
+        np.testing.assert_allclose(run(1), run(32), atol=1e-11)
+        np.testing.assert_allclose(run(3), run(32), atol=1e-11)
+
+    def test_auto_flush_at_max_delay(self, g0):
+        upd = DelayedUpdater(g0.copy(), max_delay=2)
+        for k, i in enumerate([0, 1, 2]):
+            d = 1.0 + 0.1 * (1.0 - upd.diag_element(i))
+            upd.accept(i, 0.1, d)
+        assert upd.flushes == 1  # flushed automatically after 2 updates
+        assert upd.pending == 1
+
+    def test_flush_empty_is_noop(self, g0):
+        g = g0.copy()
+        upd = DelayedUpdater(g, max_delay=4)
+        upd.flush()
+        assert upd.flushes == 0
+        np.testing.assert_array_equal(g, g0)
+
+    def test_dense_flushes(self, g0):
+        upd = DelayedUpdater(g0.copy(), max_delay=8)
+        d = 1.0 + 0.2 * (1.0 - upd.diag_element(0))
+        upd.accept(0, 0.2, d)
+        out = upd.dense()
+        assert upd.pending == 0
+        assert out is upd.g
+
+
+class TestValidation:
+    def test_bad_delay(self, g0):
+        with pytest.raises(ValueError):
+            DelayedUpdater(g0, max_delay=0)
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            DelayedUpdater(np.ones((3, 4)))
+
+    def test_singular_denominator(self, g0):
+        upd = DelayedUpdater(g0.copy())
+        with pytest.raises(ZeroDivisionError):
+            upd.accept(0, 1.0, 0.0)

@@ -1,0 +1,182 @@
+"""Unit tests for time-displaced Green's functions."""
+
+import numpy as np
+import pytest
+
+from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+from repro.core import (
+    displaced_greens,
+    displaced_greens_series,
+    stable_sum_inverse,
+    stratified_decomposition,
+)
+from repro.linalg import GradedDecomposition
+from tests.helpers import relerr
+
+
+def brute_displaced(factory, field, sigma, l):
+    """Unstabilized B_l ... B_0 (I + B_{L-1} ... B_0)^{-1}."""
+    n = factory.n
+    full = factory.full_product(field, sigma)
+    g0 = np.linalg.inv(np.eye(n) + full)
+    left = np.eye(n)
+    for ll in range(l + 1):
+        left = factory.b_matrix(field, ll, sigma) @ left
+    return left @ g0
+
+
+class TestStableSumInverse:
+    def test_identity_left_reduces_to_equal_time(self, factory4x4, field4x4):
+        chain = [
+            factory4x4.b_matrix(field4x4, l, 1)
+            for l in range(field4x4.n_slices)
+        ]
+        a2 = stratified_decomposition(chain, method="prepivot")
+        ident = GradedDecomposition(
+            q=np.eye(16), d=np.ones(16), t=np.eye(16)
+        )
+        from repro.linalg import stable_inverse_from_graded
+
+        got = stable_sum_inverse(ident, a2)
+        expected = stable_inverse_from_graded(a2)
+        assert relerr(got, expected) < 1e-10
+
+    def test_size_mismatch_raises(self):
+        a = GradedDecomposition(q=np.eye(3), d=np.ones(3), t=np.eye(3))
+        b = GradedDecomposition(q=np.eye(4), d=np.ones(4), t=np.eye(4))
+        with pytest.raises(ValueError):
+            stable_sum_inverse(a, b)
+
+
+class TestDisplacedGreens:
+    @pytest.mark.parametrize("l", [-1, 0, 7, 19])
+    def test_matches_brute_force_benign(self, factory4x4, field4x4, l):
+        got = displaced_greens(factory4x4, field4x4, 1, l)
+        expected = brute_displaced(factory4x4, field4x4, 1, l)
+        assert relerr(got, expected) < 1e-9
+
+    def test_out_of_range(self, factory4x4, field4x4):
+        with pytest.raises(IndexError):
+            displaced_greens(factory4x4, field4x4, 1, 20)
+        with pytest.raises(IndexError):
+            displaced_greens(factory4x4, field4x4, 1, -2)
+
+    def test_stable_at_strong_coupling(self, rng):
+        """Midpoint tau at beta*U where the naive left product overflows
+        by hundreds of orders of magnitude: result finite, methods agree."""
+        model = HubbardModel(SquareLattice(2, 2), u=8.0, beta=16.0, n_slices=128)
+        fac = BMatrixFactory(model)
+        field = HSField.random(128, 4, rng)
+        g_qrp = displaced_greens(fac, field, 1, 63, method="qrp")
+        g_pre = displaced_greens(fac, field, 1, 63, method="prepivot")
+        assert np.all(np.isfinite(g_pre))
+        assert relerr(g_pre, g_qrp) < 1e-10
+
+    def test_u0_analytic(self, rng):
+        """Free fermions: G(tau) = e^{-tau K'} (1 - f) in the eigenbasis."""
+        model = HubbardModel(SquareLattice(4, 4), u=0.0, beta=4.0, n_slices=40)
+        fac = BMatrixFactory(model)
+        field = HSField.random(40, 16, rng)
+        l = 9  # tau = 1.0
+        got = displaced_greens(fac, field, 1, l)
+        w, v = np.linalg.eigh(model.kinetic_matrix())
+        tau = (l + 1) * model.dtau
+        f = 1.0 / (1.0 + np.exp(model.beta * w))
+        expected = (v * (np.exp(-tau * w) * (1.0 - f))) @ v.T
+        assert relerr(got, expected) < 1e-10
+
+    def test_antiperiodic_boundary(self, factory4x4, field4x4):
+        """G(beta, 0) + G(0, 0) = I: fermionic antiperiodicity.
+
+        tau = beta means the full left chain: A1 (I + A1)^{-1}; adding
+        the equal-time (I + A1)^{-1} gives exactly I.
+        """
+        g_beta = displaced_greens(factory4x4, field4x4, 1, field4x4.n_slices - 1)
+        g_0 = displaced_greens(factory4x4, field4x4, 1, -1)
+        np.testing.assert_allclose(g_beta + g_0, np.eye(16), atol=1e-9)
+
+    def test_series(self, factory4x4, field4x4):
+        out = displaced_greens_series(
+            factory4x4, field4x4, 1, slices=[0, 10]
+        )
+        assert len(out) == 2
+        assert relerr(
+            out[1], displaced_greens(factory4x4, field4x4, 1, 10)
+        ) < 1e-12
+
+
+class TestReverseDisplaced:
+    def test_matches_brute_force(self, rng):
+        from repro.core import displaced_greens_reverse
+
+        model = HubbardModel(SquareLattice(2, 2), u=4.0, beta=1.5, n_slices=12)
+        fac = BMatrixFactory(model)
+        field = HSField.random(12, 4, rng)
+        full = fac.full_product(field, 1)
+        g00 = np.linalg.inv(np.eye(4) + full)
+        for l in (0, 5, 11):
+            left = np.eye(4)
+            for ll in range(l + 1):
+                left = fac.b_matrix(field, ll, 1) @ left
+            brute = -(np.eye(4) - g00) @ np.linalg.inv(left)
+            got = displaced_greens_reverse(fac, field, 1, l)
+            assert relerr(got, brute) < 1e-8, l
+
+    def test_antiperiodicity(self, factory4x4, field4x4):
+        """G(0, beta) = -G(0, 0) (fermionic boundary condition)."""
+        from repro.core import displaced_greens_reverse
+
+        g_rev = displaced_greens_reverse(
+            factory4x4, field4x4, 1, field4x4.n_slices - 1
+        )
+        g00 = displaced_greens(factory4x4, field4x4, 1, -1)
+        np.testing.assert_allclose(g_rev, -g00, atol=1e-9)
+
+    def test_u0_analytic(self, rng):
+        """Free fermions: G(0, tau) = -e^{tau K'} f in the eigenbasis."""
+        from repro.core import displaced_greens_reverse
+
+        model = HubbardModel(SquareLattice(4, 4), u=0.0, beta=4.0, n_slices=40)
+        fac = BMatrixFactory(model)
+        field = HSField.random(40, 16, rng)
+        l = 9
+        got = displaced_greens_reverse(fac, field, 1, l)
+        w, v = np.linalg.eigh(model.kinetic_matrix())
+        tau = (l + 1) * model.dtau
+        f = 1.0 / (1.0 + np.exp(model.beta * w))
+        expected = -(v * (np.exp(tau * w) * f)) @ v.T
+        assert relerr(got, expected) < 1e-10
+
+
+class TestFastSeries:
+    def test_matches_per_tau_evaluation(self, factory4x4, field4x4):
+        from repro.core import displaced_series_fast
+
+        taus, greens = displaced_series_fast(
+            factory4x4, field4x4, 1, cluster_size=5
+        )
+        assert len(taus) == 4
+        for j, g in enumerate(greens):
+            l = (j + 1) * 5 - 1
+            ref = displaced_greens(factory4x4, field4x4, 1, l)
+            assert relerr(g, ref) < 1e-10, j
+
+    def test_tau_grid(self, factory4x4, field4x4):
+        from repro.core import displaced_series_fast
+
+        taus, _ = displaced_series_fast(factory4x4, field4x4, 1, 10)
+        np.testing.assert_allclose(taus, [1.0, 2.0])
+
+    def test_stable_at_strong_coupling(self, rng):
+        from repro.core import displaced_series_fast
+
+        model = HubbardModel(SquareLattice(2, 2), u=8.0, beta=12.0, n_slices=96)
+        fac = BMatrixFactory(model)
+        field = HSField.random(96, 4, rng)
+        taus, greens = displaced_series_fast(fac, field, 1, cluster_size=8)
+        for j, g in enumerate(greens):
+            assert np.all(np.isfinite(g)), j
+            # spot-check the midpoint against the two-chain evaluation
+        mid = len(greens) // 2
+        ref = displaced_greens(fac, field, 1, (mid + 1) * 8 - 1)
+        assert relerr(greens[mid], ref) < 1e-8

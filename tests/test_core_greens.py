@@ -1,0 +1,149 @@
+"""Unit tests for the Green's function engine."""
+
+import numpy as np
+import pytest
+
+from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+from repro.core import GreensFunctionEngine
+from repro.profiling import PhaseProfiler
+from tests.helpers import brute_greens, relerr
+
+
+class TestBoundaryGreens:
+    def test_boundary_zero_matches_brute_force(self, engine4x4, factory4x4, field4x4):
+        for sigma in (1, -1):
+            g = engine4x4.boundary_greens(sigma, 0)
+            expected = brute_greens(factory4x4, field4x4, sigma)
+            assert relerr(g, expected) < 1e-9
+
+    def test_boundary_rotation_matches_direct(self, factory4x4, field4x4):
+        """Boundary c's G must equal the slice-level direct evaluation
+        with rightmost slice c*k."""
+        eng = GreensFunctionEngine(factory4x4, field4x4, cluster_size=5)
+        k = eng.cluster_size
+        for c in (1, 2, 3):
+            g = eng.boundary_greens(1, c)
+            # direct G with rightmost factor = slice c*k, i.e. G_{c*k - 1}
+            direct = eng.greens_at_slice_direct(1, c * k - 1)
+            assert relerr(g, direct) < 1e-9
+
+    def test_methods_agree(self, factory4x4, field4x4):
+        gs = {}
+        for method in ("qrp", "prepivot"):
+            eng = GreensFunctionEngine(
+                factory4x4, field4x4, method=method, cluster_size=10
+            )
+            gs[method] = eng.boundary_greens(1, 0)
+        assert relerr(gs["prepivot"], gs["qrp"]) < 1e-11
+
+    def test_stats_updated(self, engine4x4):
+        engine4x4.boundary_greens(1, 0)
+        assert engine4x4.last_stats.n_factors == engine4x4.n_clusters
+
+
+class TestSliceGreens:
+    def test_greens_at_slice_consistency(self, engine4x4):
+        for l in (0, 7, 13, 19):
+            via_wraps = engine4x4.greens_at_slice(1, l)
+            direct = engine4x4.greens_at_slice_direct(1, l)
+            assert relerr(via_wraps, direct) < 1e-8, l
+
+    def test_out_of_range_raises(self, engine4x4):
+        with pytest.raises(IndexError):
+            engine4x4.greens_at_slice_direct(1, 20)
+
+
+class TestInvalidation:
+    def test_field_change_changes_greens(self, engine4x4, field4x4):
+        g_before = engine4x4.boundary_greens(1, 0)
+        field4x4.flip(0, 0)
+        engine4x4.invalidate_slice(0)
+        g_after = engine4x4.boundary_greens(1, 0)
+        assert relerr(g_after, g_before) > 1e-10
+
+    def test_missing_invalidation_is_stale(self, engine4x4, field4x4):
+        """Documents the invalidation contract: without it, the engine
+        serves the old G."""
+        g_before = engine4x4.boundary_greens(1, 0)
+        field4x4.flip(0, 0)
+        g_stale = engine4x4.boundary_greens(1, 0)
+        assert relerr(g_stale, g_before) < 1e-14
+        field4x4.flip(0, 0)  # restore
+
+
+class TestGradingProfile:
+    def test_descending_and_wide(self, engine4x4):
+        d = engine4x4.grading_profile(1)
+        assert np.all(d[1:] <= d[:-1] * (1 + 1e-9))  # sorted by contract
+        assert d[0] / d[-1] > 1e3  # beta U = 8: already graded
+
+    def test_spread_grows_with_beta_u(self, rng):
+        from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+
+        ratios = []
+        for beta in (2.0, 8.0):
+            model = HubbardModel(
+                SquareLattice(2, 2), u=6.0, beta=beta, n_slices=int(beta * 8)
+            )
+            fac = BMatrixFactory(model)
+            field = HSField.random(model.n_slices, 4, rng)
+            eng = GreensFunctionEngine(fac, field, cluster_size=8)
+            d = eng.grading_profile(1)
+            ratios.append(d[0] / d[-1])
+        assert ratios[1] > 100 * ratios[0]
+
+    def test_free_fermion_profile_is_kinetic_spectrum(self, rng):
+        """U = 0 with the (exact-SVD) jacobi stratifier: |D| must be the
+        singular values exp(-beta w) of exp(-beta K), whatever the field."""
+        from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+
+        model = HubbardModel(SquareLattice(3, 3), u=0.0, beta=2.0, n_slices=16)
+        fac = BMatrixFactory(model)
+        field = HSField.random(16, 9, rng)
+        eng = GreensFunctionEngine(fac, field, cluster_size=8, method="jacobi")
+        d = eng.grading_profile(1)
+        w = np.linalg.eigvalsh(model.kinetic_matrix())
+        np.testing.assert_allclose(
+            d, np.sort(np.exp(-2.0 * w))[::-1], rtol=1e-8
+        )
+
+    def test_qr_profile_tracks_svd_profile(self, engine4x4, factory4x4, field4x4):
+        """diag(R) magnitudes approximate the singular spectrum within
+        modest factors — the property that lets the profile diagnose
+        grading without an SVD."""
+        d_qr = engine4x4.grading_profile(1)
+        d_svd = GreensFunctionEngine(
+            factory4x4, field4x4, cluster_size=10, method="jacobi"
+        ).grading_profile(1)
+        ratio = d_qr / d_svd
+        assert ratio.max() < 50 and ratio.min() > 1 / 50
+
+
+class TestConfigurationSign:
+    def test_positive_at_half_filling(self, engine4x4):
+        assert engine4x4.configuration_sign() == 1.0
+
+    def test_matches_brute_force_determinants(self, rng):
+        model = HubbardModel(SquareLattice(2, 2), u=4.0, beta=1.0, n_slices=10, mu=-0.5)
+        fac = BMatrixFactory(model)
+        field = HSField.random(10, 4, rng)
+        eng = GreensFunctionEngine(fac, field, cluster_size=5)
+        sign = eng.configuration_sign()
+        brute = 1.0
+        for s in (1, -1):
+            m = np.eye(4) + fac.full_product(field, s)
+            brute *= np.sign(np.linalg.det(m))
+        assert sign == brute
+
+
+class TestProfilerIntegration:
+    def test_phases_recorded(self, factory4x4, field4x4):
+        prof = PhaseProfiler()
+        eng = GreensFunctionEngine(
+            factory4x4, field4x4, cluster_size=10, profiler=prof
+        )
+        g = eng.boundary_greens(1, 0)
+        eng.wrap(g, 0, 1)
+        assert prof.seconds.get("stratification", 0) > 0
+        assert prof.seconds.get("clustering", 0) > 0
+        assert prof.seconds.get("wrapping", 0) > 0

@@ -1,0 +1,105 @@
+"""Unit tests for the cluster recycling cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterCache, cluster_product
+from tests.helpers import relerr
+
+
+@pytest.fixture
+def cache(factory4x4, field4x4):
+    return ClusterCache(factory4x4, field4x4, cluster_size=5)
+
+
+class TestCacheBasics:
+    def test_get_matches_direct_product(self, cache, factory4x4, field4x4):
+        for j in range(cache.n_clusters):
+            direct = cluster_product(factory4x4, field4x4, 1, cache.ranges[j])
+            assert relerr(cache.get(1, j), direct) < 1e-14
+
+    def test_hits_and_misses(self, cache):
+        cache.get(1, 0)
+        cache.get(1, 0)
+        cache.get(-1, 0)
+        assert cache.misses == 2 and cache.hits == 1
+
+    def test_cached_object_identity(self, cache):
+        a = cache.get(1, 2)
+        b = cache.get(1, 2)
+        assert a is b  # recycling, not recompute
+
+    def test_cluster_of_slice(self, cache):
+        assert cache.cluster_of_slice(0) == 0
+        assert cache.cluster_of_slice(4) == 0
+        assert cache.cluster_of_slice(5) == 1
+        assert cache.cluster_of_slice(19) == 3
+        with pytest.raises(IndexError):
+            cache.cluster_of_slice(20)
+
+
+class TestInvalidation:
+    def test_invalidate_slice_refreshes_owner_only(self, cache, field4x4):
+        before_own = cache.get(1, 1)
+        before_other = cache.get(1, 2)
+        field4x4.flip(6, 3)  # slice 6 lives in cluster 1
+        cache.invalidate_slice(6)
+        after_own = cache.get(1, 1)
+        after_other = cache.get(1, 2)
+        assert after_own is not before_own
+        assert relerr(after_own, before_own) > 1e-12  # value truly changed
+        assert after_other is before_other
+
+    def test_invalidation_covers_both_spins(self, cache, field4x4):
+        up = cache.get(1, 0)
+        dn = cache.get(-1, 0)
+        field4x4.flip(0, 0)
+        cache.invalidate_slice(0)
+        assert cache.get(1, 0) is not up
+        assert cache.get(-1, 0) is not dn
+
+    def test_invalidate_all(self, cache):
+        objs = [cache.get(1, j) for j in range(cache.n_clusters)]
+        cache.invalidate_all()
+        assert all(
+            cache.get(1, j) is not o for j, o in enumerate(objs)
+        )
+
+    def test_stale_cache_would_be_wrong(self, cache, factory4x4, field4x4):
+        """Sanity: without invalidation the cached product is stale —
+        this is the invariant invalidate_slice protects."""
+        stale = cache.get(1, 0)
+        field4x4.flip(0, 0)
+        fresh = cluster_product(factory4x4, field4x4, 1, cache.ranges[0])
+        assert relerr(stale, fresh) > 1e-12
+        cache.invalidate_slice(0)
+        assert relerr(cache.get(1, 0), fresh) < 1e-14
+
+
+class TestChain:
+    def test_chain_rotation_order(self, cache):
+        ids = [id(cache.get(1, j)) for j in range(cache.n_clusters)]
+        chain = cache.chain(1, start_cluster=2)
+        assert [id(m) for m in chain] == [ids[2], ids[3], ids[0], ids[1]]
+
+    def test_chain_start_zero_is_natural_order(self, cache):
+        chain = cache.chain(1, 0)
+        assert len(chain) == cache.n_clusters
+
+    def test_chain_bad_start_raises(self, cache):
+        with pytest.raises(IndexError):
+            cache.chain(1, 4)
+
+    def test_product_fn_override(self, factory4x4, field4x4):
+        calls = []
+
+        def product_fn(sigma, slices):
+            calls.append((sigma, tuple(slices)))
+            return np.eye(16)
+
+        cache = ClusterCache(
+            factory4x4, field4x4, cluster_size=10, product_fn=product_fn
+        )
+        out = cache.get(1, 1)
+        np.testing.assert_array_equal(out, np.eye(16))
+        assert calls == [(1, tuple(range(10, 20)))]

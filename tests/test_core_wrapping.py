@@ -1,0 +1,71 @@
+"""Unit tests for Green's function wrapping."""
+
+import numpy as np
+import pytest
+
+from repro.core import wrap_backward, wrap_forward
+from tests.helpers import relerr
+
+
+class TestWrapForward:
+    def test_matches_dense_similarity(self, factory4x4, field4x4, rng):
+        g = rng.normal(size=(16, 16))
+        b = factory4x4.b_matrix(field4x4, 3, 1)
+        expected = b @ g @ np.linalg.inv(b)
+        got = wrap_forward(factory4x4, field4x4, g, 3, 1)
+        assert relerr(got, expected) < 1e-12
+
+    def test_advances_the_chain(self, engine4x4):
+        """Wrapping the boundary G through slice 0 must equal the
+        directly stratified G at slice 0."""
+        g = engine4x4.boundary_greens(1, 0)
+        wrapped = wrap_forward(engine4x4.factory, engine4x4.field, g, 0, 1)
+        direct = engine4x4.greens_at_slice_direct(1, 0)
+        assert relerr(wrapped, direct) < 1e-10
+
+    def test_preserves_spectrum(self, factory4x4, field4x4, rng):
+        """A similarity transform cannot change eigenvalues."""
+        g = rng.normal(size=(16, 16))
+        wrapped = wrap_forward(factory4x4, field4x4, g, 5, -1)
+        ev_before = np.sort_complex(np.linalg.eigvals(g))
+        ev_after = np.sort_complex(np.linalg.eigvals(wrapped))
+        np.testing.assert_allclose(ev_after, ev_before, atol=1e-8)
+
+    def test_preserves_trace(self, factory4x4, field4x4, rng):
+        g = rng.normal(size=(16, 16))
+        wrapped = wrap_forward(factory4x4, field4x4, g, 2, 1)
+        assert np.trace(wrapped) == pytest.approx(np.trace(g), rel=1e-10)
+
+
+class TestWrapBackward:
+    def test_roundtrip_is_identity(self, factory4x4, field4x4, rng):
+        g = rng.normal(size=(16, 16))
+        fwd = wrap_forward(factory4x4, field4x4, g, 7, 1)
+        back = wrap_backward(factory4x4, field4x4, fwd, 7, 1)
+        assert relerr(back, g) < 1e-12
+
+    def test_matches_dense(self, factory4x4, field4x4, rng):
+        g = rng.normal(size=(16, 16))
+        b = factory4x4.b_matrix(field4x4, 1, -1)
+        expected = np.linalg.inv(b) @ g @ b
+        got = wrap_backward(factory4x4, field4x4, g, 1, -1)
+        assert relerr(got, expected) < 1e-12
+
+
+class TestDrift:
+    def test_drift_small_over_cluster(self, engine4x4):
+        assert engine4x4.wrap_drift(1) < 1e-9
+
+    def test_drift_grows_with_wrap_count(self, engine4x4):
+        """More wraps, more accumulated error (weak monotonicity over a
+        long stretch, not wrap-to-wrap)."""
+        short = engine4x4.wrap_drift(1, n_wraps=2)
+        long = engine4x4.wrap_drift(1, n_wraps=20)
+        assert long >= short * 0.1  # both tiny; long must not be better by magic
+        assert long < 1e-6
+
+    def test_drift_bad_count_raises(self, engine4x4):
+        with pytest.raises(ValueError):
+            engine4x4.wrap_drift(1, n_wraps=0)
+        with pytest.raises(ValueError):
+            engine4x4.wrap_drift(1, n_wraps=21)

@@ -1,0 +1,91 @@
+"""Unit tests for simulation checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, Simulation, SquareLattice
+from repro.dqmc import CheckpointError, load_checkpoint, save_checkpoint
+
+
+def make_sim(seed=3, u=4.0):
+    model = HubbardModel(SquareLattice(2, 2), u=u, beta=1.0, n_slices=8)
+    return Simulation(model, seed=seed, cluster_size=4)
+
+
+class TestRoundTrip:
+    def test_resume_is_bit_exact(self, tmp_path):
+        """Stop-and-resume must equal an uninterrupted run exactly."""
+        path = tmp_path / "ckpt.npz"
+
+        # uninterrupted reference
+        ref = make_sim()
+        ref.warmup(3)
+        ref.measure_sweeps(4)
+        ref.measure_sweeps(4)
+        ref_obs = ref.collector.results()
+
+        # interrupted run
+        a = make_sim()
+        a.warmup(3)
+        a.measure_sweeps(4)
+        save_checkpoint(path, a)
+        b = make_sim()  # fresh process, same configuration
+        load_checkpoint(path, b)
+        b.measure_sweeps(4)
+        got_obs = b.collector.results()
+
+        np.testing.assert_array_equal(b.field.h, ref.field.h)
+        for name in ref_obs:
+            np.testing.assert_array_equal(
+                np.asarray(got_obs[name].mean), np.asarray(ref_obs[name].mean)
+            )
+
+    def test_stats_restored(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        a.warmup(2)
+        save_checkpoint(path, a)
+        b = make_sim(seed=99)  # different seed; checkpoint overrides
+        load_checkpoint(path, b)
+        assert b.total_stats.proposed == a.total_stats.proposed
+        assert b.total_stats.accepted == a.total_stats.accepted
+
+    def test_rng_stream_restored(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        a.warmup(1)
+        save_checkpoint(path, a)
+        b = make_sim(seed=1234)
+        load_checkpoint(path, b)
+        assert a.rng.random() == b.rng.random()
+
+    def test_empty_accumulator_roundtrips(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        save_checkpoint(path, a)
+        b = make_sim()
+        load_checkpoint(path, b)
+        assert b.collector.n_measurements == 0
+
+
+class TestValidation:
+    def test_model_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, make_sim(u=4.0))
+        with pytest.raises(CheckpointError, match="different model"):
+            load_checkpoint(path, make_sim(u=6.0))
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        save_checkpoint(path, a)
+        with np.load(path, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        header = json.loads(str(payload["header"]))
+        header["version"] = 999
+        payload["header"] = np.array(json.dumps(header))
+        np.savez_compressed(path, **payload)
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path, make_sim())

@@ -1,0 +1,92 @@
+"""Unit tests for ensemble (multi-chain) sampling."""
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, SquareLattice
+from repro.dqmc import run_ensemble
+
+
+def tiny_model():
+    return HubbardModel(SquareLattice(2, 2), u=4.0, beta=1.0, n_slices=8)
+
+
+class TestEnsemble:
+    def test_merges_all_chains(self):
+        res = run_ensemble(
+            tiny_model(), n_chains=3, warmup_sweeps=2,
+            measurement_sweeps=4, cluster_size=4,
+        )
+        assert res.n_chains == 3
+        assert len(res.per_chain) == 3
+        assert res.observables["sign"].n_samples == 12  # 3 chains x 4
+
+    def test_single_chain_matches_simulation(self):
+        from repro import Simulation
+
+        res = run_ensemble(
+            tiny_model(), n_chains=1, warmup_sweeps=2,
+            measurement_sweeps=5, base_seed=9, cluster_size=4,
+        )
+        sim = Simulation(tiny_model(), seed=9, cluster_size=4)
+        direct = sim.run(2, 5)
+        assert float(res.observables["density"].mean) == pytest.approx(
+            direct.observables["density"].scalar
+        )
+
+    def test_threaded_equals_serial(self):
+        """Thread scheduling must not change any chain's Markov chain."""
+        kwargs = dict(
+            n_chains=3, warmup_sweeps=2, measurement_sweeps=4,
+            base_seed=4, cluster_size=4,
+        )
+        par = run_ensemble(tiny_model(), max_workers=3, **kwargs)
+        ser = run_ensemble(tiny_model(), max_workers=1, **kwargs)
+        np.testing.assert_allclose(
+            np.asarray(par.observables["double_occupancy"].mean),
+            np.asarray(ser.observables["double_occupancy"].mean),
+        )
+
+    def test_chains_are_independent(self):
+        res = run_ensemble(
+            tiny_model(), n_chains=3, warmup_sweeps=2,
+            measurement_sweeps=6, cluster_size=4,
+        )
+        means = [float(r["double_occupancy"].mean) for r in res.per_chain]
+        assert len(set(means)) == 3  # different seeds, different samples
+
+    def test_error_shrinks_with_chains(self):
+        """More chains -> smaller merged error (stochastically robust:
+        compare 1 chain against 6 with generous slack)."""
+        small = run_ensemble(
+            tiny_model(), n_chains=1, warmup_sweeps=5,
+            measurement_sweeps=24, cluster_size=4,
+        )
+        big = run_ensemble(
+            tiny_model(), n_chains=6, warmup_sweeps=5,
+            measurement_sweeps=24, cluster_size=4,
+        )
+        e1 = float(small.observables["double_occupancy"].error)
+        e6 = float(big.observables["double_occupancy"].error)
+        assert e6 < e1 * 1.2
+
+    def test_chain_spread(self):
+        res = run_ensemble(
+            tiny_model(), n_chains=3, warmup_sweeps=3,
+            measurement_sweeps=8, cluster_size=4,
+        )
+        spread = res.chain_spread("double_occupancy")
+        assert np.isfinite(spread) and spread > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_ensemble(tiny_model(), n_chains=0)
+
+    def test_half_filling_invariants_hold_per_chain(self):
+        res = run_ensemble(
+            tiny_model(), n_chains=2, warmup_sweeps=2,
+            measurement_sweeps=4, cluster_size=4,
+        )
+        for chain in res.per_chain:
+            assert float(chain["density"].mean) == pytest.approx(1.0, abs=1e-9)
+            assert float(chain["sign"].mean) == 1.0

@@ -1,0 +1,176 @@
+"""Unit tests for the simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, Simulation, SquareLattice
+
+
+def tiny_model(u=4.0, beta=1.0, n_slices=8, lx=2, ly=2):
+    return HubbardModel(SquareLattice(lx, ly), u=u, beta=beta, n_slices=n_slices)
+
+
+class TestDriver:
+    def test_run_produces_observables(self):
+        sim = Simulation(tiny_model(), seed=1, cluster_size=4)
+        res = sim.run(warmup_sweeps=3, measurement_sweeps=6)
+        for name in ("density", "double_occupancy", "kinetic_energy", "sign"):
+            assert name in res.observables
+        assert res.n_warmup == 3 and res.n_measurement == 6
+
+    def test_measurement_count(self):
+        sim = Simulation(
+            tiny_model(n_slices=8), seed=1, cluster_size=4,
+            measurements_per_sweep=2,
+        )
+        sim.measure_sweeps(5)
+        assert sim.collector.n_measurements == 10
+
+    def test_warmup_records_nothing(self):
+        sim = Simulation(tiny_model(), seed=1, cluster_size=4)
+        sim.warmup(4)
+        assert sim.collector.n_measurements == 0
+
+    def test_reproducibility(self):
+        r1 = Simulation(tiny_model(), seed=11, cluster_size=4).run(2, 5)
+        r2 = Simulation(tiny_model(), seed=11, cluster_size=4).run(2, 5)
+        assert r1.observables["density"].mean == pytest.approx(
+            r2.observables["density"].mean
+        )
+        assert r1.observables["spin_zz"].mean == pytest.approx(
+            r2.observables["spin_zz"].mean
+        )
+
+    def test_summary_renders(self):
+        res = Simulation(tiny_model(), seed=0, cluster_size=4).run(1, 3)
+        text = res.summary()
+        assert "acceptance" in text and "density" in text
+
+    def test_measure_arrays_toggle(self):
+        sim = Simulation(
+            tiny_model(), seed=0, cluster_size=4, measure_arrays=False
+        )
+        res = sim.run(1, 3)
+        assert "momentum_distribution" not in res.observables
+        assert "density" in res.observables
+
+    def test_invalid_measurements_per_sweep(self):
+        with pytest.raises(ValueError):
+            Simulation(tiny_model(), measurements_per_sweep=0)
+
+    def test_profiler_covers_all_phases(self):
+        sim = Simulation(tiny_model(), seed=0, cluster_size=4)
+        sim.run(2, 4)
+        for phase in (
+            "delayed_update", "stratification", "clustering",
+            "wrapping", "measurements",
+        ):
+            assert sim.profiler.seconds.get(phase, 0) > 0, phase
+
+
+class TestDriverOptions:
+    def test_use_gpu_identical_markov_chain(self):
+        """The hybrid-GPU driver must walk the same chain as the CPU one
+        (Sec. VI: offload changes timing, never physics)."""
+        cpu = Simulation(tiny_model(), seed=7, cluster_size=4).run(2, 6)
+        gpu_sim = Simulation(tiny_model(), seed=7, cluster_size=4, use_gpu=True)
+        gpu = gpu_sim.run(2, 6)
+        assert cpu.observables["double_occupancy"].scalar == pytest.approx(
+            gpu.observables["double_occupancy"].scalar
+        )
+        assert gpu_sim.engine.device.elapsed > 0  # GPU clock ran
+
+    def test_threaded_norms_identical_markov_chain(self):
+        a = Simulation(tiny_model(), seed=7, cluster_size=4).run(2, 6)
+        b = Simulation(
+            tiny_model(), seed=7, cluster_size=4, threaded_norms=True
+        ).run(2, 6)
+        assert a.observables["kinetic_energy"].scalar == pytest.approx(
+            b.observables["kinetic_energy"].scalar
+        )
+
+    def test_global_flips_engage(self):
+        sim = Simulation(
+            tiny_model(u=8.0, beta=2.0, n_slices=16), seed=7,
+            cluster_size=4, global_flips_per_sweep=2,
+        )
+        sim.warmup(3)
+        # global moves change the trajectory vs no-flip runs
+        ref = Simulation(
+            tiny_model(u=8.0, beta=2.0, n_slices=16), seed=7, cluster_size=4
+        )
+        ref.warmup(3)
+        assert not np.array_equal(sim.field.h, ref.field.h)
+        # and invariants hold
+        res = sim.run(0, 5)
+        assert res.observables["density"].scalar == pytest.approx(1.0, abs=1e-9)
+
+    def test_global_flips_validation(self):
+        with pytest.raises(ValueError):
+            Simulation(tiny_model(), global_flips_per_sweep=-1)
+
+    def test_measure_dynamic_u0_exact(self):
+        """Driver-level dynamic observables at U = 0 match the analytic
+        G(k, tau) = e^{-tau eps}(1 - f) on the cluster-boundary grid."""
+        from repro import momentum_grid
+        from repro.hamiltonian import free_dispersion_2d
+
+        model = HubbardModel(SquareLattice(4, 4), u=0.0, beta=4.0, n_slices=32)
+        sim = Simulation(model, seed=0, cluster_size=8, measure_dynamic=True)
+        res = sim.run(1, 2)
+        gk = np.asarray(res.observables["g_k_tau"].mean)
+        assert gk.shape == (4, 16)
+        k = momentum_grid(4, 4)
+        eps = free_dispersion_2d(k[:, 0], k[:, 1])
+        f = 1.0 / (1.0 + np.exp(4.0 * eps))
+        taus = np.arange(1, 5) * 8 * model.dtau
+        expected = np.exp(-taus[:, None] * eps[None, :]) * (1 - f)[None, :]
+        np.testing.assert_allclose(gk, expected, atol=1e-8)
+        # and G_loc is the k-average
+        gloc = np.asarray(res.observables["g_loc_tau"].mean)
+        np.testing.assert_allclose(gloc, gk.mean(axis=1), atol=1e-10)
+
+    def test_measure_dynamic_interacting_finite(self):
+        model = tiny_model(u=6.0, beta=2.0, n_slices=16)
+        sim = Simulation(model, seed=1, cluster_size=4, measure_dynamic=True)
+        res = sim.run(2, 4)
+        gk = np.asarray(res.observables["g_k_tau"].mean)
+        assert np.all(np.isfinite(gk))
+        assert res.observables["g_k_tau"].n_samples == 4
+
+
+class TestPhysicsSanity:
+    def test_half_filling_density(self):
+        res = Simulation(tiny_model(u=4.0), seed=2, cluster_size=4).run(5, 10)
+        assert res.observables["density"].scalar == pytest.approx(1.0, abs=1e-9)
+
+    def test_mean_sign_is_one_at_half_filling(self):
+        res = Simulation(tiny_model(u=6.0), seed=2, cluster_size=4).run(5, 10)
+        assert res.mean_sign == pytest.approx(1.0)
+
+    def test_interaction_suppresses_double_occupancy(self):
+        free = Simulation(tiny_model(u=0.0), seed=3, cluster_size=4).run(2, 8)
+        interacting = Simulation(
+            tiny_model(u=8.0, beta=2.0, n_slices=16), seed=3, cluster_size=4
+        ).run(10, 30)
+        assert (
+            interacting.observables["double_occupancy"].scalar
+            < free.observables["double_occupancy"].scalar
+        )
+
+    def test_u0_matches_free_fermions(self):
+        """U = 0 through the full MC machinery must equal the analytic
+        free Green's function result to near machine precision."""
+        from repro import free_greens_function
+        from repro.measure import total_density, kinetic_energy
+
+        model = tiny_model(u=0.0, beta=3.0, n_slices=24, lx=4, ly=4)
+        res = Simulation(model, seed=4, cluster_size=8).run(1, 2)
+        g = free_greens_function(model.kinetic_matrix(), model.beta)
+        expected_ke = kinetic_energy(model.lattice, g, g)
+        assert res.observables["kinetic_energy"].scalar == pytest.approx(
+            expected_ke, abs=1e-8
+        )
+        assert res.observables["density"].scalar == pytest.approx(
+            total_density(g, g), abs=1e-9
+        )

@@ -1,0 +1,160 @@
+"""Unit tests for the Metropolis sweep."""
+
+import numpy as np
+import pytest
+
+from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+from repro.core import GreensFunctionEngine
+from repro.dqmc import SweepStats, sweep
+from tests.helpers import brute_greens, relerr
+
+
+def small_engine(u=4.0, beta=1.5, n_slices=12, cluster=4, seed=0, lx=2, ly=2):
+    model = HubbardModel(SquareLattice(lx, ly), u=u, beta=beta, n_slices=n_slices)
+    rng = np.random.default_rng(seed)
+    field = HSField.random(n_slices, model.n_sites, rng)
+    fac = BMatrixFactory(model)
+    return GreensFunctionEngine(fac, field, cluster_size=cluster), rng
+
+
+class TestSweepMechanics:
+    def test_counters(self):
+        eng, rng = small_engine()
+        st = sweep(eng, rng)
+        assert st.proposed == 12 * 4
+        assert 0 <= st.accepted <= st.proposed
+        assert st.refreshes == eng.n_clusters
+
+    def test_greens_consistent_after_sweep(self):
+        """After a sweep mutates the field, a fresh boundary G computed by
+        the engine must match brute force on the *current* field — i.e.
+        all invalidation and incremental updates composed correctly."""
+        eng, rng = small_engine()
+        sweep(eng, rng)
+        for sigma in (1, -1):
+            g = eng.boundary_greens(sigma, 0)
+            expected = brute_greens(eng.factory, eng.field, sigma)
+            assert relerr(g, expected) < 1e-8
+
+    def test_deterministic_given_seed(self):
+        eng1, rng1 = small_engine(seed=5)
+        eng2, rng2 = small_engine(seed=5)
+        st1 = sweep(eng1, rng1)
+        st2 = sweep(eng2, rng2)
+        assert st1.accepted == st2.accepted
+        assert np.array_equal(eng1.field.h, eng2.field.h)
+
+    def test_different_seeds_diverge(self):
+        eng1, rng1 = small_engine(seed=5)
+        eng2, rng2 = small_engine(seed=6)
+        sweep(eng1, rng1)
+        sweep(eng2, rng2)
+        assert not np.array_equal(eng1.field.h, eng2.field.h)
+
+    def test_delay_size_does_not_change_physics_path(self):
+        """Identical random stream + identical decisions regardless of
+        the delayed-update block size (it is a pure performance knob)."""
+        for delay in (1, 4, 64):
+            eng, rng = small_engine(seed=9)
+            sweep(eng, rng, max_delay=delay)
+            if delay == 1:
+                ref = eng.field.h.copy()
+            else:
+                assert np.array_equal(eng.field.h, ref)
+
+    def test_u0_always_accepts(self):
+        eng, rng = small_engine(u=0.0)
+        st = sweep(eng, rng)
+        assert st.accepted == st.proposed
+        assert st.sign == 1.0
+
+    def test_on_boundary_callback(self):
+        eng, rng = small_engine()
+        calls = []
+
+        def cb(c, g, sign):
+            calls.append(c)
+            assert set(g) == {1, -1}
+            assert g[1].shape == (4, 4)
+            assert sign in (-1.0, 1.0)
+
+        sweep(eng, rng, on_boundary=cb)
+        assert calls == list(range(eng.n_clusters))
+
+    def test_start_sign_threaded_through(self):
+        eng, rng = small_engine(u=0.0)
+        st = sweep(eng, rng, start_sign=-1.0)
+        assert st.sign == -1.0  # U=0: no ratio can flip it
+
+
+class TestBackwardSweep:
+    def test_visits_every_entry_once(self):
+        eng, rng = small_engine()
+        st = sweep(eng, rng, direction="backward")
+        assert st.proposed == 12 * 4
+
+    def test_greens_consistent_after_backward_sweep(self):
+        eng, rng = small_engine(seed=4)
+        sweep(eng, rng, direction="backward")
+        for sigma in (1, -1):
+            g = eng.boundary_greens(sigma, 0)
+            expected = brute_greens(eng.factory, eng.field, sigma)
+            assert relerr(g, expected) < 1e-8
+
+    def test_direction_changes_the_path(self):
+        f1, _ = small_engine(seed=5)[0].field, None
+        eng_f, rng_f = small_engine(seed=5)
+        eng_b, rng_b = small_engine(seed=5)
+        sweep(eng_f, rng_f, direction="forward")
+        sweep(eng_b, rng_b, direction="backward")
+        assert not np.array_equal(eng_f.field.h, eng_b.field.h)
+
+    def test_unknown_direction_rejected(self):
+        eng, rng = small_engine()
+        with pytest.raises(ValueError):
+            sweep(eng, rng, direction="sideways")
+
+    def test_half_filling_invariants_hold_backward(self):
+        eng, rng = small_engine(u=6.0, beta=2.0)
+        st = sweep(eng, rng, direction="backward")
+        assert st.negative_ratios == 0 and st.sign == 1.0
+
+    def test_alternating_preserves_greens_consistency(self):
+        eng, rng = small_engine(seed=8, lx=4, ly=2)
+        for d in ("forward", "backward", "forward", "backward"):
+            sweep(eng, rng, direction=d)
+        g = eng.boundary_greens(1, 0)
+        expected = brute_greens(eng.factory, eng.field, 1)
+        assert relerr(g, expected) < 1e-8
+
+
+class TestSweepStats:
+    def test_merge(self):
+        a = SweepStats(proposed=10, accepted=5, negative_ratios=1, refreshes=2)
+        b = SweepStats(proposed=4, accepted=1, negative_ratios=0, refreshes=1)
+        a.merge(b)
+        assert (a.proposed, a.accepted, a.negative_ratios, a.refreshes) == (
+            14, 6, 1, 3,
+        )
+
+    def test_acceptance_rate(self):
+        assert SweepStats(proposed=8, accepted=2).acceptance_rate == 0.25
+        assert SweepStats().acceptance_rate == 0.0
+
+
+class TestHalfFillingInvariants:
+    def test_sign_stays_positive(self):
+        eng, rng = small_engine(u=6.0, beta=2.0)
+        st = sweep(eng, rng)
+        assert st.negative_ratios == 0
+        assert st.sign == 1.0
+
+    def test_per_config_density_is_one(self):
+        """Particle-hole symmetry at mu = 0: n_up(i) + n_dn(i) = 1 per
+        site for every configuration."""
+        eng, rng = small_engine(u=4.0, beta=2.0, lx=4, ly=2)
+        sweep(eng, rng)
+        g_up = eng.boundary_greens(1, 0)
+        g_dn = eng.boundary_greens(-1, 0)
+        total = (1 - np.diag(g_up)) + (1 - np.diag(g_dn))
+        np.testing.assert_allclose(total, 1.0, atol=1e-9)

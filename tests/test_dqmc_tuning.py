@@ -1,0 +1,61 @@
+"""Unit tests for chemical-potential calibration."""
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, SquareLattice
+from repro.dqmc import calibrate_mu
+from repro.hamiltonian import free_greens_function
+from repro.measure import total_density
+
+
+def free_model(beta=4.0):
+    return HubbardModel(SquareLattice(4, 4), u=0.0, beta=beta, n_slices=32)
+
+
+class TestFreeCalibration:
+    """U = 0 calibrations are exact (no Monte Carlo), so tight checks."""
+
+    @pytest.mark.parametrize("target", [0.5, 0.8, 1.0, 1.3])
+    def test_hits_target(self, target):
+        cal = calibrate_mu(free_model(), target, tol=0.002)
+        assert cal.density == pytest.approx(target, abs=0.002)
+        # verify independently at the returned mu
+        m = free_model().with_(mu=cal.mu)
+        g = free_greens_function(m.kinetic_matrix(), m.beta)
+        assert total_density(g, g) == pytest.approx(cal.density, abs=1e-10)
+
+    def test_half_filling_gives_mu_zero(self):
+        cal = calibrate_mu(free_model(), 1.0, tol=1e-4)
+        assert cal.mu == pytest.approx(0.0, abs=0.05)
+
+    def test_history_recorded(self):
+        cal = calibrate_mu(free_model(), 0.7, tol=0.01)
+        assert len(cal.history) == cal.n_runs
+        assert all(len(h) == 3 for h in cal.history)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_mu(free_model(), 0.0)
+        with pytest.raises(ValueError):
+            calibrate_mu(free_model(), 2.5)
+        with pytest.raises(ValueError):
+            calibrate_mu(free_model(), 1.0, mu_range=(2.0, -2.0))
+
+    def test_bad_bracket_detected(self):
+        with pytest.raises(ValueError, match="bracket"):
+            calibrate_mu(free_model(), 1.8, mu_range=(-0.5, 0.5))
+
+
+class TestInteractingCalibration:
+    def test_converges_with_mc_noise(self):
+        """Interacting, doped calibration on a tiny system: density must
+        land within tolerance (sign problem mild at these parameters)."""
+        model = HubbardModel(SquareLattice(2, 2), u=4.0, beta=1.5, n_slices=12)
+        cal = calibrate_mu(
+            model, 0.75, mu_range=(-4.0, 0.0), tol=0.05,
+            sweeps=60, seed=1,
+        )
+        assert cal.density == pytest.approx(0.75, abs=0.05)
+        assert cal.mu < 0  # hole doping needs negative mu
+        assert abs(cal.mean_sign) > 0.3  # reported and usable

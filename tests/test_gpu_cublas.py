@@ -1,0 +1,97 @@
+"""Unit tests for the CUBLAS-subset layer."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Cublas, DeviceError, SimulatedDevice
+
+
+@pytest.fixture
+def dev():
+    return SimulatedDevice()
+
+
+@pytest.fixture
+def blas(dev):
+    return Cublas(dev)
+
+
+class TestDcopy:
+    def test_copies(self, dev, blas, rng):
+        a = dev.set_matrix(rng.normal(size=(6, 6)))
+        b = dev.alloc((6, 6))
+        blas.dcopy(a, b)
+        np.testing.assert_array_equal(dev.get_matrix(b), dev.get_matrix(a))
+
+    def test_shape_mismatch(self, dev, blas):
+        with pytest.raises(DeviceError):
+            blas.dcopy(dev.alloc((2, 2)), dev.alloc((3, 3)))
+
+
+class TestDscal:
+    def test_whole_array(self, dev, blas, rng):
+        host = rng.normal(size=(4, 5))
+        a = dev.set_matrix(host)
+        blas.dscal(2.5, a)
+        np.testing.assert_allclose(dev.get_matrix(a), 2.5 * host)
+
+    def test_single_row(self, dev, blas, rng):
+        host = rng.normal(size=(4, 5))
+        a = dev.set_matrix(host)
+        blas.dscal(-3.0, a, row=2)
+        expected = host.copy()
+        expected[2] *= -3.0
+        np.testing.assert_allclose(dev.get_matrix(a), expected)
+
+    def test_row_out_of_range(self, dev, blas):
+        with pytest.raises(DeviceError):
+            blas.dscal(1.0, dev.alloc((3, 3)), row=3)
+
+    def test_each_call_is_a_launch(self, dev, blas, rng):
+        a = dev.set_matrix(rng.normal(size=(8, 8)))
+        before = dev.kernel_launches
+        for j in range(8):
+            blas.dscal(2.0, a, row=j)
+        assert dev.kernel_launches - before == 8  # the Algorithm 4 storm
+
+
+class TestDgemm:
+    def test_plain_product(self, dev, blas, rng):
+        ha, hb = rng.normal(size=(5, 7)), rng.normal(size=(7, 3))
+        a, b = dev.set_matrix(ha), dev.set_matrix(hb)
+        c = dev.alloc((5, 3))
+        blas.dgemm(a, b, c)
+        np.testing.assert_allclose(dev.get_matrix(c), ha @ hb, atol=1e-13)
+
+    def test_transposes(self, dev, blas, rng):
+        ha, hb = rng.normal(size=(7, 5)), rng.normal(size=(3, 7))
+        a, b = dev.set_matrix(ha), dev.set_matrix(hb)
+        c = dev.alloc((5, 3))
+        blas.dgemm(a, b, c, transa=True, transb=True)
+        np.testing.assert_allclose(dev.get_matrix(c), ha.T @ hb.T, atol=1e-13)
+
+    def test_alpha_beta(self, dev, blas, rng):
+        ha, hb, hc = (rng.normal(size=(4, 4)) for _ in range(3))
+        a, b, c = dev.set_matrix(ha), dev.set_matrix(hb), dev.set_matrix(hc)
+        blas.dgemm(a, b, c, alpha=2.0, beta=0.5)
+        np.testing.assert_allclose(
+            dev.get_matrix(c), 2.0 * ha @ hb + 0.5 * hc, atol=1e-13
+        )
+
+    def test_shape_mismatch(self, dev, blas):
+        with pytest.raises(DeviceError):
+            blas.dgemm(dev.alloc((2, 3)), dev.alloc((4, 2)), dev.alloc((2, 2)))
+
+    def test_counters_and_clock(self, dev, blas, rng):
+        a = dev.set_matrix(rng.normal(size=(64, 64)))
+        c = dev.alloc((64, 64))
+        t0, g0 = dev.elapsed, dev.gemm_count
+        blas.dgemm(a, a, c)
+        assert dev.gemm_count == g0 + 1
+        assert dev.elapsed > t0
+
+    def test_foreign_device_rejected(self, blas):
+        other = SimulatedDevice()
+        a = other.alloc((2, 2))
+        with pytest.raises(DeviceError):
+            blas.dgemm(a, a, a)

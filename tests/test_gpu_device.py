@@ -1,0 +1,114 @@
+"""Unit tests for the simulated CUDA device."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import DeviceError, SimulatedDevice, TESLA_C2050
+
+
+@pytest.fixture
+def dev():
+    return SimulatedDevice()
+
+
+class TestMemory:
+    def test_alloc_tracks_bytes(self, dev):
+        a = dev.alloc((100, 100))
+        assert dev.allocated_bytes == 100 * 100 * 8
+        dev.free(a)
+        assert dev.allocated_bytes == 0
+        assert dev.peak_bytes == 80000
+
+    def test_double_free_rejected(self, dev):
+        a = dev.alloc((4,))
+        dev.free(a)
+        with pytest.raises(DeviceError):
+            dev.free(a)
+
+    def test_use_after_free_rejected(self, dev):
+        a = dev.alloc((4, 4))
+        dev.free(a)
+        with pytest.raises(DeviceError):
+            dev.get_matrix(a)
+
+    def test_foreign_array_rejected(self, dev):
+        other = SimulatedDevice()
+        a = other.alloc((2, 2))
+        with pytest.raises(DeviceError):
+            dev.free(a)
+        with pytest.raises(DeviceError):
+            dev.get_matrix(a)
+
+
+class TestTransfers:
+    def test_roundtrip_preserves_data(self, dev, rng):
+        host = rng.normal(size=(32, 16))
+        d = dev.set_matrix(host)
+        np.testing.assert_array_equal(dev.get_matrix(d), host)
+
+    def test_counters(self, dev, rng):
+        host = rng.normal(size=(8, 8))
+        d = dev.set_matrix(host)
+        dev.get_matrix(d)
+        assert dev.h2d_count == 1 and dev.d2h_count == 1
+        assert dev.h2d_bytes == host.nbytes == dev.d2h_bytes
+
+    def test_reuse_destination(self, dev, rng):
+        host = rng.normal(size=(4, 4))
+        d = dev.alloc((4, 4))
+        d2 = dev.set_matrix(host, dest=d)
+        assert d2 is d
+
+    def test_shape_mismatch_rejected(self, dev, rng):
+        d = dev.alloc((4, 4))
+        with pytest.raises(DeviceError):
+            dev.set_matrix(rng.normal(size=(5, 5)), dest=d)
+
+    def test_host_side_read_blocked(self, dev, rng):
+        """Device arrays must not silently decay to host numpy arrays."""
+        d = dev.set_matrix(rng.normal(size=(4, 4)))
+        with pytest.raises(DeviceError):
+            np.asarray(d)
+
+
+class TestVirtualClock:
+    def test_transfers_advance_clock(self, dev, rng):
+        before = dev.elapsed
+        dev.set_matrix(rng.normal(size=(512, 512)))
+        assert dev.elapsed > before
+
+    def test_transfer_time_scales_with_bytes(self):
+        m = TESLA_C2050
+        small = m.time_transfer(8_000)
+        big = m.time_transfer(8_000_000)
+        assert big > small
+        # asymptotically bandwidth-limited
+        assert m.time_transfer(6e9) == pytest.approx(1.0, rel=0.1)
+
+    def test_clock_cannot_reverse(self, dev):
+        with pytest.raises(ValueError):
+            dev.tick(-1.0)
+
+    def test_reset_clock(self, dev):
+        dev.tick(1.0)
+        dev.reset_clock()
+        assert dev.elapsed == 0.0
+
+    def test_stats_dict(self, dev):
+        s = dev.stats()
+        assert {"elapsed", "h2d_bytes", "kernel_launches"} <= set(s)
+
+
+class TestPerfModel:
+    def test_gemm_rate_ramps_with_size(self):
+        m = TESLA_C2050
+        assert m.gemm_rate(128) < m.gemm_rate(512) < m.gemm_rate(2048)
+        assert m.gemm_rate(2048) < m.gemm_rate_inf
+
+    def test_half_performance_size(self):
+        m = TESLA_C2050
+        assert m.gemm_rate(m.gemm_n_half) == pytest.approx(m.gemm_rate_inf / 2)
+
+    def test_gemm_time_includes_latency(self):
+        m = TESLA_C2050
+        assert m.time_gemm(1, 1, 1) >= m.kernel_latency

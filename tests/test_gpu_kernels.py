@@ -1,0 +1,95 @@
+"""Unit tests for the fused CUDA-style kernels (Algorithms 5 and 7)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    DeviceError,
+    SimulatedDevice,
+    scale_rows_kernel,
+    two_sided_scale_kernel,
+)
+
+
+@pytest.fixture
+def dev():
+    return SimulatedDevice()
+
+
+class TestScaleRowsKernel:
+    @pytest.mark.parametrize("n", [1, 7, 255, 256, 257, 700])
+    def test_matches_reference_all_grid_shapes(self, dev, rng, n):
+        """Exercise full blocks, tail blocks and the k < n guard."""
+        host_b = rng.normal(size=(n, 33))
+        host_v = rng.normal(size=n)
+        b = dev.set_matrix(host_b)
+        v = dev.set_matrix(host_v)
+        out = dev.alloc((n, 33))
+        scale_rows_kernel(dev, v, b, out)
+        np.testing.assert_allclose(
+            dev.get_matrix(out), host_v[:, None] * host_b, atol=1e-14
+        )
+
+    def test_single_launch(self, dev, rng):
+        b = dev.set_matrix(rng.normal(size=(512, 512)))
+        v = dev.set_matrix(rng.normal(size=512))
+        out = dev.alloc((512, 512))
+        before = dev.kernel_launches
+        scale_rows_kernel(dev, v, b, out)
+        assert dev.kernel_launches - before == 1
+
+    def test_custom_block_size(self, dev, rng):
+        b = dev.set_matrix(rng.normal(size=(100, 10)))
+        v = dev.set_matrix(rng.normal(size=100))
+        out = dev.alloc((100, 10))
+        scale_rows_kernel(dev, v, b, out, block=7)
+        np.testing.assert_allclose(
+            dev.get_matrix(out),
+            dev.get_matrix(v)[:, None] * dev.get_matrix(b),
+            atol=1e-14,
+        )
+
+    def test_shape_validation(self, dev):
+        b = dev.alloc((4, 4))
+        v = dev.alloc((5,))
+        out = dev.alloc((4, 4))
+        with pytest.raises(DeviceError):
+            scale_rows_kernel(dev, v, b, out)
+
+    def test_bad_block(self, dev):
+        b = dev.alloc((4, 4))
+        v = dev.alloc((4,))
+        with pytest.raises(DeviceError):
+            scale_rows_kernel(dev, v, b, b, block=0)
+
+
+class TestTwoSidedScaleKernel:
+    @pytest.mark.parametrize("n", [1, 16, 255, 256, 300])
+    def test_matches_reference(self, dev, rng, n):
+        host_g = rng.normal(size=(n, n))
+        host_v = rng.uniform(0.5, 2.0, size=n)
+        g = dev.set_matrix(host_g)
+        v = dev.set_matrix(host_v)
+        two_sided_scale_kernel(dev, v, g)
+        expected = host_v[:, None] * host_g / host_v[None, :]
+        np.testing.assert_allclose(dev.get_matrix(g), expected, atol=1e-13)
+
+    def test_in_place(self, dev, rng):
+        host = rng.normal(size=(8, 8))
+        g = dev.set_matrix(host)
+        v = dev.set_matrix(np.ones(8))
+        two_sided_scale_kernel(dev, v, g)
+        np.testing.assert_allclose(dev.get_matrix(g), host)  # v=1: identity
+
+    def test_single_launch(self, dev, rng):
+        g = dev.set_matrix(rng.normal(size=(300, 300)))
+        v = dev.set_matrix(rng.uniform(1, 2, size=300))
+        before = dev.kernel_launches
+        two_sided_scale_kernel(dev, v, g)
+        assert dev.kernel_launches - before == 1
+
+    def test_requires_square(self, dev):
+        g = dev.alloc((3, 4))
+        v = dev.alloc((3,))
+        with pytest.raises(DeviceError):
+            two_sided_scale_kernel(dev, v, g)

@@ -1,0 +1,82 @@
+"""Unit tests for the multi-device cluster farm."""
+
+import numpy as np
+import pytest
+
+from repro.core import cluster_product, cluster_slices
+from repro.gpu import MultiDeviceClusterFarm
+from tests.helpers import relerr
+
+
+def v_lists_for(factory, field, sigma, cluster_size):
+    return [
+        [field.v_diagonal(l, sigma, factory.nu) for l in r]
+        for r in cluster_slices(field.n_slices, cluster_size)
+    ]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_devices", [1, 2, 3])
+    def test_products_match_cpu(self, factory4x4, field4x4, n_devices):
+        farm = MultiDeviceClusterFarm(
+            n_devices, factory4x4.expk, factory4x4.inv_expk
+        )
+        vls = v_lists_for(factory4x4, field4x4, 1, 5)
+        products, _ = farm.build_all(vls)
+        for j, r in enumerate(cluster_slices(20, 5)):
+            cpu = cluster_product(factory4x4, field4x4, 1, r)
+            assert relerr(products[j], cpu) < 1e-12, j
+
+    def test_round_robin_assignment(self, factory4x4):
+        farm = MultiDeviceClusterFarm(3, factory4x4.expk, factory4x4.inv_expk)
+        assert farm.assignment(7) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_empty_batch(self, factory4x4):
+        farm = MultiDeviceClusterFarm(2, factory4x4.expk, factory4x4.inv_expk)
+        products, t = farm.build_all([])
+        assert products == [] and t == 0.0
+
+    def test_validation(self, factory4x4):
+        with pytest.raises(ValueError):
+            MultiDeviceClusterFarm(0, factory4x4.expk, factory4x4.inv_expk)
+
+
+class TestConcurrency:
+    def test_two_devices_nearly_halve_batch_time(self, factory4x4, field4x4):
+        """An even batch across 2 identical devices takes ~max = half of
+        the single-device serial time."""
+        vls = v_lists_for(factory4x4, field4x4, 1, 5)  # 4 clusters
+        times = {}
+        for nd in (1, 2, 4):
+            farm = MultiDeviceClusterFarm(
+                nd, factory4x4.expk, factory4x4.inv_expk
+            )
+            _, t = farm.build_all(vls)
+            times[nd] = t
+        assert times[2] == pytest.approx(times[1] / 2, rel=0.05)
+        assert times[4] == pytest.approx(times[1] / 4, rel=0.10)
+
+    def test_uneven_batch_bounded_by_straggler(self, factory4x4, field4x4):
+        """5 clusters on 2 devices: device 0 builds 3 — batch time is
+        its serial time, ~60% of the 1-device run."""
+        vls = v_lists_for(factory4x4, field4x4, 1, 4)  # 5 clusters
+        farm1 = MultiDeviceClusterFarm(1, factory4x4.expk, factory4x4.inv_expk)
+        _, t1 = farm1.build_all(vls)
+        farm2 = MultiDeviceClusterFarm(2, factory4x4.expk, factory4x4.inv_expk)
+        _, t2 = farm2.build_all(vls)
+        assert t2 == pytest.approx(t1 * 3 / 5, rel=0.05)
+
+    def test_batch_seconds_accumulates(self, factory4x4, field4x4):
+        farm = MultiDeviceClusterFarm(2, factory4x4.expk, factory4x4.inv_expk)
+        vls = v_lists_for(factory4x4, field4x4, 1, 10)
+        farm.build_all(vls)
+        farm.build_all(vls)
+        assert farm.batch_seconds > 0
+        assert len(farm.stats()) == 2
+
+    def test_propagators_resident_per_device(self, factory4x4):
+        """Setup uploads exp(+-dtau K) to each device exactly once."""
+        farm = MultiDeviceClusterFarm(3, factory4x4.expk, factory4x4.inv_expk)
+        for dev in farm.devices:
+            assert dev.h2d_count == 2
+            assert dev.h2d_bytes == 2 * 16 * 16 * 8

@@ -1,0 +1,65 @@
+"""Unit tests for the GPU/CPU performance models."""
+
+import pytest
+
+from repro.gpu import CPUModel, GPUModel, NEHALEM_8CORE, TESLA_C2050
+
+
+class TestGPUModel:
+    def test_documented_constants(self):
+        m = TESLA_C2050
+        # the calibration constants EXPERIMENTS.md quotes
+        assert m.gemm_rate_inf == 300e9
+        assert m.pcie_bandwidth == 6e9
+
+    def test_gemm_time_monotone_in_size(self):
+        m = TESLA_C2050
+        times = [m.time_gemm(n, n, n) for n in (64, 128, 256, 512)]
+        assert times == sorted(times)
+
+    def test_rectangular_gemm_effective_size(self):
+        """A (n, n, k) product uses the geometric-mean size for the
+        efficiency ramp; timing must be symmetric in the dimensions."""
+        m = TESLA_C2050
+        assert m.time_gemm(100, 400, 160) == pytest.approx(
+            m.time_gemm(400, 160, 100)
+        )
+
+    def test_bandwidth_kernel_linear_in_bytes(self):
+        m = TESLA_C2050
+        t1 = m.time_bandwidth_kernel(1e6) - m.kernel_latency
+        t2 = m.time_bandwidth_kernel(2e6) - m.kernel_latency
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_custom_model(self):
+        m = GPUModel(
+            name="toy", gemm_rate_inf=1e9, gemm_n_half=1e-6,
+            mem_bandwidth=1e9, pcie_bandwidth=1e9,
+            kernel_latency=0.0, transfer_latency=0.0,
+        )
+        # with a negligible half-size the rate is flat at the asymptote
+        assert m.gemm_rate(1000) == pytest.approx(1e9, rel=1e-9)
+        assert m.time_gemm(10, 10, 10) == pytest.approx(2000 / 1e9)
+
+
+class TestCPUModel:
+    def test_qr_slower_than_gemm(self):
+        m = NEHALEM_8CORE
+        n = 512
+        t_gemm = m.time_gemm(n, n, n)
+        t_qr = m.time_qr(n, n)
+        t_qrp = m.time_qr(n, n, pivoted=True)
+        assert t_qr > t_gemm
+        assert t_qrp > t_qr  # the Fig 1 ordering, in model form
+
+    def test_fraction_semantics(self):
+        m = CPUModel(
+            name="toy", gemm_rate_inf=100e9, gemm_n_half=1e-6,
+            qr_fraction=0.5, qrp_fraction=0.25,
+        )
+        # qr at half the gemm rate: time ratio = flops ratio * 2
+        assert m.time_qr(256, 256, pivoted=True) > m.time_qr(256, 256)
+
+    def test_rate_ramp(self):
+        m = NEHALEM_8CORE
+        assert m.gemm_rate(64) < m.gemm_rate(1024) < m.gemm_rate_inf

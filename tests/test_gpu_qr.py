@@ -1,0 +1,153 @@
+"""Unit tests for the device-resident blocked QR and stratification."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_clusters, stratified_inverse
+from repro.gpu import (
+    DeviceError,
+    GpuBlockedQR,
+    SimulatedDevice,
+    column_norms_kernel,
+    gpu_stratified_decomposition,
+    gpu_stratified_inverse,
+    permute_columns_kernel,
+)
+from repro.gpu.kernels import extract_diagonal, permute_rows_kernel, scale_columns_kernel
+from tests.helpers import relerr
+
+
+@pytest.fixture
+def dev():
+    return SimulatedDevice()
+
+
+class TestDeviceKernels:
+    def test_column_norms(self, dev, rng):
+        a_host = rng.normal(size=(30, 12))
+        a = dev.set_matrix(a_host)
+        np.testing.assert_allclose(
+            column_norms_kernel(dev, a),
+            np.linalg.norm(a_host, axis=0),
+            rtol=1e-13,
+        )
+
+    def test_column_norms_only_small_transfer(self, dev, rng):
+        a = dev.set_matrix(rng.normal(size=(64, 64)))
+        d2h0 = dev.d2h_bytes
+        column_norms_kernel(dev, a)
+        assert dev.d2h_bytes - d2h0 == 64 * 8  # the norms, nothing else
+
+    def test_permute_columns(self, dev, rng):
+        a_host = rng.normal(size=(10, 8))
+        piv = rng.permutation(8)
+        a = dev.set_matrix(a_host)
+        out = dev.alloc((10, 8))
+        permute_columns_kernel(dev, a, piv, out)
+        np.testing.assert_array_equal(dev.get_matrix(out), a_host[:, piv])
+
+    def test_permute_rows(self, dev, rng):
+        a_host = rng.normal(size=(8, 10))
+        piv = rng.permutation(8)
+        a = dev.set_matrix(a_host)
+        out = dev.alloc((8, 10))
+        permute_rows_kernel(dev, a, piv, out)
+        np.testing.assert_array_equal(dev.get_matrix(out), a_host[piv, :])
+
+    def test_scale_columns(self, dev, rng):
+        a_host = rng.normal(size=(9, 9))
+        v_host = rng.uniform(0.5, 2.0, size=9)
+        a, v = dev.set_matrix(a_host), dev.set_matrix(v_host)
+        out = dev.alloc((9, 9))
+        scale_columns_kernel(dev, a, v, out)
+        np.testing.assert_allclose(
+            dev.get_matrix(out), a_host * v_host[None, :], atol=1e-14
+        )
+
+    def test_extract_diagonal(self, dev, rng):
+        a_host = rng.normal(size=(7, 7))
+        a = dev.set_matrix(a_host)
+        np.testing.assert_array_equal(
+            extract_diagonal(dev, a), np.diag(a_host)
+        )
+
+
+class TestGpuBlockedQR:
+    @pytest.mark.parametrize("n,block", [(16, 4), (33, 8), (64, 64), (50, 7)])
+    def test_factorization_correct(self, dev, rng, n, block):
+        a_host = rng.normal(size=(n, n))
+        a = dev.set_matrix(a_host)
+        q, r = GpuBlockedQR(dev, block=block).factor(a)
+        qh, rh = dev.get_matrix(q), dev.get_matrix(r)
+        assert relerr(qh @ rh, a_host) < 1e-12
+        np.testing.assert_allclose(qh.T @ qh, np.eye(n), atol=1e-12)
+        np.testing.assert_allclose(np.tril(rh, -1), 0.0, atol=1e-13)
+
+    def test_input_not_destroyed(self, dev, rng):
+        a_host = rng.normal(size=(12, 12))
+        a = dev.set_matrix(a_host)
+        GpuBlockedQR(dev, block=4).factor(a)
+        np.testing.assert_array_equal(dev.get_matrix(a), a_host)
+
+    def test_rejects_non_square(self, dev):
+        a = dev.alloc((4, 6))
+        with pytest.raises(DeviceError):
+            GpuBlockedQR(dev).factor(a)
+
+    def test_bad_block(self, dev):
+        with pytest.raises(DeviceError):
+            GpuBlockedQR(dev, block=0)
+
+    def test_uses_dgemm_for_updates(self, dev, rng):
+        a = dev.set_matrix(rng.normal(size=(64, 64)))
+        g0 = dev.gemm_count
+        GpuBlockedQR(dev, block=16).factor(a)
+        assert dev.gemm_count > g0  # trailing updates are level 3
+
+
+class TestGpuStratification:
+    def test_matches_cpu_prepivot(self, dev, factory4x4, field4x4):
+        chain = build_clusters(factory4x4, field4x4, 1, cluster_size=5)
+        g_gpu = gpu_stratified_inverse(dev, chain, block=8)
+        g_cpu = stratified_inverse(chain, method="prepivot")
+        assert relerr(g_gpu, g_cpu) < 1e-9
+
+    def test_strong_coupling_stable(self, rng):
+        from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+
+        model = HubbardModel(SquareLattice(4, 4), u=8.0, beta=10.0, n_slices=80)
+        fac = BMatrixFactory(model)
+        field = HSField.random(80, 16, rng)
+        chain = build_clusters(fac, field, 1, cluster_size=8)
+        dev = SimulatedDevice()
+        g_gpu = gpu_stratified_inverse(dev, chain, block=8)
+        g_cpu = stratified_inverse(chain, method="qrp")
+        assert np.all(np.isfinite(g_gpu))
+        assert relerr(g_gpu, g_cpu) < 1e-9
+
+    def test_no_device_memory_leak(self, dev, factory4x4, field4x4):
+        chain = build_clusters(factory4x4, field4x4, 1, cluster_size=10)
+        before = dev.allocated_bytes
+        gpu_stratified_decomposition(dev, chain, block=8)
+        assert dev.allocated_bytes == before
+
+    def test_per_step_transfers_are_small(self, dev, factory4x4, field4x4):
+        """Beyond the factor uploads and the final Q/T downloads, each
+        chain step only moves O(n) bytes (norms down, permutation up) —
+        the property that makes GPU stratification viable at all."""
+        chain = build_clusters(factory4x4, field4x4, 1, cluster_size=5)
+        n = 16
+        n_steps = len(chain)
+        h2d0, d2h0 = dev.h2d_bytes, dev.d2h_bytes
+        gpu_stratified_decomposition(dev, chain, block=8)
+        factor_up = n_steps * n * n * 8
+        small_up = dev.h2d_bytes - h2d0 - factor_up
+        # per step: permutation (8n) + diag scaling vector (8n), x2 perms
+        assert small_up < n_steps * 5 * n * 8
+        results_down = 2 * n * n * 8
+        small_down = dev.d2h_bytes - d2h0 - results_down
+        assert small_down < n_steps * 3 * n * 8
+
+    def test_empty_chain_raises(self, dev):
+        with pytest.raises(ValueError):
+            gpu_stratified_decomposition(dev, [])

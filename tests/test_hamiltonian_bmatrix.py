@@ -1,0 +1,70 @@
+"""Unit tests for B-matrix construction and application."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import relerr
+
+
+class TestBMatrix:
+    def test_definition(self, factory4x4, field4x4):
+        """B = diag(v) @ expK by definition (Eq. 2 of the paper)."""
+        for sigma in (1, -1):
+            b = factory4x4.b_matrix(field4x4, 3, sigma)
+            v = field4x4.v_diagonal(3, sigma, factory4x4.nu)
+            np.testing.assert_allclose(
+                b, np.diag(v) @ factory4x4.expk, atol=1e-14
+            )
+
+    def test_b_inverse_is_inverse(self, factory4x4, field4x4):
+        b = factory4x4.b_matrix(field4x4, 0, 1)
+        binv = factory4x4.b_inverse(field4x4, 0, 1)
+        np.testing.assert_allclose(b @ binv, np.eye(16), atol=1e-12)
+        np.testing.assert_allclose(binv @ b, np.eye(16), atol=1e-12)
+
+    def test_apply_b_left_matches_dense(self, factory4x4, field4x4, rng):
+        a = rng.normal(size=(16, 16))
+        dense = factory4x4.b_matrix(field4x4, 5, -1) @ a
+        applied = factory4x4.apply_b_left(field4x4, 5, -1, a)
+        assert relerr(applied, dense) < 1e-14
+
+    def test_apply_b_inv_right_matches_dense(self, factory4x4, field4x4, rng):
+        a = rng.normal(size=(16, 16))
+        dense = a @ factory4x4.b_inverse(field4x4, 5, -1)
+        applied = factory4x4.apply_b_inv_right(field4x4, 5, -1, a.copy())
+        assert relerr(applied, dense) < 1e-13
+
+    def test_spin_symmetry_u0(self, rng):
+        """At U = 0 the B matrices are spin independent."""
+        from repro import BMatrixFactory, HSField, HubbardModel, SquareLattice
+
+        model = HubbardModel(SquareLattice(3, 3), u=0.0, beta=1.0, n_slices=10)
+        fac = BMatrixFactory(model)
+        f = HSField.random(10, 9, rng)
+        np.testing.assert_array_equal(
+            fac.b_matrix(f, 0, 1), fac.b_matrix(f, 0, -1)
+        )
+
+    def test_full_product_default_order(self, factory4x4, field4x4):
+        """full_product must be B_{L-1} ... B_0 (rightmost first)."""
+        expected = np.eye(16)
+        for l in range(field4x4.n_slices):
+            expected = factory4x4.b_matrix(field4x4, l, 1) @ expected
+        got = factory4x4.full_product(field4x4, 1)
+        assert relerr(got, expected) < 1e-12
+
+    def test_full_product_custom_order(self, factory4x4, field4x4):
+        order = [3, 1, 0]
+        expected = (
+            factory4x4.b_matrix(field4x4, 0, 1)
+            @ factory4x4.b_matrix(field4x4, 1, 1)
+            @ factory4x4.b_matrix(field4x4, 3, 1)
+        )
+        got = factory4x4.full_product(field4x4, 1, slice_order=order)
+        assert relerr(got, expected) < 1e-13
+
+    def test_determinant_positive(self, factory4x4, field4x4):
+        """Each B = diag(e^{...}) e^{-dtau K} has positive determinant."""
+        b = factory4x4.b_matrix(field4x4, 0, 1)
+        sign, _ = np.linalg.slogdet(b)
+        assert sign == 1.0

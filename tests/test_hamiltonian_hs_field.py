@@ -1,0 +1,91 @@
+"""Unit tests for the HS auxiliary field."""
+
+import numpy as np
+import pytest
+
+from repro import HSField, hs_coupling
+
+
+class TestConstruction:
+    def test_random_shape_and_values(self):
+        f = HSField.random(10, 16, np.random.default_rng(0))
+        assert f.n_slices == 10 and f.n_sites == 16
+        assert set(np.unique(f.h)) <= {-1.0, 1.0}
+
+    def test_random_is_reproducible(self):
+        a = HSField.random(5, 8, np.random.default_rng(42))
+        b = HSField.random(5, 8, np.random.default_rng(42))
+        assert a == b
+
+    def test_ordered(self):
+        f = HSField.ordered(3, 4, value=-1.0)
+        assert np.all(f.h == -1.0)
+        with pytest.raises(ValueError):
+            HSField.ordered(3, 4, value=0.5)
+
+    def test_rejects_invalid_entries(self):
+        with pytest.raises(ValueError):
+            HSField(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            HSField(np.ones(4))
+
+    def test_copy_is_independent(self):
+        f = HSField.ordered(2, 2)
+        g = f.copy()
+        g.flip(0, 0)
+        assert f.h[0, 0] == 1.0 and g.h[0, 0] == -1.0
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(HSField.ordered(2, 2))
+
+
+class TestDqmcHelpers:
+    def test_flip_is_involution(self):
+        f = HSField.random(4, 4, np.random.default_rng(1))
+        before = f.h.copy()
+        f.flip(2, 3)
+        assert f.h[2, 3] == -before[2, 3]
+        f.flip(2, 3)
+        assert np.array_equal(f.h, before)
+
+    def test_v_diagonal_values(self):
+        nu = hs_coupling(4.0, 0.125)
+        f = HSField.ordered(2, 3)
+        np.testing.assert_allclose(f.v_diagonal(0, 1, nu), np.exp(nu))
+        np.testing.assert_allclose(f.v_diagonal(0, -1, nu), np.exp(-nu))
+
+    def test_v_diagonal_rejects_bad_sigma(self):
+        f = HSField.ordered(2, 2)
+        with pytest.raises(ValueError):
+            f.v_diagonal(0, 0, 0.5)
+
+    def test_alpha_matches_v_ratio(self):
+        """alpha must be exactly the multiplicative V change of a flip."""
+        rng = np.random.default_rng(2)
+        nu = hs_coupling(6.0, 0.1)
+        f = HSField.random(3, 5, rng)
+        for sigma in (1, -1):
+            for (l, i) in [(0, 0), (1, 3), (2, 4)]:
+                v_old = f.v_diagonal(l, sigma, nu)[i]
+                alpha = f.alpha(l, i, sigma, nu)
+                g = f.copy()
+                g.flip(l, i)
+                v_new = g.v_diagonal(l, sigma, nu)[i]
+                assert v_new / v_old == pytest.approx(1.0 + alpha)
+
+    def test_alpha_opposite_spins_product(self):
+        """(1+alpha_up)(1+alpha_dn) = 1: the flip preserves V+ V-."""
+        f = HSField.random(2, 2, np.random.default_rng(3))
+        nu = 0.73
+        a_up = f.alpha(0, 1, 1, nu)
+        a_dn = f.alpha(0, 1, -1, nu)
+        assert (1 + a_up) * (1 + a_dn) == pytest.approx(1.0)
+
+    def test_equality_semantics(self):
+        a = HSField.ordered(2, 2)
+        b = HSField.ordered(2, 2)
+        assert a == b
+        b.flip(0, 0)
+        assert a != b
+        assert a != "not a field"

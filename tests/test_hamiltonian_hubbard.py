@@ -1,0 +1,91 @@
+"""Unit tests for the Hubbard model definition and HS coupling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, MultilayerLattice, SquareLattice, hs_coupling
+
+
+class TestHsCoupling:
+    def test_defining_identity(self):
+        """cosh(nu) must equal exp(U dtau / 2) — the discrete HS identity."""
+        for u, dtau in [(2.0, 0.125), (4.0, 0.1), (8.0, 0.05)]:
+            nu = hs_coupling(u, dtau)
+            assert math.cosh(nu) == pytest.approx(math.exp(u * dtau / 2))
+
+    def test_free_limit(self):
+        assert hs_coupling(0.0, 0.1) == 0.0
+
+    def test_rejects_attractive_u(self):
+        with pytest.raises(ValueError):
+            hs_coupling(-1.0, 0.1)
+
+    def test_rejects_bad_dtau(self):
+        with pytest.raises(ValueError):
+            hs_coupling(2.0, 0.0)
+
+    def test_monotone_in_u(self):
+        nus = [hs_coupling(u, 0.125) for u in (1, 2, 4, 8)]
+        assert all(b > a for a, b in zip(nus, nus[1:]))
+
+
+class TestModel:
+    def test_dtau(self):
+        m = HubbardModel(SquareLattice(4, 4), u=2.0, beta=8.0, n_slices=64)
+        assert m.dtau == pytest.approx(0.125)
+
+    def test_validation(self):
+        lat = SquareLattice(2, 2)
+        with pytest.raises(ValueError):
+            HubbardModel(lat, u=-1.0)
+        with pytest.raises(ValueError):
+            HubbardModel(lat, u=1.0, beta=-2.0)
+        with pytest.raises(ValueError):
+            HubbardModel(lat, u=1.0, n_slices=0)
+
+    def test_with_replaces_fields(self):
+        m = HubbardModel(SquareLattice(4, 4), u=2.0)
+        m2 = m.with_(u=6.0, mu=-0.3)
+        assert m2.u == 6.0 and m2.mu == -0.3 and m2.lattice is m.lattice
+        assert m.u == 2.0  # original untouched
+
+
+class TestKineticMatrix:
+    def test_square_lattice_structure(self):
+        m = HubbardModel(SquareLattice(4, 4), u=2.0, t=1.5, mu=0.3)
+        k = m.kinetic_matrix()
+        assert np.array_equal(k, k.T)
+        np.testing.assert_allclose(np.diag(k), -0.3)
+        off = k - np.diag(np.diag(k))
+        assert set(np.unique(off)) == {0.0, -1.5}
+        # each site has 4 bonds
+        assert np.count_nonzero(off[0]) == 4
+
+    def test_spectrum_matches_dispersion(self):
+        """Eigenvalues of K must be the tight-binding band energies."""
+        from repro import free_dispersion_2d, momentum_grid
+
+        lat = SquareLattice(6, 6)
+        m = HubbardModel(lat, u=0.0, t=1.0, mu=0.2)
+        w = np.linalg.eigvalsh(m.kinetic_matrix())
+        kpts = momentum_grid(6, 6)
+        expected = np.sort(free_dispersion_2d(kpts[:, 0], kpts[:, 1], t=1.0, mu=0.2))
+        np.testing.assert_allclose(np.sort(w), expected, atol=1e-12)
+
+    def test_multilayer_couplings(self):
+        m = HubbardModel(
+            MultilayerLattice(3, 3, 2), u=2.0, t=1.0, t_perp=0.5, mu=0.0
+        )
+        k = m.kinetic_matrix()
+        # intra-layer bond
+        assert k[0, 1] == -1.0
+        # inter-layer bond (site 0 of layer 0 <-> site 0 of layer 1)
+        assert k[0, 9] == -0.5
+        assert np.array_equal(k, k.T)
+
+    def test_mu_only_on_diagonal(self):
+        m = HubbardModel(SquareLattice(3, 3), u=1.0, mu=0.7)
+        k0 = HubbardModel(SquareLattice(3, 3), u=1.0, mu=0.0).kinetic_matrix()
+        np.testing.assert_allclose(m.kinetic_matrix() - k0, -0.7 * np.eye(9))

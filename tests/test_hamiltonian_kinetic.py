@@ -1,0 +1,101 @@
+"""Unit tests for the kinetic propagator and free-fermion references."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro import HubbardModel, KineticPropagator, SquareLattice
+from repro.hamiltonian import free_dispersion_2d, free_greens_function
+
+
+@pytest.fixture
+def k_matrix():
+    return HubbardModel(SquareLattice(4, 4), u=2.0).kinetic_matrix()
+
+
+class TestKineticPropagator:
+    def test_matches_scipy_expm(self, k_matrix):
+        prop = KineticPropagator(k_matrix, dtau=0.125)
+        np.testing.assert_allclose(
+            prop.expk, sla.expm(-0.125 * k_matrix), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            prop.inv_expk, sla.expm(0.125 * k_matrix), atol=1e-12
+        )
+
+    def test_inverse_relation(self, k_matrix):
+        prop = KineticPropagator(k_matrix, dtau=0.2)
+        np.testing.assert_allclose(
+            prop.expk @ prop.inv_expk, np.eye(16), atol=1e-12
+        )
+
+    def test_expk_symmetric_positive_definite(self, k_matrix):
+        prop = KineticPropagator(k_matrix, dtau=0.1)
+        np.testing.assert_allclose(prop.expk, prop.expk.T, atol=1e-13)
+        assert np.all(np.linalg.eigvalsh(prop.expk) > 0)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            KineticPropagator(np.array([[0.0, 1.0], [0.0, 0.0]]), dtau=0.1)
+
+    def test_rejects_bad_dtau(self, k_matrix):
+        with pytest.raises(ValueError):
+            KineticPropagator(k_matrix, dtau=0.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            KineticPropagator(np.ones((2, 3)), dtau=0.1)
+
+    def test_eigenvalues_exposed(self, k_matrix):
+        prop = KineticPropagator(k_matrix, dtau=0.1)
+        np.testing.assert_allclose(
+            np.sort(prop.eigenvalues), np.sort(np.linalg.eigvalsh(k_matrix)),
+            atol=1e-12,
+        )
+
+
+class TestFreeGreens:
+    def test_infinite_temperature_limit(self, k_matrix):
+        """beta -> 0: every mode half-occupied, G -> I/2."""
+        g = free_greens_function(k_matrix, beta=1e-12)
+        np.testing.assert_allclose(g, 0.5 * np.eye(16), atol=1e-9)
+
+    def test_zero_temperature_limit(self, k_matrix):
+        """beta -> inf: occupied modes (w < 0) contribute 0 to <c c+>."""
+        g = free_greens_function(k_matrix, beta=1e4)
+        w, v = np.linalg.eigh(k_matrix)
+        proj_empty = (v[:, w > 1e-9]) @ (v[:, w > 1e-9]).T
+        # half-filled 4x4 at mu=0 has zero modes too; compare projected
+        occ = np.diag(v.T @ g @ v)
+        np.testing.assert_allclose(occ[w > 1e-9], 1.0, atol=1e-8)
+        np.testing.assert_allclose(occ[w < -1e-9], 0.0, atol=1e-8)
+        np.testing.assert_allclose(occ[np.abs(w) < 1e-9], 0.5, atol=1e-8)
+        del proj_empty
+
+    def test_no_overflow_at_huge_beta(self, k_matrix):
+        g = free_greens_function(k_matrix, beta=1e6)
+        assert np.all(np.isfinite(g))
+
+    def test_matches_direct_formula_small_beta(self, k_matrix):
+        beta = 2.0
+        direct = np.linalg.inv(np.eye(16) + sla.expm(-beta * k_matrix))
+        np.testing.assert_allclose(
+            free_greens_function(k_matrix, beta), direct, atol=1e-11
+        )
+
+    def test_half_filling_density(self, k_matrix):
+        """mu = 0 on a bipartite lattice: <n> = 1/2 per spin per site."""
+        g = free_greens_function(k_matrix, beta=7.3)
+        np.testing.assert_allclose(np.trace(g) / 16, 0.5, atol=1e-12)
+
+
+class TestDispersion:
+    def test_band_extrema(self):
+        assert free_dispersion_2d(np.array(0.0), np.array(0.0)) == -4.0
+        assert free_dispersion_2d(np.array(np.pi), np.array(np.pi)) == pytest.approx(4.0)
+
+    def test_fermi_surface_at_half_filling(self):
+        """(pi/2, pi/2) sits exactly on the mu = 0 Fermi surface."""
+        assert free_dispersion_2d(
+            np.array(np.pi / 2), np.array(np.pi / 2)
+        ) == pytest.approx(0.0, abs=1e-14)

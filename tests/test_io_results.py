@@ -1,0 +1,55 @@
+"""Unit tests for result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.io import load_observables, save_observables
+from repro.measure import BinnedEstimate
+
+
+def make_obs():
+    return {
+        "density": BinnedEstimate(
+            mean=np.float64(1.0), error=np.float64(0.01), n_bins=8, n_samples=64
+        ),
+        "spin_zz": BinnedEstimate(
+            mean=np.arange(16.0), error=np.full(16, 0.1), n_bins=4, n_samples=32
+        ),
+    }
+
+
+class TestRoundTrip:
+    def test_values_preserved(self, tmp_path):
+        p = tmp_path / "obs.npz"
+        save_observables(p, make_obs(), metadata={"u": 2.0, "lattice": "4x4"})
+        loaded, meta = load_observables(p)
+        assert meta == {"u": 2.0, "lattice": "4x4"}
+        assert loaded["density"].mean == pytest.approx(1.0)
+        assert loaded["density"].n_bins == 8
+        np.testing.assert_array_equal(loaded["spin_zz"].mean, np.arange(16.0))
+        assert loaded["spin_zz"].n_samples == 32
+
+    def test_empty_metadata(self, tmp_path):
+        p = tmp_path / "obs.npz"
+        save_observables(p, make_obs())
+        _, meta = load_observables(p)
+        assert meta == {}
+
+    def test_illegal_name_rejected(self, tmp_path):
+        bad = {"a/b": make_obs()["density"]}
+        with pytest.raises(ValueError):
+            save_observables(tmp_path / "x.npz", bad)
+
+    def test_simulation_results_roundtrip(self, tmp_path):
+        """End-to-end: a real simulation's observables survive the trip."""
+        from repro import HubbardModel, Simulation, SquareLattice
+
+        model = HubbardModel(SquareLattice(2, 2), u=4.0, beta=1.0, n_slices=8)
+        res = Simulation(model, seed=0, cluster_size=4).run(1, 4)
+        p = tmp_path / "run.npz"
+        save_observables(p, res.observables, metadata={"seed": 0})
+        loaded, meta = load_observables(p)
+        assert set(loaded) == set(res.observables)
+        assert loaded["density"].mean == pytest.approx(
+            float(res.observables["density"].mean)
+        )

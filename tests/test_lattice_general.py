@@ -1,0 +1,109 @@
+"""Unit tests for arbitrary-geometry lattices."""
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, Simulation, SquareLattice
+from repro.lattice import GeneralLattice
+
+
+class TestConstruction:
+    def test_from_bonds_mixed_forms(self):
+        lat = GeneralLattice.from_bonds(3, [(0, 1), (1, 2, 0.5)])
+        assert lat.adjacency[0, 1] == 1.0
+        assert lat.adjacency[1, 2] == 0.5
+
+    def test_duplicate_bonds_accumulate(self):
+        lat = GeneralLattice.from_bonds(2, [(0, 1), (0, 1)])
+        assert lat.adjacency[0, 1] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneralLattice(0, ())
+        with pytest.raises(ValueError):
+            GeneralLattice.from_bonds(2, [(0, 2)])
+        with pytest.raises(ValueError):
+            GeneralLattice.from_bonds(2, [(0, 0)])
+        with pytest.raises(ValueError):
+            GeneralLattice.from_bonds(2, [(0, 1, 0.0)])
+
+    def test_from_file(self, tmp_path):
+        p = tmp_path / "geo.txt"
+        p.write_text("# triangle\n3\n0 1\n1 2 0.5\n2 0\n")
+        lat = GeneralLattice.from_file(p)
+        assert lat.n_sites == 3 and len(lat.bonds) == 3
+        assert lat.adjacency[1, 2] == 0.5
+
+    def test_from_file_errors(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            GeneralLattice.from_file(p)
+        p.write_text("2\n0 1 2 3\n")
+        with pytest.raises(ValueError):
+            GeneralLattice.from_file(p)
+
+
+class TestGraphStructure:
+    def test_chain_matches_square_row(self):
+        """A periodic chain built generally must equal SquareLattice(n, 1)."""
+        for n in (2, 5, 6):
+            gen = GeneralLattice.chain(n)
+            sq = SquareLattice(n, 1)
+            np.testing.assert_array_equal(gen.adjacency, sq.adjacency)
+
+    def test_coordination_and_neighbors(self):
+        lat = GeneralLattice.triangle()
+        np.testing.assert_array_equal(lat.coordination, [2, 2, 2])
+        assert lat.neighbors(0) == (1, 2)
+
+    def test_connectivity(self):
+        assert GeneralLattice.triangle().is_connected
+        split = GeneralLattice.from_bonds(4, [(0, 1), (2, 3)])
+        assert not split.is_connected
+
+    def test_bipartiteness(self):
+        assert GeneralLattice.chain(4).is_bipartite
+        assert not GeneralLattice.chain(5).is_bipartite  # odd ring
+        assert not GeneralLattice.triangle().is_bipartite
+        assert GeneralLattice.from_bonds(4, [(0, 1), (2, 3)]).is_bipartite
+
+
+class TestSimulationIntegration:
+    def test_bipartite_general_geometry_runs_sign_free(self):
+        """A hand-built 4-site ring via GeneralLattice must reproduce the
+        SquareLattice(2,2)-like physics: density 1, sign +1."""
+        lat = GeneralLattice.chain(4)
+        model = HubbardModel(lat, u=4.0, beta=1.5, n_slices=12)
+        res = Simulation(model, seed=2, cluster_size=4).run(5, 15)
+        assert res.observables["density"].scalar == pytest.approx(1.0, abs=1e-9)
+        assert res.mean_sign == pytest.approx(1.0)
+
+    def test_matches_square_lattice_chain(self):
+        """GeneralLattice.chain(4) and SquareLattice(4, 1) with the same
+        seed must walk the identical Markov chain."""
+        results = []
+        for lat in (GeneralLattice.chain(4), SquareLattice(4, 1)):
+            model = HubbardModel(lat, u=4.0, beta=1.5, n_slices=12)
+            sim = Simulation(model, seed=3, cluster_size=4, measure_arrays=False)
+            res = sim.run(3, 10)
+            results.append(res.observables["kinetic_energy"].scalar)
+        assert results[0] == pytest.approx(results[1], abs=1e-12)
+
+    def test_frustrated_triangle_develops_sign_problem(self):
+        """The minimal frustrated cluster at mu != 0: negative ratios
+        must appear (the sign problem the bipartite guard warns about)."""
+        lat = GeneralLattice.triangle()
+        assert not lat.is_bipartite
+        model = HubbardModel(lat, u=6.0, beta=3.0, n_slices=24, mu=-0.8)
+        sim = Simulation(model, seed=11, cluster_size=8, measure_arrays=False)
+        sim.run(10, 40)
+        assert sim.total_stats.negative_ratios > 0
+        assert abs(sim._sign) == 1.0  # still a valid +-1 sign
+
+    def test_no_momentum_observables_for_general_geometry(self):
+        lat = GeneralLattice.triangle()
+        model = HubbardModel(lat, u=2.0, beta=1.0, n_slices=8)
+        res = Simulation(model, seed=0, cluster_size=4).run(1, 3)
+        assert "momentum_distribution" not in res.observables
+        assert "density" in res.observables

@@ -1,0 +1,112 @@
+"""Unit tests for momentum-space machinery."""
+
+import numpy as np
+import pytest
+
+from repro import SquareLattice, momentum_grid, symmetry_path
+from repro.lattice import SYMMETRY_CORNERS, BrillouinZone, fourier_two_point
+
+
+class TestMomentumGrid:
+    def test_count_and_folding(self):
+        k = momentum_grid(4, 4)
+        assert k.shape == (16, 2)
+        assert np.all(k > -np.pi - 1e-12) and np.all(k <= np.pi + 1e-12)
+
+    def test_contains_high_symmetry_points(self):
+        k = momentum_grid(4, 4)
+        for target in [(0.0, 0.0), (np.pi, np.pi), (np.pi, 0.0)]:
+            assert np.any(np.all(np.isclose(k, target), axis=1)), target
+
+    def test_odd_lattice_excludes_pi(self):
+        k = momentum_grid(5, 5)
+        assert not np.any(np.isclose(k[:, 0], np.pi))
+
+    def test_indexed_like_sites(self):
+        lat = SquareLattice(6, 4)
+        k = momentum_grid(6, 4)
+        # site index i = nx + lx * ny must map to k = 2 pi (nx/lx, ny/ly)
+        i = lat.index(2, 3)
+        np.testing.assert_allclose(
+            k[i],
+            [2 * np.pi * 2 / 6, 2 * np.pi * 3 / 4 - 2 * np.pi],
+        )
+
+
+class TestGridLayout:
+    def test_grid_values_axes_are_monotone(self):
+        lat = SquareLattice(8, 6)
+        bz = BrillouinZone(lat)
+        kx, ky = bz.grid_axes()
+        assert np.all(np.diff(kx) > 0) and np.all(np.diff(ky) > 0)
+
+    def test_grid_values_consistent_with_axes(self):
+        lat = SquareLattice(8, 8)
+        bz = BrillouinZone(lat)
+        # encode each momentum's kx in the value, check the grid agrees
+        vals = bz.momenta[:, 0].copy()
+        grid = bz.grid_values(vals)
+        kx, ky = bz.grid_axes()
+        np.testing.assert_allclose(grid[0], kx, atol=1e-12)
+        vals_y = bz.momenta[:, 1].copy()
+        grid_y = bz.grid_values(vals_y)
+        np.testing.assert_allclose(grid_y[:, 0], ky, atol=1e-12)
+
+
+class TestSymmetryPath:
+    def test_path_endpoints_and_ordering(self):
+        lat = SquareLattice(8, 8)
+        idx, arc, kpts = symmetry_path(lat)
+        assert np.allclose(kpts[0], (0.0, 0.0))
+        assert np.allclose(kpts[-1], (0.0, 0.0))
+        assert np.all(np.diff(arc) > 0)
+
+    def test_path_visits_corners(self):
+        lat = SquareLattice(8, 8)
+        _, _, kpts = symmetry_path(lat)
+        for corner in SYMMETRY_CORNERS[:-1]:
+            assert np.any(np.all(np.isclose(kpts, corner), axis=1)), corner
+
+    def test_point_count_grows_with_lattice(self):
+        n8 = len(symmetry_path(SquareLattice(8, 8))[0])
+        n16 = len(symmetry_path(SquareLattice(16, 16))[0])
+        assert n16 > n8  # better k resolution is the paper's Fig 5 point
+
+    def test_all_points_lie_on_allowed_momenta(self):
+        lat = SquareLattice(6, 6)
+        idx, _, kpts = symmetry_path(lat)
+        mom = BrillouinZone(lat).momenta
+        for i, k in zip(idx, kpts):
+            # equal modulo a reciprocal lattice vector
+            diff = (k - mom[i]) / (2 * np.pi)
+            assert np.allclose(diff, np.round(diff), atol=1e-9)
+
+
+class TestFourier:
+    def test_delta_transforms_to_constant(self):
+        lat = SquareLattice(4, 4)
+        c = np.zeros(16)
+        c[0] = 1.0
+        ck = fourier_two_point(lat, c)
+        np.testing.assert_allclose(ck, np.ones(16))
+
+    def test_plane_wave_transforms_to_delta(self):
+        lat = SquareLattice(8, 4)
+        q_idx = lat.index(2, 1)
+        k = momentum_grid(8, 4)[q_idx]
+        disp = SquareLattice(8, 4).coord_array
+        c = np.cos(disp @ k)
+        ck = fourier_two_point(lat, c)
+        # cos splits between +q and -q
+        expected = np.zeros(32)
+        expected[q_idx] = 16.0
+        expected[lat.index(-2, -1)] += 16.0
+        np.testing.assert_allclose(ck, expected, atol=1e-9)
+
+    def test_sum_rule(self):
+        rng = np.random.default_rng(0)
+        lat = SquareLattice(4, 6)
+        c = rng.normal(size=24)
+        ck = fourier_two_point(lat, c)
+        # k-sum of the transform returns N * c(0)
+        assert ck.sum() == pytest.approx(24 * c[0])

@@ -1,0 +1,81 @@
+"""Unit tests for multilayer (interface) lattices."""
+
+import numpy as np
+import pytest
+
+from repro import MultilayerLattice, SquareLattice
+
+
+class TestGeometry:
+    def test_site_count(self):
+        lat = MultilayerLattice(4, 4, 3)
+        assert lat.n_sites == 48
+        assert lat.sites_per_layer == 16
+
+    def test_index_coords_roundtrip(self):
+        lat = MultilayerLattice(3, 4, 2)
+        for i in range(lat.n_sites):
+            x, y, z = lat.coords(i)
+            assert lat.index(x, y, z) == i
+
+    def test_plane_wraps_layer_does_not(self):
+        lat = MultilayerLattice(4, 4, 2)
+        assert lat.index(4, 0, 1) == lat.index(0, 0, 1)
+        with pytest.raises(IndexError):
+            lat.index(0, 0, 2)
+        with pytest.raises(IndexError):
+            lat.index(0, 0, -1)
+
+    def test_layer_sites_contiguous(self):
+        lat = MultilayerLattice(3, 3, 4)
+        for z in range(4):
+            s = lat.layer_sites(z)
+            assert s[0] == z * 9 and len(s) == 9
+            assert np.array_equal(s, np.arange(z * 9, (z + 1) * 9))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultilayerLattice(4, 4, 0)
+        with pytest.raises(ValueError):
+            MultilayerLattice(0, 4, 1)
+
+
+class TestAdjacency:
+    def test_intra_layer_blocks_match_plane(self):
+        lat = MultilayerLattice(4, 4, 3)
+        plane = SquareLattice(4, 4).adjacency
+        a = lat.intra_layer_adjacency
+        for z in range(3):
+            s = z * 16
+            assert np.array_equal(a[s : s + 16, s : s + 16], plane)
+        # nothing off the block diagonal
+        assert a.sum() == 3 * plane.sum()
+
+    def test_inter_layer_bonds_open_boundaries(self):
+        lat = MultilayerLattice(3, 3, 3)
+        a = lat.inter_layer_adjacency
+        assert np.array_equal(a, a.T)
+        # each interior interface carries sites_per_layer bonds
+        assert a.sum() / 2.0 == 2 * 9  # 2 interfaces x 9 vertical bonds
+        # no bond from top layer back to bottom (open stack)
+        top, bottom = lat.layer_sites(2), lat.layer_sites(0)
+        assert np.all(a[np.ix_(top, bottom)] == 0.0)
+
+    def test_vertical_bond_alignment(self):
+        lat = MultilayerLattice(4, 2, 2)
+        a = lat.inter_layer_adjacency
+        for p in range(8):
+            assert a[p, p + 8] == 1.0
+
+    def test_single_layer_has_no_vertical_bonds(self):
+        lat = MultilayerLattice(4, 4, 1)
+        assert lat.inter_layer_adjacency.sum() == 0.0
+
+
+class TestAspectRatio:
+    def test_paper_examples(self):
+        # "eight 8x8 layers is barely sufficient" (ratio 1.0)...
+        assert MultilayerLattice(8, 8, 8).aspect_ratio() == 1.0
+        # ...eight 12x12 layers is the goal (ratio 1.5).
+        assert MultilayerLattice(12, 12, 8).aspect_ratio() == 1.5
+        assert MultilayerLattice(14, 14, 6).aspect_ratio() == pytest.approx(14 / 6)

@@ -1,0 +1,146 @@
+"""Unit tests for the periodic rectangular lattice."""
+
+import numpy as np
+import pytest
+
+from repro import SquareLattice
+
+
+class TestIndexing:
+    def test_roundtrip_all_sites(self):
+        lat = SquareLattice(5, 3)
+        for i in range(lat.n_sites):
+            x, y = lat.coords(i)
+            assert lat.index(x, y) == i
+
+    def test_index_wraps_periodically(self):
+        lat = SquareLattice(4, 4)
+        assert lat.index(4, 0) == lat.index(0, 0)
+        assert lat.index(-1, 2) == lat.index(3, 2)
+        assert lat.index(2, -5) == lat.index(2, 3)
+
+    def test_coords_out_of_range_raises(self):
+        lat = SquareLattice(3, 3)
+        with pytest.raises(IndexError):
+            lat.coords(9)
+        with pytest.raises(IndexError):
+            lat.coords(-1)
+
+    def test_coord_array_matches_coords(self):
+        lat = SquareLattice(4, 6)
+        ca = lat.coord_array
+        for i in range(lat.n_sites):
+            assert tuple(ca[i]) == lat.coords(i)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SquareLattice(0, 4)
+        with pytest.raises(ValueError):
+            SquareLattice(4, -1)
+
+
+class TestNeighbors:
+    def test_neighbor_count_and_symmetry(self):
+        lat = SquareLattice(4, 4)
+        for i in range(lat.n_sites):
+            for j in lat.neighbors(i):
+                assert i in lat.neighbors(j)
+
+    def test_neighbor_table_matches_neighbors(self):
+        lat = SquareLattice(3, 5)
+        nt = lat.neighbor_table
+        for i in range(lat.n_sites):
+            assert tuple(nt[i]) == lat.neighbors(i)
+
+    def test_neighbors_are_distance_one(self):
+        lat = SquareLattice(6, 6)
+        for i in range(lat.n_sites):
+            for j in lat.neighbors(i):
+                dx, dy = lat.displacement(i, j)
+                assert abs(dx) + abs(dy) == 1
+
+
+class TestAdjacency:
+    def test_symmetric_with_row_sum_four(self):
+        lat = SquareLattice(4, 4)
+        a = lat.adjacency
+        assert np.array_equal(a, a.T)
+        assert np.all(a.sum(axis=0) == 4)
+
+    def test_no_self_loops(self):
+        for shape in [(4, 4), (2, 2), (2, 1), (1, 1), (3, 1)]:
+            a = SquareLattice(*shape).adjacency
+            assert np.all(np.diag(a) == 0.0), shape
+
+    def test_extent_two_gives_double_bond(self):
+        lat = SquareLattice(2, 1)
+        a = lat.adjacency
+        assert a[0, 1] == 2.0 and a[1, 0] == 2.0
+
+    def test_chain_geometry(self):
+        lat = SquareLattice(5, 1)
+        a = lat.adjacency
+        assert np.all(a.sum(axis=0) == 2)  # 1D ring
+        assert a[0, 4] == 1.0  # periodic wrap
+
+    def test_total_bond_count(self):
+        lat = SquareLattice(6, 4)
+        # 2 bonds per site on a 2D torus with lx, ly > 2.
+        assert lat.adjacency.sum() / 2.0 == 2 * lat.n_sites
+
+
+class TestDisplacement:
+    def test_minimal_image_range(self):
+        lat = SquareLattice(6, 4)
+        for i in range(lat.n_sites):
+            for j in range(lat.n_sites):
+                dx, dy = lat.displacement(i, j)
+                assert -3 < dx <= 3
+                assert -2 < dy <= 2
+
+    def test_antisymmetry_modulo_boundary(self):
+        lat = SquareLattice(5, 5)
+        for i in [0, 7, 13]:
+            for j in [2, 11, 24]:
+                dx1, dy1 = lat.displacement(i, j)
+                dx2, dy2 = lat.displacement(j, i)
+                assert (dx1 + dx2) % 5 == 0
+                assert (dy1 + dy2) % 5 == 0
+
+    def test_displacement_index_definition(self):
+        lat = SquareLattice(4, 4)
+        for i in [0, 5, 10]:
+            for j in [3, 8, 15]:
+                r = lat.displacement_index(i, j)
+                xi, yi = lat.coords(i)
+                xr, yr = lat.coords(r)
+                assert lat.index(xi + xr, yi + yr) == j
+
+
+class TestTranslationTable:
+    def test_row_zero_is_identity(self):
+        lat = SquareLattice(4, 3)
+        assert np.array_equal(lat.translation_table[0], np.arange(lat.n_sites))
+
+    def test_rows_are_permutations(self):
+        lat = SquareLattice(4, 4)
+        tt = lat.translation_table
+        for r in range(lat.n_sites):
+            assert np.array_equal(np.sort(tt[r]), np.arange(lat.n_sites))
+
+    def test_translation_matches_index_arithmetic(self):
+        lat = SquareLattice(5, 4)
+        tt = lat.translation_table
+        for r in [1, 7, 13]:
+            rx, ry = lat.coords(r)
+            for i in [0, 9, 17]:
+                xi, yi = lat.coords(i)
+                assert tt[r, i] == lat.index(xi + rx, yi + ry)
+
+    def test_group_property(self):
+        """Translating by r then s equals translating by r + s."""
+        lat = SquareLattice(4, 4)
+        tt = lat.translation_table
+        r, s = 5, 11
+        rs = lat.displacement_index(0, tt[s, r])  # r + s as a site index
+        assert np.array_equal(tt[s][tt[r]], tt[rs])

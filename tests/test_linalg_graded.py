@@ -1,0 +1,83 @@
+"""Unit tests for graded (UDT) decompositions and the scale splitting."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import GradedDecomposition, split_scales
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+def make_graded(rng, n=8, span=6):
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    d = np.logspace(span / 2, -span / 2, n) * rng.choice([-1, 1], size=n)
+    t = np.triu(rng.normal(size=(n, n)))
+    np.fill_diagonal(t, 1.0)
+    return GradedDecomposition(q=q, d=d, t=t)
+
+
+class TestGradedDecomposition:
+    def test_dense_reconstruction(self, rng):
+        g = make_graded(rng)
+        np.testing.assert_allclose(
+            g.dense(), g.q @ np.diag(g.d) @ g.t, atol=1e-12
+        )
+
+    def test_shape_validation(self, rng):
+        q, _ = np.linalg.qr(rng.normal(size=(4, 4)))
+        with pytest.raises(ValueError):
+            GradedDecomposition(q=q, d=np.ones(3), t=np.eye(4))
+        with pytest.raises(ValueError):
+            GradedDecomposition(q=q, d=np.ones(4), t=np.eye(5))
+        with pytest.raises(ValueError):
+            GradedDecomposition(q=np.ones((4, 3)), d=np.ones(4), t=np.eye(4))
+
+    def test_grading_ratio(self, rng):
+        g = make_graded(rng, span=6)
+        assert g.grading_ratio() == pytest.approx(1e6, rel=1e-9)
+
+    def test_grading_ratio_with_zero(self, rng):
+        g = make_graded(rng)
+        g.d[-1] = 0.0
+        assert g.grading_ratio() == np.inf
+
+    def test_is_descending(self, rng):
+        g = make_graded(rng)
+        assert g.is_descending()
+        g.d[0], g.d[-1] = g.d[-1], g.d[0]
+        assert not g.is_descending()
+
+
+class TestSplitScales:
+    def test_reconstruction_identity(self, rng):
+        """d must equal ds / db elementwise — the defining property."""
+        d = np.concatenate([np.logspace(8, -8, 17), [-3.0, -1e-5, 1.0]])
+        db, ds = split_scales(d)
+        np.testing.assert_allclose(ds / db, d, rtol=1e-14)
+
+    def test_bounded_by_one(self):
+        d = np.array([1e12, -1e5, 2.0, 1.0, 0.5, -1e-9, 0.0])
+        db, ds = split_scales(d)
+        assert np.all(np.abs(db) <= 1.0)
+        assert np.all(np.abs(ds) <= 1.0)
+
+    def test_small_entries_untouched(self):
+        d = np.array([0.5, -0.25, 1e-8])
+        db, ds = split_scales(d)
+        np.testing.assert_array_equal(db, np.ones(3))
+        np.testing.assert_array_equal(ds, d)
+
+    def test_large_entries_split(self):
+        d = np.array([100.0, -100.0])
+        db, ds = split_scales(d)
+        np.testing.assert_allclose(db, [0.01, 0.01])
+        np.testing.assert_allclose(ds, [1.0, -1.0])
+
+    def test_boundary_at_one(self):
+        """|d| = 1 exactly stays in the 'small' branch (<= vs >)."""
+        db, ds = split_scales(np.array([1.0, -1.0]))
+        np.testing.assert_array_equal(db, [1.0, 1.0])
+        np.testing.assert_array_equal(ds, [1.0, -1.0])

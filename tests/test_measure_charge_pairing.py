@@ -1,0 +1,146 @@
+"""Unit tests for charge and pairing observables."""
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, Simulation, SquareLattice
+from repro.hamiltonian import free_greens_function
+from repro.measure import (
+    charge_density_correlation,
+    charge_structure_factor,
+    dwave_pair_structure_factor,
+    swave_pair_correlation,
+    swave_pair_structure_factor,
+)
+
+
+@pytest.fixture
+def free_case():
+    lat = SquareLattice(4, 4)
+    model = HubbardModel(lat, u=0.0, beta=3.0)
+    g = free_greens_function(model.kinetic_matrix(), 3.0)
+    return lat, g
+
+
+class TestChargeCorrelation:
+    def test_local_value_free(self, free_case):
+        """U = 0 on-site connected density fluctuation:
+        <n^2> - <n>^2 = 2 <n_s>(1 - <n_s>) = 1/2 at half filling."""
+        lat, g = free_case
+        cnn = charge_density_correlation(lat, g, g)
+        assert cnn[0] == pytest.approx(0.5, abs=1e-10)
+
+    def test_sum_rule_compressibility(self, free_case):
+        """sum_r C_nn(r) = N(q=0): for the per-sample estimator with the
+        sample mean subtracted, the q = 0 value measures only the
+        exchange term (the density part cancels exactly)."""
+        lat, g = free_case
+        cnn = charge_density_correlation(lat, g, g)
+        n0 = charge_structure_factor(lat, cnn, q_index=lat.index(0, 0))
+        # against a direct evaluation of the same contraction
+        direct = 0.0
+        n = lat.n_sites
+        for gs in (g, g):
+            direct += np.trace(g) - np.sum(g * g.T)
+        assert n0 == pytest.approx(direct / n, abs=1e-10)
+
+    def test_wick_vs_brute_force_dimer(self):
+        lat = SquareLattice(2, 1)
+        rng = np.random.default_rng(1)
+        g_up = rng.normal(size=(2, 2))
+        g_dn = rng.normal(size=(2, 2))
+        cnn = charge_density_correlation(lat, g_up, g_dn)
+
+        def n_of(g, i):
+            return 1.0 - g[i, i]
+
+        dens = [n_of(g_up, i) + n_of(g_dn, i) for i in range(2)]
+        mean_d = sum(dens) / 2.0
+        expected = np.zeros(2)
+        for r in range(2):
+            acc = 0.0
+            for b in range(2):
+                a = (b + r) % 2
+                val = dens[a] * dens[b]
+                for g in (g_up, g_dn):
+                    d_ab = 1.0 if a == b else 0.0
+                    val += (d_ab - g[b, a]) * g[a, b]
+                acc += val
+            expected[r] = acc / 2.0 - mean_d**2
+        np.testing.assert_allclose(cnn, expected, atol=1e-12)
+
+    def test_charge_suppressed_vs_spin_at_large_u(self):
+        """Half filling, strong U: S_spin(pi,pi) >> N_charge(pi,pi)."""
+        model = HubbardModel(SquareLattice(4, 4), u=6.0, beta=3.0, n_slices=24)
+        res = Simulation(model, seed=5, cluster_size=8).run(10, 30)
+        s_spin = res.observables["af_structure_factor"].scalar
+        cnn = np.asarray(res.observables["charge_nn"].mean)
+        n_charge = charge_structure_factor(SquareLattice(4, 4), cnn)
+        assert s_spin > 3.0 * abs(n_charge)
+
+    def test_structure_factor_odd_lattice_guard(self):
+        with pytest.raises(ValueError):
+            charge_structure_factor(SquareLattice(3, 3), np.zeros(9))
+
+
+class TestPairing:
+    def test_swave_free_value(self, free_case):
+        """U = 0: P_s(r) = G(r)^2 elementwise (both spins identical)."""
+        lat, g = free_case
+        ps = swave_pair_correlation(lat, g, g)
+        from repro.measure import greens_displacement_average
+
+        # translation-invariant free G: P_s(r) = mean_b G(b+r,b)^2
+        n = lat.n_sites
+        tt = lat.translation_table
+        rows = np.arange(n)[None, :]
+        expected = (g[tt, rows] ** 2).mean(axis=1)
+        np.testing.assert_allclose(ps, expected, atol=1e-12)
+        del greens_displacement_average
+
+    def test_swave_structure_factor_positive_free(self, free_case):
+        lat, g = free_case
+        assert swave_pair_structure_factor(lat, g, g) > 0
+
+    def test_dwave_identity_greens(self):
+        """With G = I (empty lattice), only delta = delta' terms survive
+        and P_d = (1/4N) * sum_delta f^2 * N = 1."""
+        lat = SquareLattice(4, 4)
+        g = np.eye(16)
+        assert dwave_pair_structure_factor(lat, g, g) == pytest.approx(1.0)
+
+    def test_repulsion_suppresses_swave(self):
+        """On-site repulsion suppresses on-site pairing relative to U=0."""
+        out = {}
+        for u in (0.0, 8.0):
+            model = HubbardModel(
+                SquareLattice(4, 4), u=u, beta=3.0, n_slices=24
+            )
+            res = Simulation(model, seed=6, cluster_size=8).run(8, 25)
+            out[u] = res.observables["swave_pairing"].scalar
+        assert out[8.0] < out[0.0]
+
+    def test_dwave_brute_force_small(self):
+        """d-wave contraction against an explicit quadruple loop."""
+        lat = SquareLattice(2, 2)
+        rng = np.random.default_rng(2)
+        g_up = rng.normal(size=(4, 4))
+        g_dn = rng.normal(size=(4, 4))
+        deltas = [
+            (lat.index(1, 0), 1.0),
+            (lat.index(-1, 0), 1.0),
+            (lat.index(0, 1), -1.0),
+            (lat.index(0, -1), -1.0),
+        ]
+        tt = lat.translation_table
+        expected = 0.0
+        for i in range(4):
+            for j in range(4):
+                for d1, f1 in deltas:
+                    for d2, f2 in deltas:
+                        expected += (
+                            f1 * f2 * g_up[tt[d1, i], tt[d2, j]] * g_dn[i, j]
+                        )
+        expected /= 4.0 * 4
+        got = dwave_pair_structure_factor(lat, g_up, g_dn)
+        assert got == pytest.approx(expected, rel=1e-12)

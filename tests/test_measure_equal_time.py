@@ -1,0 +1,115 @@
+"""Unit tests for equal-time observables."""
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, MultilayerLattice, SquareLattice
+from repro.hamiltonian import free_greens_function
+from repro.measure import (
+    density_per_spin,
+    double_occupancy,
+    greens_displacement_average,
+    kinetic_energy,
+    total_density,
+)
+
+
+@pytest.fixture
+def free_g():
+    lat = SquareLattice(4, 4)
+    model = HubbardModel(lat, u=0.0, beta=5.0)
+    return lat, free_greens_function(model.kinetic_matrix(), 5.0)
+
+
+class TestDensity:
+    def test_half_filling(self, free_g):
+        lat, g = free_g
+        assert total_density(g, g) == pytest.approx(1.0, abs=1e-12)
+
+    def test_density_per_spin_definition(self, free_g):
+        _, g = free_g
+        np.testing.assert_allclose(density_per_spin(g), 1.0 - np.diag(g))
+
+    def test_empty_and_full_bands(self):
+        n = 6
+        g_empty = np.eye(n)  # <c c+> = 1: no electrons
+        g_full = np.zeros((n, n))  # <c c+> = 0: band full
+        assert total_density(g_empty, g_empty) == 0.0
+        assert total_density(g_full, g_full) == 2.0
+
+    def test_mu_shifts_density_monotonically(self):
+        lat = SquareLattice(4, 4)
+        dens = []
+        for mu in (-1.0, 0.0, 1.0):
+            model = HubbardModel(lat, u=0.0, beta=4.0, mu=mu)
+            g = free_greens_function(model.kinetic_matrix(), 4.0)
+            dens.append(total_density(g, g))
+        assert dens[0] < dens[1] < dens[2]
+
+
+class TestDoubleOccupancy:
+    def test_uncorrelated_value(self, free_g):
+        _, g = free_g
+        # At U = 0, <n+ n-> = <n+><n-> = 1/4 at half filling.
+        assert double_occupancy(g, g) == pytest.approx(0.25, abs=1e-12)
+
+    def test_spin_asymmetric(self):
+        n = 4
+        g_up = np.eye(n) * 0.25  # n_up = 0.75
+        g_dn = np.eye(n) * 0.75  # n_dn = 0.25
+        assert double_occupancy(g_up, g_dn) == pytest.approx(0.75 * 0.25)
+
+
+class TestKineticEnergy:
+    def test_free_value_matches_spectral_sum(self, free_g):
+        """<H_T>/N from the Green's function must equal the spectral
+        formula sum_k eps_k f(eps_k) for the free system."""
+        lat, g = free_g
+        model = HubbardModel(lat, u=0.0, beta=5.0)
+        w = np.linalg.eigvalsh(model.kinetic_matrix())
+        occ = 1.0 / (1.0 + np.exp(5.0 * w))
+        expected = 2.0 * np.sum(w * occ) / lat.n_sites  # 2 spins
+        got = kinetic_energy(lat, g, g)
+        assert got == pytest.approx(expected, abs=1e-10)
+
+    def test_zero_for_diagonal_g(self):
+        lat = SquareLattice(3, 3)
+        g = np.eye(9) * 0.5
+        assert kinetic_energy(lat, g, g) == 0.0
+
+    def test_multilayer_tperp_weighting(self):
+        lat = MultilayerLattice(2, 2, 2)
+        rng = np.random.default_rng(0)
+        g = rng.normal(size=(8, 8))
+        full = kinetic_energy(lat, g, g, t=1.0, t_perp=1.0)
+        no_perp = kinetic_energy(lat, g, g, t=1.0, t_perp=0.0)
+        perp_only = kinetic_energy(lat, g, g, t=0.0, t_perp=1.0)
+        assert full == pytest.approx(no_perp + perp_only)
+
+
+class TestDisplacementAverage:
+    def test_zero_displacement_is_diag_mean(self, free_g):
+        lat, g = free_g
+        avg = greens_displacement_average(lat, g)
+        assert avg[0] == pytest.approx(np.mean(np.diag(g)))
+
+    def test_translation_invariant_input(self, free_g):
+        """The free G is translation invariant, so the average must equal
+        any single row's displacement profile."""
+        lat, g = free_g
+        avg = greens_displacement_average(lat, g)
+        row0 = np.array([g[0, lat.index(*lat.coords(r))] for r in range(16)])
+        np.testing.assert_allclose(avg, row0, atol=1e-10)
+
+    def test_transpose_flag(self, free_g):
+        lat, g = free_g
+        a = greens_displacement_average(lat, g, transpose=False)
+        b = greens_displacement_average(lat, g, transpose=True)
+        # free G is symmetric, so both agree there
+        np.testing.assert_allclose(a, b, atol=1e-10)
+        # an asymmetric matrix must distinguish them
+        m = np.zeros((16, 16))
+        m[0, 1] = 1.0
+        a2 = greens_displacement_average(lat, m)
+        b2 = greens_displacement_average(lat, m, transpose=True)
+        assert not np.allclose(a2, b2)

@@ -1,0 +1,66 @@
+"""Unit tests for the momentum distribution."""
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, SquareLattice, momentum_grid
+from repro.hamiltonian import free_dispersion_2d, free_greens_function
+from repro.measure import momentum_distribution, momentum_distribution_spin_mean
+
+
+@pytest.fixture
+def free_case():
+    lat = SquareLattice(6, 6)
+    beta = 4.0
+    model = HubbardModel(lat, u=0.0, beta=beta)
+    g = free_greens_function(model.kinetic_matrix(), beta)
+    return lat, beta, g
+
+
+class TestFreeFermions:
+    def test_matches_fermi_function(self, free_case):
+        """For U = 0, <n_k> must be exactly the Fermi function of the
+        tight-binding dispersion — the sharpest validation available."""
+        lat, beta, g = free_case
+        nk = momentum_distribution(lat, g)
+        k = momentum_grid(lat.lx, lat.ly)
+        eps = free_dispersion_2d(k[:, 0], k[:, 1])
+        expected = 1.0 / (1.0 + np.exp(beta * eps))
+        np.testing.assert_allclose(nk, expected, atol=1e-10)
+
+    def test_range_physical(self, free_case):
+        lat, _, g = free_case
+        nk = momentum_distribution(lat, g)
+        assert np.all(nk > -1e-12) and np.all(nk < 1 + 1e-12)
+
+    def test_sum_rule(self, free_case):
+        """(1/N) sum_k <n_k> = density per spin."""
+        lat, _, g = free_case
+        nk = momentum_distribution(lat, g)
+        density = np.mean(1.0 - np.diag(g))
+        assert nk.mean() == pytest.approx(density, abs=1e-12)
+
+    def test_ordering_across_fermi_surface(self, free_case):
+        """<n_(0,0)> ~ 1 (deep inside FS), <n_(pi,pi)> ~ 0 (far outside)."""
+        lat, _, g = free_case
+        nk = momentum_distribution(lat, g)
+        assert nk[lat.index(0, 0)] > 0.99
+        assert nk[lat.index(3, 3)] < 0.01
+
+
+class TestSpinMean:
+    def test_mean_of_identical_spins(self, free_case):
+        lat, _, g = free_case
+        np.testing.assert_allclose(
+            momentum_distribution_spin_mean(lat, g, g),
+            momentum_distribution(lat, g),
+            atol=1e-14,
+        )
+
+    def test_mean_is_average(self, free_case):
+        lat, _, g = free_case
+        g2 = np.eye(36)  # empty band
+        mixed = momentum_distribution_spin_mean(lat, g, g2)
+        np.testing.assert_allclose(
+            mixed, 0.5 * momentum_distribution(lat, g), atol=1e-12
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for the worker pool."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    WorkerPool,
+    chunk_ranges,
+    get_num_threads,
+    get_pool,
+    set_num_threads,
+)
+
+
+class TestChunkRanges:
+    def test_covers_range_exactly(self):
+        for n, c in [(10, 3), (7, 7), (100, 8), (5, 10)]:
+            chunks = chunk_ranges(n, c)
+            flat = [i for a, b in chunks for i in range(a, b)]
+            assert flat == list(range(n)), (n, c)
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_chunk_count_capped_by_n(self):
+        assert len(chunk_ranges(3, 10)) == 3
+
+    def test_balanced(self):
+        sizes = [b - a for a, b in chunk_ranges(100, 8)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestWorkerPool:
+    def test_parallel_for_executes_all(self):
+        pool = WorkerPool(4)
+        out = np.zeros(1000)
+
+        def body(a, b):
+            out[a:b] = np.arange(a, b)
+
+        pool.parallel_for(1000, body, grain=10)
+        np.testing.assert_array_equal(out, np.arange(1000.0))
+        pool.shutdown()
+
+    def test_serial_pool(self):
+        pool = WorkerPool(1)
+        hits = []
+        pool.parallel_for(10, lambda a, b: hits.append((a, b)))
+        assert hits == [(0, 10)]
+        pool.shutdown()
+
+    def test_small_loops_run_serially(self):
+        pool = WorkerPool(4)
+        thread_ids = set()
+
+        def body(a, b):
+            thread_ids.add(threading.get_ident())
+
+        pool.parallel_for(10, body, grain=100)
+        assert len(thread_ids) == 1  # under the grain floor: no fan-out
+        pool.shutdown()
+
+    def test_large_loops_use_workers(self):
+        import time
+
+        pool = WorkerPool(4)
+        thread_ids = set()
+        lock = threading.Lock()
+
+        def body(a, b):
+            with lock:
+                thread_ids.add(threading.get_ident())
+            time.sleep(0.02)  # hold the worker so chunks must overlap
+
+        pool.parallel_for(10_000, body, grain=1)
+        assert len(thread_ids) > 1
+        pool.shutdown()
+
+    def test_map_reduce(self):
+        pool = WorkerPool(3)
+        total = pool.map_reduce(
+            1000,
+            mapper=lambda a, b: sum(range(a, b)),
+            reducer=sum,
+            grain=1,
+        )
+        assert total == sum(range(1000))
+        pool.shutdown()
+
+    def test_map_reduce_empty(self):
+        pool = WorkerPool(2)
+        assert pool.map_reduce(0, lambda a, b: 1, sum) == 0
+        pool.shutdown()
+
+    def test_exceptions_propagate(self):
+        pool = WorkerPool(2)
+
+        def body(a, b):
+            raise RuntimeError("worker boom")
+
+        with pytest.raises(RuntimeError, match="worker boom"):
+            pool.parallel_for(10_000, body, grain=1)
+        pool.shutdown()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+        pool = WorkerPool(2)
+        with pytest.raises(ValueError):
+            pool.parallel_for(10, lambda a, b: None, grain=0)
+        pool.shutdown()
+
+
+class TestGlobalPool:
+    def test_get_pool_is_singleton(self):
+        assert get_pool() is get_pool()
+
+    def test_set_num_threads(self):
+        old = get_num_threads()
+        try:
+            pool = set_num_threads(2)
+            assert get_num_threads() == 2
+            assert get_pool() is pool
+        finally:
+            set_num_threads(old)

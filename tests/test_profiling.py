@@ -1,0 +1,76 @@
+"""Unit tests for the per-phase profiler."""
+
+import time
+
+import pytest
+
+from repro.profiling import PHASES, PhaseProfiler, ensure_profiler
+
+
+class TestPhaseProfiler:
+    def test_records_time_and_calls(self):
+        p = PhaseProfiler()
+        with p.phase("a"):
+            time.sleep(0.01)
+        with p.phase("a"):
+            pass
+        assert p.seconds["a"] >= 0.01
+        assert p.calls["a"] == 2
+
+    def test_percentages_sum_to_100(self):
+        p = PhaseProfiler()
+        for name in ("x", "y", "z"):
+            with p.phase(name):
+                time.sleep(0.002)
+        pct = p.percentages()
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_percentages_empty(self):
+        assert PhaseProfiler().percentages() == {}
+
+    def test_time_recorded_on_exception(self):
+        p = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with p.phase("boom"):
+                time.sleep(0.002)
+                raise RuntimeError
+        assert p.seconds["boom"] >= 0.002
+
+    def test_merge(self):
+        a, b = PhaseProfiler(), PhaseProfiler()
+        with a.phase("x"):
+            pass
+        with b.phase("x"):
+            pass
+        with b.phase("y"):
+            pass
+        a.merge(b)
+        assert a.calls["x"] == 2 and a.calls["y"] == 1
+
+    def test_report_contains_table1_phases(self):
+        p = PhaseProfiler()
+        for name in PHASES:
+            with p.phase(name):
+                pass
+        text = p.report()
+        for name in PHASES:
+            assert name in text
+
+    def test_accounted_vs_total(self):
+        p = PhaseProfiler()
+        with p.phase("x"):
+            time.sleep(0.002)
+        time.sleep(0.002)  # unaccounted
+        assert p.accounted < p.total
+
+
+class TestEnsureProfiler:
+    def test_passthrough(self):
+        p = PhaseProfiler()
+        assert ensure_profiler(p) is p
+
+    def test_null_profiler_records_nothing(self):
+        null = ensure_profiler(None)
+        with null.phase("x"):
+            pass
+        assert null.seconds == {}
