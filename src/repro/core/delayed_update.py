@@ -68,6 +68,7 @@ class DelayedUpdater:
         """``G_eff[:, i]`` (fresh array)."""
         col = self.g[:, i].copy()
         if self.pending:
+            flops.record("delayed_update", 2.0 * self.n * self.pending)
             col += self._u[:, : self.pending] @ self._w[: self.pending, i]
         return col
 
@@ -75,6 +76,7 @@ class DelayedUpdater:
         """``G_eff[i, :]`` (fresh array)."""
         row = self.g[i, :].copy()
         if self.pending:
+            flops.record("delayed_update", 2.0 * self.n * self.pending)
             row += self._u[i, : self.pending] @ self._w[: self.pending, :]
         return row
 
@@ -92,7 +94,9 @@ class DelayedUpdater:
         col = self.column(i)
         row = self.row(i)
         m = self.pending
-        flops.record("delayed_update", 4.0 * self.n * max(m, 1))
+        # column()/row() record their own G_eff reads; this covers the
+        # scaled writes and the incremental-diagonal axpy.
+        flops.record("delayed_update", 4.0 * self.n)
         self._u[:, m] = (-alpha / d) * col
         self._w[m, :] = -row
         self._w[m, i] += 1.0  # e_i - G_eff[i, :]

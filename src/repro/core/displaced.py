@@ -40,7 +40,7 @@ import numpy as np
 import scipy.linalg as sla
 
 from ..hamiltonian import BMatrixFactory, HSField
-from ..linalg import GradedDecomposition, flops, split_scales
+from ..linalg import SOLVE_KWARGS, GradedDecomposition, flops, split_scales
 from .stratification import StratificationMethod, stratified_decomposition
 
 __all__ = [
@@ -73,7 +73,7 @@ def stable_sum_inverse(
 
     # All O(1) building blocks.
     u1t_t2inv = sla.solve(
-        a2.t.T, a1.q, check_finite=False
+        a2.t.T, a1.q, **SOLVE_KWARGS
     ).T  # U1^T T2^{-1} via T2^T X^T = U1
     t1_u2 = a1.t @ a2.q
     m = (
@@ -83,12 +83,12 @@ def stable_sum_inverse(
 
     # G = T2^{-1} D2b M^{-1} D1b_bar T1, evaluated as two solves.
     rhs = d1b_bar[:, None] * a1.t
-    inner = sla.solve(m, rhs, check_finite=False)
+    inner = sla.solve(m, rhs, **SOLVE_KWARGS)
     flops.record(
         "displaced_greens",
         2 * flops.lu_solve_flops(n, n) + flops.gemm_flops(n, n, n),
     )
-    return sla.solve(a2.t, d2b[:, None] * inner, check_finite=False)
+    return sla.solve(a2.t, d2b[:, None] * inner, **SOLVE_KWARGS)
 
 
 def displaced_greens(

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import shape_contract
 from ..hamiltonian import BMatrixFactory, HSField
 
 __all__ = ["wrap_forward", "wrap_backward"]
 
 
+@shape_contract("(n,n)", dtype=np.float64, finite=True)
 def wrap_forward(
     factory: BMatrixFactory,
     field: HSField,
@@ -40,6 +42,7 @@ def wrap_forward(
     return factory.apply_b_inv_right(field, l, sigma, out)  # ... @ B_l^{-1}
 
 
+@shape_contract("(n,n)", dtype=np.float64, finite=True)
 def wrap_backward(
     factory: BMatrixFactory,
     field: HSField,

@@ -94,11 +94,12 @@ class GpuBlockedQR:
         self.blas = Cublas(device)
         self.block = block
 
-    def _panel(self, payload: np.ndarray, k0: int, k1: int) -> Tuple[np.ndarray, np.ndarray]:
+    def _panel(self, payload: np.ndarray, k0: int, k1: int) -> Tuple[np.ndarray, np.ndarray]:  # qmclint: disable=QL004
         """Factor the panel columns [k0, k1) in place; returns (W, Y).
 
         One modelled kernel: the panel's level-2 Householder sweep reads
-        and writes the panel ~nb times — bandwidth bound, no GEMM.
+        and writes the panel ~nb times — bandwidth bound, no GEMM. Its
+        flops sit inside the ``gpu_qr`` count :meth:`factor` records.
         """
         m = payload.shape[0]
         nb = k1 - k0

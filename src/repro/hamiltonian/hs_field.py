@@ -13,8 +13,6 @@ that enter the B matrices, and the flip ratios
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 __all__ = ["HSField"]
@@ -39,10 +37,19 @@ class HSField:
 
     @classmethod
     def random(
-        cls, n_slices: int, n_sites: int, rng: Optional[np.random.Generator] = None
+        cls, n_slices: int, n_sites: int, rng: np.random.Generator
     ) -> "HSField":
-        """A uniformly random configuration (the paper's initial state)."""
-        rng = rng if rng is not None else np.random.default_rng()
+        """A uniformly random configuration (the paper's initial state).
+
+        ``rng`` is required: every random draw in the package must be
+        threaded from ``SimulationConfig.seed`` so runs are reproducible
+        (qmclint rule QL002 enforces the no-hidden-RNG policy).
+        """
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                "HSField.random requires an explicit np.random.Generator; "
+                "seed one from SimulationConfig.seed"
+            )
         h = rng.choice([-1.0, 1.0], size=(n_slices, n_sites))
         return cls(h)
 

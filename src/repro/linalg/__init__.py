@@ -47,6 +47,7 @@ from .qr import (
     qr_prepivoted,
 )
 from .stable import (
+    SOLVE_KWARGS,
     naive_inverse,
     stable_inverse_from_graded,
     stable_log_det_from_graded,
@@ -55,6 +56,7 @@ from .stable import (
 __all__ = [
     "ConditioningReport",
     "FlopTally",
+    "SOLVE_KWARGS",
     "chain_conditioning_report",
     "max_safe_cluster_size",
     "slice_condition_bound",

@@ -47,9 +47,10 @@ class GradedDecomposition:
     def n(self) -> int:
         return self.q.shape[0]
 
-    def dense(self) -> np.ndarray:
+    def dense(self) -> np.ndarray:  # qmclint: disable=QL004
         """Materialize the product. Only safe when the grading is mild —
-        benchmark/verification use, never in the stable pipeline."""
+        benchmark/verification use, never in the stable pipeline (and
+        deliberately off the FLOP ledger for the same reason)."""
         return self.q @ (self.d[:, None] * self.t)
 
     def grading_ratio(self) -> float:

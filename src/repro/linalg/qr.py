@@ -34,6 +34,7 @@ from typing import Optional
 import numpy as np
 import scipy.linalg as sla
 
+from ..contracts import shape_contract
 from . import flops
 from .norms import column_norms, prepivot_permutation
 
@@ -75,8 +76,12 @@ class QRResult:
     def shape(self) -> tuple:
         return (self.q.shape[0], self.r.shape[1])
 
-    def reconstruct(self) -> np.ndarray:
-        """Rebuild A (in original column order) from the factors."""
+    def reconstruct(self) -> np.ndarray:  # qmclint: disable=QL004
+        """Rebuild A (in original column order) from the factors.
+
+        Verification-only (tests compare against the input); kept off the
+        FLOP ledger so it never inflates a benchmark's nominal count.
+        """
         ap = self.q @ self.r
         out = np.empty_like(ap)
         out[:, self.piv] = ap
@@ -90,6 +95,7 @@ def _check_matrix(a: np.ndarray) -> np.ndarray:
     return a
 
 
+@shape_contract("(m,n)", finite=True)
 def qr_nopivot(a: np.ndarray) -> QRResult:
     """Unpivoted QR via LAPACK DGEQRF/DORGQR (``mode='economic'``)."""
     a = _check_matrix(a)
@@ -99,6 +105,7 @@ def qr_nopivot(a: np.ndarray) -> QRResult:
     return QRResult(q=q, r=r, piv=piv, sync_points=0)
 
 
+@shape_contract("(m,n)", finite=True)
 def qr_pivoted(a: np.ndarray) -> QRResult:
     """Column-pivoted QR via LAPACK DGEQP3.
 
@@ -111,6 +118,7 @@ def qr_pivoted(a: np.ndarray) -> QRResult:
     return QRResult(q=q, r=r, piv=piv, sync_points=min(a.shape))
 
 
+@shape_contract("(m,n)", finite=True)
 def qr_prepivoted(a: np.ndarray, piv: Optional[np.ndarray] = None) -> QRResult:
     """The paper's kernel: one up-front norm sort, then unpivoted QR.
 
@@ -224,8 +232,12 @@ def householder_qrp(
     return QRResult(q=q, r=r, piv=piv, sync_points=kmax)
 
 
-def _form_q(vs: np.ndarray, betas: np.ndarray, m: int, k: int) -> np.ndarray:
-    """Accumulate Q = H_1 H_2 ... H_k applied to the first k identity cols."""
+def _form_q(vs: np.ndarray, betas: np.ndarray, m: int, k: int) -> np.ndarray:  # qmclint: disable=QL004
+    """Accumulate Q = H_1 H_2 ... H_k applied to the first k identity cols.
+
+    Its work is the explicit form-Q term already inside the callers'
+    ``qr_flops``/``qrp_flops`` records — recording here would double count.
+    """
     q = np.eye(m, k)
     for i in range(k - 1, -1, -1):
         v = vs[i:, i]
@@ -234,13 +246,14 @@ def _form_q(vs: np.ndarray, betas: np.ndarray, m: int, k: int) -> np.ndarray:
     return q
 
 
-def apply_wy(
+def apply_wy(  # qmclint: disable=QL004
     c: np.ndarray, w: np.ndarray, y: np.ndarray, transpose: bool = False
 ) -> np.ndarray:
     """Apply a WY-form block reflector ``Q = I - W Y^T`` to C in place.
 
     ``transpose=True`` applies ``Q^T = I - Y W^T``. Both are two GEMMs —
-    the level-3 shape that makes blocked QR fast.
+    the level-3 shape that makes blocked QR fast. The flops are part of
+    the factorization count its callers record (qr_flops/qrp_flops).
     """
     if transpose:
         c -= y @ (w.T @ c)

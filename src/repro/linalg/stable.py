@@ -23,14 +23,24 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg as sla
 
+from ..contracts import shape_contract
 from . import flops
 from .graded import GradedDecomposition, split_scales
 
 __all__ = [
+    "SOLVE_KWARGS",
     "stable_inverse_from_graded",
     "stable_log_det_from_graded",
     "naive_inverse",
 ]
+
+#: The package-wide finiteness policy for LAPACK-backed calls. Input
+#: checking is O(n^2) per call and redundant here: every operand entering
+#: a stable solve is O(1) by construction, and the runtime contracts
+#: layer (:mod:`repro.contracts`) validates finiteness at the API
+#: boundary when enabled. Spell ``**SOLVE_KWARGS`` instead of repeating
+#: ``check_finite=False`` so the policy can be flipped in one place.
+SOLVE_KWARGS = {"check_finite": False}
 
 
 def stable_inverse_from_graded(g: GradedDecomposition) -> np.ndarray:
@@ -42,7 +52,7 @@ def stable_inverse_from_graded(g: GradedDecomposition) -> np.ndarray:
     rhs = db[:, None] * g.q.T
     n = g.n
     flops.record("stable_inverse", flops.lu_solve_flops(n, n) + 2 * n * n)
-    return sla.solve(lhs, rhs, check_finite=False)
+    return sla.solve(lhs, rhs, **SOLVE_KWARGS)
 
 
 def stable_log_det_from_graded(g: GradedDecomposition) -> tuple:
@@ -54,8 +64,11 @@ def stable_log_det_from_graded(g: GradedDecomposition) -> tuple:
     """
     db, ds = split_scales(g.d)
     lhs = db[:, None] * g.q.T + ds[:, None] * g.t
-    sign_q = np.sign(sla.det(g.q, check_finite=False))
-    lu, piv = sla.lu_factor(lhs, check_finite=False)
+    n = g.n
+    # det (one LU) + lu_factor: two factorizations, no triangular solves.
+    flops.record("stable_log_det", 2 * flops.lu_solve_flops(n, 0) + 2 * n * n)
+    sign_q = np.sign(sla.det(g.q, **SOLVE_KWARGS))
+    lu, piv = sla.lu_factor(lhs, **SOLVE_KWARGS)
     diag = np.diag(lu)
     sign_lu = np.prod(np.sign(diag)) * (-1.0) ** np.count_nonzero(
         piv != np.arange(len(piv))
@@ -64,6 +77,7 @@ def stable_log_det_from_graded(g: GradedDecomposition) -> tuple:
     return float(sign_q * sign_lu), logdet
 
 
+@shape_contract("(n,n)", dtype=np.float64, finite=True)
 def naive_inverse(product: np.ndarray) -> np.ndarray:
     """``(I + product)^{-1}`` with no stabilization — the strawman.
 
@@ -74,5 +88,5 @@ def naive_inverse(product: np.ndarray) -> np.ndarray:
     n = product.shape[0]
     flops.record("naive_inverse", flops.lu_solve_flops(n, n))
     return sla.solve(
-        np.eye(n) + product, np.eye(n), check_finite=False
+        np.eye(n) + product, np.eye(n), **SOLVE_KWARGS
     )

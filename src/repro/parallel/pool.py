@@ -57,7 +57,7 @@ def chunk_ranges(n: int, n_chunks: int) -> List[Tuple[int, int]]:
     if n <= 0:
         return []
     n_chunks = max(1, min(n_chunks, n))
-    bounds = np.linspace(0, n, n_chunks + 1).astype(int)
+    bounds = np.linspace(0, n, n_chunks + 1).astype(np.int64)
     return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
 
 

@@ -2,6 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
+# Runtime shape/dtype/finiteness contracts are compiled in at import
+# time (see repro.contracts), so the switch must be flipped before any
+# repro module is imported. On by default under pytest; export
+# REPRO_CONTRACTS=0 to measure the uninstrumented fast path.
+os.environ.setdefault("REPRO_CONTRACTS", "1")
+
 import numpy as np
 import pytest
 

@@ -1,0 +1,526 @@
+"""Tests for the qmclint static-analysis pass.
+
+Each rule gets a good/bad fixture pair; pragma suppression, baseline
+handling and the CLI are exercised end-to-end; and a meta-test asserts
+the shipped ``src/`` tree is lint-clean with an empty baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from qmclint.baseline import (  # noqa: E402
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    save_baseline,
+)
+from qmclint.cli import main as qmclint_main  # noqa: E402
+from qmclint.engine import FileContext, LintRunner  # noqa: E402
+from qmclint.rules import ALL_RULES  # noqa: E402
+
+
+def lint_source(tmp_path: Path, source: str, rel: str = "repro/mod.py"):
+    """Lint one in-memory module placed at a controllable relative path."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    runner = LintRunner(ALL_RULES, root=tmp_path)
+    return runner.run_file(path)
+
+
+def codes(violations):
+    return sorted(v.code for v in violations)
+
+
+class TestQL001RawInverse:
+    def test_flags_linalg_inv(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad(a):
+                return np.linalg.inv(a)
+            """,
+        )
+        assert codes(vs) == ["QL001"]
+
+    def test_flags_sla_inv_and_scipy_inv(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import scipy.linalg as sla
+            import scipy
+
+            def bad(a):
+                return sla.inv(a) + scipy.linalg.inv(a)
+            """,
+        )
+        assert codes(vs) == ["QL001", "QL001"]
+
+    def test_flags_solve_on_identity_plus_product(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+            import scipy.linalg as sla
+
+            def bad(prod):
+                return sla.solve(np.eye(4) + prod, np.eye(4))
+            """,
+        )
+        assert codes(vs) == ["QL001"]
+
+    def test_allows_stable_module(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+            import scipy.linalg as sla
+
+            def naive_inverse(prod):
+                return sla.solve(np.eye(4) + prod, np.eye(4))
+            """,
+            rel="repro/linalg/stable.py",
+        )
+        assert "QL001" not in codes(vs)
+
+    def test_allows_plain_solve(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import scipy.linalg as sla
+
+            def good(lhs, rhs):
+                return sla.solve(lhs, rhs)
+            """,
+        )
+        assert vs == []
+
+
+class TestQL002UnseededRNG:
+    def test_flags_unseeded_default_rng(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad():
+                return np.random.default_rng().random()
+            """,
+        )
+        assert "QL002" in codes(vs)
+
+    def test_flags_module_level_global_rng(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad(n):
+                return np.random.rand(n)
+            """,
+        )
+        assert codes(vs) == ["QL002"]
+
+    def test_allows_seeded_and_threaded_rng(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def good(seed, rng):
+                a = np.random.default_rng(seed)
+                return a.random() + rng.random()
+            """,
+        )
+        assert vs == []
+
+    def test_allows_tests_and_cli(self, tmp_path):
+        bad = """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng()
+            """
+        assert lint_source(tmp_path, bad, rel="tests/test_x.py") == []
+        assert lint_source(tmp_path, bad, rel="repro/cli.py") == []
+
+
+class TestQL003DtypeHygiene:
+    def test_flags_astype_builtin_int(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            def bad(a):
+                return a.astype(int)
+            """,
+        )
+        assert codes(vs) == ["QL003"]
+
+    def test_flags_float32_downcasts(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad(a):
+                b = a.astype(np.float32)
+                c = np.zeros(4, dtype=np.float32)
+                d = np.array([1.0], dtype="float32")
+                return b, c, d
+            """,
+        )
+        assert codes(vs) == ["QL003", "QL003", "QL003"]
+
+    def test_allows_explicit_float64(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def good(a):
+                return a.astype(np.float64), np.zeros(3, dtype=np.int64)
+            """,
+        )
+        assert vs == []
+
+
+class TestQL004FlopLedger:
+    BAD = """
+        import numpy as np
+
+        def bad_gemm(a, b):
+            return a @ b
+        """
+    GOOD = """
+        import numpy as np
+        from repro.linalg import flops
+
+        def good_gemm(a, b):
+            flops.record("gemm", 2.0 * a.shape[0] ** 3)
+            return a @ b
+        """
+
+    def test_flags_unrecorded_matmul_in_kernel_dirs(self, tmp_path):
+        for rel in ("repro/linalg/x.py", "repro/core/x.py", "repro/gpu/x.py"):
+            assert codes(lint_source(tmp_path, self.BAD, rel=rel)) == ["QL004"]
+
+    def test_flags_unrecorded_heavy_calls(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import scipy.linalg as sla
+
+            def bad(a, b):
+                lu, piv = sla.lu_factor(a)
+                return sla.qr(b)
+            """,
+            rel="repro/core/x.py",
+        )
+        assert codes(vs) == ["QL004"]
+
+    def test_recording_function_passes(self, tmp_path):
+        assert lint_source(tmp_path, self.GOOD, rel="repro/linalg/x.py") == []
+
+    def test_out_of_scope_dirs_ignored(self, tmp_path):
+        assert lint_source(tmp_path, self.BAD, rel="repro/measure/x.py") == []
+
+
+class TestQL005InPlaceParam:
+    def test_flags_undeclared_mutation(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            '''
+            import numpy as np
+
+            def bad(g: np.ndarray):
+                """Advance the function."""
+                g[0, 0] = 1.0
+                return g
+            ''',
+        )
+        assert codes(vs) == ["QL005"]
+
+    def test_flags_augmented_and_out_kwarg(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            '''
+            import numpy as np
+
+            def bad(g: np.ndarray, h: np.ndarray):
+                """Compute things."""
+                g += 1.0
+                np.multiply(h, 2.0, out=h)
+            ''',
+        )
+        assert codes(vs) == ["QL005", "QL005"]
+
+    def test_docstring_declaration_allows(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            '''
+            import numpy as np
+
+            def wrap(g: np.ndarray):
+                """Advance G in place and return it."""
+                g[0, 0] = 1.0
+                return g
+            ''',
+        )
+        assert vs == []
+
+    def test_rebound_parameter_is_not_aliasing(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            '''
+            import numpy as np
+
+            def good(a: np.ndarray):
+                """Factor a copy."""
+                a = np.asarray(a).copy()
+                a[0, 0] = 1.0
+                return a
+            ''',
+        )
+        assert vs == []
+
+    def test_unannotated_params_ignored(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            '''
+            def good(counts):
+                """Tally."""
+                counts[0] += 1
+            ''',
+        )
+        assert vs == []
+
+
+class TestQL006SilentExcept:
+    def test_flags_bare_except(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            def bad():
+                try:
+                    return 1
+                except:
+                    pass
+            """,
+        )
+        assert codes(vs) == ["QL006"]
+
+    def test_flags_swallowed_broad_exception(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            def bad():
+                try:
+                    return 1
+                except Exception:
+                    pass
+            """,
+        )
+        assert codes(vs) == ["QL006"]
+
+    def test_allows_handled_specific_exception(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            def good():
+                try:
+                    return 1
+                except ValueError as exc:
+                    raise RuntimeError("context") from exc
+                except Exception as exc:
+                    print(exc)
+                    raise
+            """,
+        )
+        assert vs == []
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def allowed(a):
+                return np.linalg.inv(a)  # qmclint: disable=QL001
+            """,
+        )
+        assert vs == []
+
+    def test_line_pragma_is_code_specific(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def still_bad(a):
+                return np.linalg.inv(a)  # qmclint: disable=QL002
+            """,
+        )
+        assert codes(vs) == ["QL001"]
+
+    def test_file_pragma_suppresses_everywhere(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            # qmclint: disable-file=QL001
+            import numpy as np
+
+            def a1(a):
+                return np.linalg.inv(a)
+
+            def a2(a):
+                return np.linalg.inv(a)
+            """,
+        )
+        assert vs == []
+
+    def test_def_line_pragma_for_function_scoped_rule(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            def helper(a, b):  # qmclint: disable=QL004
+                return a @ b
+            """,
+            rel="repro/linalg/x.py",
+        )
+        assert vs == []
+
+
+class TestBaseline:
+    def _violation(self, tmp_path):
+        path = tmp_path / "repro" / "mod.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            "import numpy as np\n\n"
+            "def bad(a):\n"
+            "    return np.linalg.inv(a)\n"
+        )
+        runner = LintRunner(ALL_RULES, root=tmp_path)
+        (v,) = runner.run_file(path)
+        line = path.read_text().splitlines()[v.line - 1]
+        return v, fingerprint(v, line)
+
+    def test_baselined_violation_is_dropped(self, tmp_path):
+        v, fp = self._violation(tmp_path)
+        bl = tmp_path / ".qmclint-baseline"
+        save_baseline(bl, [fp])
+        assert apply_baseline([(v, fp)], load_baseline(bl)) == []
+
+    def test_new_violation_survives_baseline(self, tmp_path):
+        v, fp = self._violation(tmp_path)
+        bl = tmp_path / ".qmclint-baseline"
+        save_baseline(bl, ["repro/other.py::QL001::deadbeef0000"])
+        assert apply_baseline([(v, fp)], load_baseline(bl)) == [v]
+
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        v, fp = self._violation(tmp_path)
+        path = tmp_path / "repro" / "mod.py"
+        path.write_text("import numpy as np\n\n\n\n" + "\n".join(
+            path.read_text().splitlines()[2:]
+        ) + "\n")
+        runner = LintRunner(ALL_RULES, root=tmp_path)
+        (v2,) = runner.run_file(path)
+        line = path.read_text().splitlines()[v2.line - 1]
+        assert v2.line != v.line
+        assert fingerprint(v2, line) == fp
+
+
+class TestCLI:
+    def test_exit_one_on_violation_and_zero_after_fix(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("import numpy as np\nx = np.linalg.inv(np.eye(2))\n")
+        assert qmclint_main([str(f)]) == 1
+        out = capsys.readouterr().out
+        assert "QL001" in out
+        f.write_text("import numpy as np\nx = np.eye(2)\n")
+        assert qmclint_main([str(f)]) == 0
+
+    def test_update_baseline_then_clean(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("import numpy as np\nx = np.linalg.inv(np.eye(2))\n")
+        bl = tmp_path / "bl.txt"
+        assert qmclint_main(
+            [str(f), "--baseline", str(bl), "--update-baseline", "-q"]
+        ) == 0
+        assert bl.exists()
+        assert qmclint_main([str(f), "--baseline", str(bl), "-q"]) == 0
+        assert qmclint_main([str(f), "--baseline", str(bl), "--no-baseline", "-q"]) == 1
+
+    def test_select_and_ignore(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("import numpy as np\nx = np.linalg.inv(np.eye(2))\n")
+        assert qmclint_main([str(f), "--select", "QL002", "-q"]) == 0
+        assert qmclint_main([str(f), "--ignore", "QL001", "-q"]) == 0
+        assert qmclint_main([str(f), "--select", "QL001", "-q"]) == 1
+
+    def test_unknown_code_is_usage_error(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("import numpy as np\nx = np.linalg.inv(np.eye(2))\n")
+        # A typo'd code must not silently select nothing and report clean.
+        assert qmclint_main([str(f), "--select", "QL999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+        assert qmclint_main([str(f), "--ignore", "QLOOPS", "-q"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert qmclint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("QL001", "QL002", "QL003", "QL004", "QL005", "QL006"):
+            assert code in out
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert qmclint_main([str(tmp_path / "nope.py")]) == 2
+
+    def test_syntax_error_reported_not_crash(self, tmp_path, capsys):
+        f = tmp_path / "broken.py"
+        f.write_text("def (:\n")
+        assert qmclint_main([str(f), "-q"]) == 2
+        assert "unparseable" in capsys.readouterr().err
+
+
+class TestShippedTree:
+    """The acceptance criterion: the repository itself is lint-clean."""
+
+    def test_src_tree_is_clean_with_empty_baseline(self, capsys):
+        baseline = REPO_ROOT / ".qmclint-baseline"
+        assert baseline.exists()
+        assert load_baseline(baseline) == {}, "shipped baseline must be empty"
+        rc = qmclint_main(
+            [str(REPO_ROOT / "src"), "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, f"qmclint found violations in src/:\n{out}"
+
+    def test_every_rule_has_code_name_description(self):
+        seen = set()
+        for rule in ALL_RULES:
+            assert rule.code.startswith("QL") and len(rule.code) == 5
+            assert rule.code not in seen
+            seen.add(rule.code)
+            assert rule.name and rule.description
+
+    def test_file_context_pragma_parsing(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "x = 1  # qmclint: disable=QL001, QL004\n"
+            "# qmclint: disable-file=QL006\n"
+        )
+        ctx = FileContext.parse(f, root=tmp_path)
+        assert ctx.line_pragmas(1) == {"QL001", "QL004"}
+        assert ctx.line_pragmas(2) == set()
+        assert ctx.file_pragmas() == {"QL006"}

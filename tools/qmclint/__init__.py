@@ -1,0 +1,33 @@
+"""qmclint — numerics-correctness static analysis for the DQMC repro.
+
+A repo-specific lint pass (stdlib ``ast`` only, no third-party
+dependencies) enforcing the numerical-stability discipline the paper's
+results depend on: no naive matrix inversion outside the stable-solve
+module, no unseeded randomness, dtype hygiene, an honest FLOP ledger,
+declared in-place mutation, and no silent exception swallowing.
+
+Usage::
+
+    qmclint src/                    # console script
+    python -m qmclint src/          # module form
+
+Suppress a finding on one line with ``# qmclint: disable=QL001`` (comma
+separated for several codes), or for a whole file with
+``# qmclint: disable-file=QL001``. Pre-existing findings can be frozen
+into a baseline file (``--update-baseline``) so only new violations fail
+the build; the shipped tree keeps an *empty* baseline.
+"""
+
+from .engine import FileContext, LintRunner, Violation
+from .rules import ALL_RULES, Rule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "LintRunner",
+    "Rule",
+    "Violation",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Baseline files: freeze pre-existing violations, fail only on new ones.
+
+A baseline entry is a *fingerprint* — path, code, and a short hash of the
+stripped source line — deliberately independent of the line number so
+unrelated edits above a frozen violation do not unfreeze it. The shipped
+tree keeps the baseline empty: every rule violation in ``src/`` was fixed
+rather than frozen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .engine import Violation
+
+__all__ = ["fingerprint", "load_baseline", "save_baseline", "apply_baseline"]
+
+DEFAULT_BASELINE = ".qmclint-baseline"
+
+
+def fingerprint(v: Violation, line_text: str) -> str:
+    digest = hashlib.sha1(line_text.strip().encode()).hexdigest()[:12]
+    return f"{v.path}::{v.code}::{digest}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint -> allowed count (duplicates on one line accumulate)."""
+    entries: Dict[str, int] = {}
+    if not path.exists():
+        return entries
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        entries[line] = entries.get(line, 0) + 1
+    return entries
+
+
+def save_baseline(path: Path, fingerprints: Iterable[str]) -> None:
+    lines = [
+        "# qmclint baseline — frozen pre-existing violations.",
+        "# Regenerate with: qmclint --update-baseline <paths>",
+    ]
+    lines.extend(sorted(fingerprints))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def apply_baseline(
+    violations: List[Tuple[Violation, str]], baseline: Dict[str, int]
+) -> List[Violation]:
+    """Drop violations whose fingerprint has remaining baseline budget."""
+    budget = dict(baseline)
+    fresh: List[Violation] = []
+    for v, fp in violations:
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+        else:
+            fresh.append(v)
+    return fresh

@@ -1,0 +1,154 @@
+"""The ``qmclint`` command-line entry point.
+
+Exit status: 0 when the tree is clean (after pragmas and baseline),
+1 when violations remain, 2 on usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    save_baseline,
+)
+from .engine import FileContext, LintRunner, Violation, iter_python_files
+from .rules import ALL_RULES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qmclint",
+        description="numerics-correctness static analysis for the DQMC repro",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, default=[Path("src")],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="freeze current violations into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every violation, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-violation output (exit status only)",
+    )
+    return parser
+
+
+def _codes(blob: Optional[str]) -> Optional[set]:
+    if blob is None:
+        return None
+    return {c.strip().upper() for c in blob.split(",") if c.strip()}
+
+
+def _line_text(path: Path, line: int, cache: dict) -> str:
+    if path not in cache:
+        try:
+            cache[path] = path.read_text().splitlines()
+        except OSError:
+            cache[path] = []
+    lines = cache[path]
+    return lines[line - 1] if 1 <= line <= len(lines) else ""
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:<16} {rule.description}")
+        return 0
+
+    paths = args.paths or [Path("src")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"qmclint: no such path: {p}", file=sys.stderr)
+        return 2
+
+    select = _codes(args.select)
+    ignore = _codes(args.ignore)
+    # A typo'd code must not silently select nothing (and report "clean").
+    known = {rule.code for rule in ALL_RULES}
+    for flag, codes in (("--select", select), ("--ignore", ignore)):
+        unknown = sorted((codes or set()) - known)
+        if unknown:
+            print(
+                f"qmclint: unknown rule code(s) in {flag}: "
+                f"{', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    runner = LintRunner(ALL_RULES, select=select, ignore=ignore or set())
+
+    # Collect per-file so fingerprints can reuse the parsed source.
+    tagged: List[Tuple[Violation, str]] = []
+    for f in iter_python_files(paths):
+        for v in runner.run_file(f):
+            # run_file normalizes the reported path; recover the on-disk
+            # file for fingerprint line lookup.
+            tagged.append((v, f))
+    cache: dict = {}
+    tagged_fp = [
+        (v, fingerprint(v, _line_text(f, v.line, cache))) for v, f in tagged
+    ]
+
+    baseline_path = args.baseline or Path(DEFAULT_BASELINE)
+    if args.update_baseline:
+        save_baseline(baseline_path, (fp for _, fp in tagged_fp))
+        if not args.quiet:
+            print(
+                f"qmclint: froze {len(tagged_fp)} violation(s) into "
+                f"{baseline_path}"
+            )
+        return 0
+
+    if args.no_baseline:
+        fresh = [v for v, _ in tagged_fp]
+    else:
+        fresh = apply_baseline(tagged_fp, load_baseline(baseline_path))
+
+    for err in runner.errors:
+        print(f"qmclint: {err}", file=sys.stderr)
+    if not args.quiet:
+        for v in fresh:
+            print(v.format())
+        n_files = len(list(iter_python_files(paths)))
+        status = "clean" if not fresh else f"{len(fresh)} violation(s)"
+        print(f"qmclint: {n_files} file(s) checked: {status}")
+    if runner.errors:
+        return 2
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""The rule engine: file contexts, pragma suppression, and the runner.
+
+A :class:`FileContext` bundles everything a rule may want about one file
+(parsed AST, raw source lines, a normalized posix-style path for scope
+matching). The :class:`LintRunner` walks a set of paths, applies every
+registered rule, and filters the resulting violations through line/file
+pragmas and the optional baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+__all__ = ["Violation", "FileContext", "LintRunner", "iter_python_files"]
+
+
+#: ``# qmclint: disable=QL001,QL004`` — suppress on the carrying line.
+_PRAGMA_LINE = re.compile(r"#\s*qmclint:\s*disable=([A-Z0-9,\s]+)")
+#: ``# qmclint: disable-file=QL002`` — suppress for the whole file.
+_PRAGMA_FILE = re.compile(r"#\s*qmclint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, anchored to a source line."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _parse_codes(blob: str) -> set:
+    return {c.strip() for c in blob.split(",") if c.strip()}
+
+
+@dataclass
+class FileContext:
+    """Everything the rules need about one parsed source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    #: normalized forward-slash path used for scope matching and output
+    rel: str
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, root: Optional[Path] = None) -> "FileContext":
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        try:
+            rel = path.resolve().relative_to((root or Path.cwd()).resolve())
+        except ValueError:
+            rel = path
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            rel=rel.as_posix(),
+            lines=source.splitlines(),
+        )
+
+    # -- pragma handling -----------------------------------------------------
+
+    def line_pragmas(self, line: int) -> set:
+        """Codes disabled on the given 1-based line."""
+        if not 1 <= line <= len(self.lines):
+            return set()
+        m = _PRAGMA_LINE.search(self.lines[line - 1])
+        return _parse_codes(m.group(1)) if m else set()
+
+    def file_pragmas(self) -> set:
+        """Codes disabled for the whole file."""
+        out: set = set()
+        for text in self.lines:
+            m = _PRAGMA_FILE.search(text)
+            if m:
+                out |= _parse_codes(m.group(1))
+        return out
+
+    def is_suppressed(self, v: Violation) -> bool:
+        return v.code in self.line_pragmas(v.line) or v.code in self.file_pragmas()
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+class LintRunner:
+    """Applies a rule set over files, honouring pragmas and select/ignore."""
+
+    def __init__(
+        self,
+        rules: Iterable,
+        select: Optional[set] = None,
+        ignore: Optional[set] = None,
+        root: Optional[Path] = None,
+    ):
+        self.rules = list(rules)
+        self.select = select
+        self.ignore = ignore or set()
+        self.root = root
+        self.errors: List[str] = []
+
+    def _active(self, code: str) -> bool:
+        if self.select is not None and code not in self.select:
+            return False
+        return code not in self.ignore
+
+    def run_file(self, path: Path) -> List[Violation]:
+        try:
+            ctx = FileContext.parse(path, root=self.root)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            self.errors.append(f"{path}: unparseable: {exc}")
+            return []
+        out: List[Violation] = []
+        for rule in self.rules:
+            if not self._active(rule.code):
+                continue
+            for v in rule.check(ctx):
+                if not ctx.is_suppressed(v):
+                    out.append(v)
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return out
+
+    def run(self, paths: Sequence[Path]) -> List[Violation]:
+        out: List[Violation] = []
+        for f in iter_python_files(paths):
+            out.extend(self.run_file(f))
+        return out

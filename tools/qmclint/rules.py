@@ -1,0 +1,523 @@
+"""The rule catalogue: QL001–QL006.
+
+Each rule is a small AST pass grounded in a failure mode this codebase
+actually has to defend against (see ``docs/static_analysis.md`` for the
+physics rationale per rule). Rules yield :class:`~qmclint.engine.Violation`
+objects; pragma and baseline filtering happen in the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from .engine import FileContext, Violation
+
+__all__ = ["Rule", "ALL_RULES"]
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``np.linalg.inv`` -> "np.linalg.inv"; empty string if not a chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(call: ast.Call) -> str:
+    """Trailing name of the called object ("inv" for ``np.linalg.inv``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _iter_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    """All nodes in a function body, *excluding* nested function scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class Rule:
+    """Base class; subclasses set ``code``/``name`` and implement check()."""
+
+    code = "QL000"
+    name = "base"
+    description = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+# ---------------------------------------------------------------------------
+# QL001 — no raw matrix inversion outside the stable-solve module
+# ---------------------------------------------------------------------------
+
+
+class RawInverseRule(Rule):
+    """Flag ``*.inv(...)`` and ``solve(I + product, ...)``.
+
+    Forming ``(I + B_L...B_1)^{-1}`` without the graded D_b/D_s split is
+    exactly the instability the paper's Algorithms 2/3 exist to avoid;
+    the only module allowed to spell an unstabilized solve is
+    ``repro/linalg/stable.py`` (where the strawman lives, clearly
+    labelled).
+    """
+
+    code = "QL001"
+    name = "raw-inverse"
+    description = "raw matrix inversion outside linalg/stable.py"
+
+    ALLOWED_SUFFIXES = ("repro/linalg/stable.py",)
+    _LINALG_HOLDERS = {"np.linalg", "numpy.linalg", "scipy.linalg", "sla", "la"}
+
+    def _is_eye_call(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Call) and call_name(node) in (
+            "eye",
+            "identity",
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.rel.endswith(self.ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "inv" and isinstance(node.func, ast.Attribute):
+                holder = dotted_name(node.func.value)
+                if holder in self._LINALG_HOLDERS or holder.endswith(".linalg"):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"raw matrix inversion `{dotted_name(node.func)}`: "
+                        "use the graded stable solve "
+                        "(repro.linalg.stable) instead",
+                    )
+            elif name == "solve" and node.args:
+                lhs = node.args[0]
+                if isinstance(lhs, ast.BinOp) and isinstance(lhs.op, ast.Add):
+                    if self._is_eye_call(lhs.left) or self._is_eye_call(
+                        lhs.right
+                    ):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "solve on an `I + product` operand: form the "
+                            "Green's function through "
+                            "stable_inverse_from_graded, never naively",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# QL002 — no unseeded / module-level RNG
+# ---------------------------------------------------------------------------
+
+
+class UnseededRNGRule(Rule):
+    """Randomness must be threaded from ``SimulationConfig.seed``.
+
+    An unseeded ``default_rng()`` (or any legacy ``np.random.*`` global
+    call) makes runs unreproducible and silently decouples worker streams
+    from the configured seed.
+    """
+
+    code = "QL002"
+    name = "unseeded-rng"
+    description = "unseeded or module-level numpy RNG"
+
+    _GLOBAL_FNS = {
+        "rand",
+        "randn",
+        "random",
+        "randint",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "seed",
+    }
+
+    def _allowed(self, ctx: FileContext) -> bool:
+        parts = ctx.rel.split("/")
+        return (
+            "tests" in parts
+            or "benchmarks" in parts
+            or "examples" in parts
+            or parts[-1] in ("cli.py", "conftest.py")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if self._allowed(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "default_rng" and not node.args and not node.keywords:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "unseeded default_rng(): thread a Generator from "
+                    "SimulationConfig.seed (pass `rng=` explicitly)",
+                )
+            elif name in self._GLOBAL_FNS and isinstance(
+                node.func, ast.Attribute
+            ):
+                holder = dotted_name(node.func.value)
+                if holder in ("np.random", "numpy.random"):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"module-level `{holder}.{name}` uses the hidden "
+                        "global RNG; pass an explicit seeded Generator",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# QL003 — dtype hygiene
+# ---------------------------------------------------------------------------
+
+
+class DtypeHygieneRule(Rule):
+    """Flag precision downcasts and platform-dependent dtypes.
+
+    All DQMC state is float64 by contract; a stray float32 (or a
+    platform-dependent ``astype(int)``, which is 32-bit on Windows)
+    silently destroys the graded scales' dynamic range.
+    """
+
+    code = "QL003"
+    name = "dtype-hygiene"
+    description = "implicit downcast or platform-dependent dtype"
+
+    _NARROW = {"float32", "float16", "complex64", "half", "single", "csingle"}
+    _BUILTIN = {"int", "float", "bool", "complex"}
+
+    def _narrow_dtype(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute) and node.attr in self._NARROW:
+            return dotted_name(node)
+        if isinstance(node, ast.Constant) and node.value in self._NARROW:
+            return repr(node.value)
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # .astype(...) with a bare builtin dtype
+            if call_name(node) == "astype" and isinstance(
+                node.func, ast.Attribute
+            ):
+                for arg in node.args[:1]:
+                    if isinstance(arg, ast.Name) and arg.id in self._BUILTIN:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"astype({arg.id}) is platform-dependent: "
+                            f"spell the width (np.int64 / np.float64)",
+                        )
+                    narrow = self._narrow_dtype(arg)
+                    if narrow:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"astype({narrow}) downcasts below float64 — "
+                            "the graded scales need full precision",
+                        )
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        ctx, node, "astype() without an explicit dtype"
+                    )
+            # dtype=np.float32 keyword anywhere (array constructors etc.)
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    narrow = self._narrow_dtype(kw.value)
+                    if narrow:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"dtype={narrow} downcasts below float64 — "
+                            "the graded scales need full precision",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# QL004 — FLOP-ledger completeness in the kernel directories
+# ---------------------------------------------------------------------------
+
+
+class FlopLedgerRule(Rule):
+    """Heavy linear algebra must feed the FLOP tally.
+
+    The Fig. 4 GFLOPS reproduction divides measured wall-clock by the
+    *nominal* flop count from ``repro.linalg.flops``; a kernel that does
+    a GEMM/QR/solve without ``flops.record(...)`` silently inflates the
+    reported rate.
+    """
+
+    code = "QL004"
+    name = "flop-ledger"
+    description = "matmul/qr/solve without flops.record in kernel dirs"
+
+    _SCOPED_DIRS = {"linalg", "core", "gpu"}
+    _HEAVY_CALLS = {"qr", "solve", "lu_factor", "lu_solve", "svd"}
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        parts = ctx.rel.split("/")
+        if parts[-1] == "flops.py":  # the ledger itself
+            return False
+        return bool(self._SCOPED_DIRS.intersection(parts[:-1]))
+
+    def _heavy_op(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            return "matmul (@)"
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.op, ast.MatMult
+        ):
+            return "matmul (@=)"
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in self._HEAVY_CALLS:
+                return f"{name}()"
+        return None
+
+    def _records(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "record":
+            return dotted_name(func.value).endswith("flops")
+        return isinstance(func, ast.Name) and func.id == "record"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not self._in_scope(ctx):
+            return
+        for fn in _functions(ctx.tree):
+            heavy: Optional[str] = None
+            records = False
+            for node in _iter_scope(fn.body):
+                if heavy is None:
+                    heavy = self._heavy_op(node)
+                if not records and self._records(node):
+                    records = True
+            if heavy is not None and not records:
+                yield self.violation(
+                    ctx,
+                    fn,
+                    f"`{fn.name}` performs {heavy} but never calls "
+                    "flops.record(...): the GFLOPS ledger goes stale",
+                )
+
+
+# ---------------------------------------------------------------------------
+# QL005 — undeclared in-place mutation of ndarray parameters
+# ---------------------------------------------------------------------------
+
+
+class InPlaceParamRule(Rule):
+    """Mutating an ``np.ndarray`` argument must be declared.
+
+    Callers share references; a function that writes into a parameter
+    without saying so creates aliasing bugs of exactly the kind wrapped
+    Green's functions and delayed-update buffers are prone to. Declaring
+    it — "in place"/"mutates" in the docstring, or a mutating name —
+    silences the rule.
+    """
+
+    code = "QL005"
+    name = "inplace-param"
+    description = "undeclared in-place mutation of an ndarray parameter"
+
+    _DECLARING_WORDS = ("in place", "in-place", "inplace", "mutat", "overwrit")
+    _DECLARING_NAMES = ("inplace", "in_place", "update", "flush", "fill")
+    _MUTATING_METHODS = {"fill", "sort", "partition", "put", "resize"}
+    _OUT_FNS = {"copyto"}
+
+    def _declares(self, fn: ast.FunctionDef) -> bool:
+        lowered = fn.name.lower()
+        if any(word in lowered for word in self._DECLARING_NAMES):
+            return True
+        doc = ast.get_docstring(fn) or ""
+        lowered = doc.lower()
+        return any(word in lowered for word in self._DECLARING_WORDS)
+
+    def _ndarray_params(self, fn: ast.FunctionDef) -> Set[str]:
+        out: Set[str] = set()
+        args = list(fn.args.posonlyargs) + list(fn.args.args) + list(
+            fn.args.kwonlyargs
+        )
+        for a in args:
+            if a.arg in ("self", "cls"):
+                continue
+            ann = a.annotation
+            if ann is not None and "ndarray" in ast.unparse(ann):
+                out.add(a.arg)
+        return out
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in _functions(ctx.tree):
+            params = self._ndarray_params(fn)
+            if not params:
+                continue
+            # A parameter rebound by a plain assignment no longer aliases
+            # the caller's array (the repo idiom `a = asarray(a).copy()`).
+            for node in _iter_scope(fn.body):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            params.discard(tgt.id)
+            if not params:
+                continue
+            declared = self._declares(fn)
+            for node in _iter_scope(fn.body):
+                name = self._mutation(node, params)
+                if name and not declared:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"`{fn.name}` mutates ndarray parameter "
+                        f"`{name}` without declaring it (say 'in place' "
+                        "in the docstring or rename)",
+                    )
+
+    def _mutation(self, node: ast.AST, params: Set[str]) -> Optional[str]:
+        def base_param(target: ast.AST) -> Optional[str]:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                if target.value.id in params:
+                    return target.value.id
+            return None
+
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                name = base_param(tgt)
+                if name:
+                    return name
+        elif isinstance(node, ast.AugAssign):
+            name = base_param(node.target)
+            if name:
+                return name
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id in params
+            ):
+                return node.target.id
+        elif isinstance(node, ast.Call):
+            fname = call_name(node)
+            if fname in self._OUT_FNS and node.args:
+                if (
+                    isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in params
+                ):
+                    return node.args[0].id
+            if fname in self._MUTATING_METHODS and isinstance(
+                node.func, ast.Attribute
+            ):
+                holder = node.func.value
+                if isinstance(holder, ast.Name) and holder.id in params:
+                    return holder.id
+            for kw in node.keywords:
+                if (
+                    kw.arg == "out"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id in params
+                ):
+                    return kw.value.id
+        return None
+
+
+# ---------------------------------------------------------------------------
+# QL006 — no silent exception swallowing
+# ---------------------------------------------------------------------------
+
+
+class SilentExceptRule(Rule):
+    """Bare ``except:`` and ``except Exception: pass`` hide failures.
+
+    A swallowed LinAlgError in the middle of a sweep turns a detectable
+    stratification failure into silently wrong physics.
+    """
+
+    code = "QL006"
+    name = "silent-except"
+    description = "bare except or silently swallowed exception"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_silent_body(self, body: List[ast.stmt]) -> bool:
+        return all(
+            isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in body
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt; name the exception",
+                )
+            elif (
+                isinstance(node.type, (ast.Name, ast.Attribute))
+                and dotted_name(node.type).split(".")[-1] in self._BROAD
+                and self._is_silent_body(node.body)
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "broad exception silently swallowed; handle, log, or "
+                    "re-raise",
+                )
+
+
+ALL_RULES = (
+    RawInverseRule(),
+    UnseededRNGRule(),
+    DtypeHygieneRule(),
+    FlopLedgerRule(),
+    InPlaceParamRule(),
+    SilentExceptRule(),
+)
