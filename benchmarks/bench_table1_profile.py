@@ -9,12 +9,18 @@ Bench scale: N = 16..100, short runs, same phase accounting through
 :class:`repro.profiling.PhaseProfiler`. Asserted shape: stratification
 is the single largest phase at the largest N, every phase is a
 non-trivial share, and the shares sum to ~100%.
+
+The phase numbers are read back *through the telemetry pipeline* (the
+profiler's registry-export hook) rather than straight off the profiler,
+so this bench also pins the contract that a JSONL telemetry archive
+carries everything needed to reconstruct Table I offline
+(``repro telemetry-report``).
 """
 
 import pytest
 
 from bench_common import format_table
-from repro import HubbardModel, Simulation, SquareLattice
+from repro import HubbardModel, Simulation, SquareLattice, Telemetry
 from repro.profiling import PHASES
 
 SIZES = [4, 8, 12, 16]
@@ -25,9 +31,22 @@ def _profile(size: int):
         SquareLattice(size, size), u=4.0, beta=4.0, n_slices=32
     )
     sweeps = (2, 4) if size <= 12 else (1, 2)
-    sim = Simulation(model, seed=size, cluster_size=8)
+    telemetry = Telemetry(writer=None, snapshot_every=0)
+    sim = Simulation(model, seed=size, cluster_size=8, telemetry=telemetry)
     sim.run(warmup_sweeps=sweeps[0], measurement_sweeps=sweeps[1])
-    return sim.profiler.percentages()
+
+    # Recover the Table I data from the metrics registry, as
+    # `repro telemetry-report` would from the archived snapshot.
+    telemetry.snapshot()
+    registry = telemetry.registry
+    seconds = {
+        phase: registry.gauge(f"phase.{phase}.seconds")
+        for phase in sim.profiler.seconds
+    }
+    for phase, sec in seconds.items():
+        assert sec == pytest.approx(sim.profiler.seconds[phase]), phase
+    total = sum(seconds.values())
+    return {k: 100.0 * v / total for k, v in seconds.items()}
 
 
 def test_table1_phase_breakdown(benchmark, report):

@@ -35,6 +35,13 @@ from .lattice import (
 )
 from .dqmc import Simulation, SimulationConfig, SimulationResult, load_config
 from .profiling import PhaseProfiler
+from .telemetry import (
+    MetricsRegistry,
+    NumericalHealthWatchdog,
+    Telemetry,
+    TelemetryWriter,
+    WatchdogConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -44,12 +51,17 @@ __all__ = [
     "HSField",
     "HubbardModel",
     "KineticPropagator",
+    "MetricsRegistry",
     "MultilayerLattice",
+    "NumericalHealthWatchdog",
     "PhaseProfiler",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
     "SquareLattice",
+    "Telemetry",
+    "TelemetryWriter",
+    "WatchdogConfig",
     "load_config",
     "__version__",
     "fourier_two_point",

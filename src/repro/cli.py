@@ -5,12 +5,18 @@ archive out — with checkpoint/resume for long runs:
 
 ``run``
     Execute the simulation an input file describes; write observables to
-    ``<input>.npz``; optionally checkpoint every N sweeps and resume.
+    ``<input>.npz``; optionally checkpoint every N sweeps and resume;
+    optionally archive a JSONL telemetry stream (``--telemetry``) with a
+    numerical-health watchdog (``--watchdog-every``).
 
 ``info``
     Parse an input file and report the derived quantities a user wants
     before committing hours: beta, nu, matrix sizes, memory estimate and
     the conditioning-based safe cluster size.
+
+``telemetry-report``
+    Summarize a JSONL telemetry archive from a previous (or still
+    running) ``run --telemetry`` into a Table-I-style digest.
 
 ``version``
     Print the package version.
@@ -26,7 +32,14 @@ from typing import List, Optional
 from . import __version__
 from .dqmc import load_checkpoint, load_config, save_checkpoint
 from .io import save_observables
-from .linalg import chain_conditioning_report
+from .linalg import chain_conditioning_report, flops
+from .telemetry import (
+    Telemetry,
+    TelemetryWriter,
+    WatchdogConfig,
+    render_report,
+    summarize_jsonl,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -56,9 +69,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--quiet", action="store_true", help="suppress the progress lines"
     )
+    p_run.add_argument(
+        "--telemetry", type=Path, default=None, metavar="JSONL",
+        help="archive metrics snapshots and structured events to this "
+        "JSONL file (inspectable mid-run; see docs/observability.md)",
+    )
+    p_run.add_argument(
+        "--telemetry-snapshot-every", type=int, default=10, metavar="SWEEPS",
+        help="sweeps between full metric snapshots in the telemetry "
+        "stream (default 10; 0 = only a final snapshot)",
+    )
+    p_run.add_argument(
+        "--watchdog-every", type=int, default=0, metavar="SWEEPS",
+        help="sample wrap drift + graded conditioning every N sweeps and "
+        "force a refresh past tolerance (default 0 = watchdog off; each "
+        "sample costs ~one stratification)",
+    )
+    p_run.add_argument(
+        "--watchdog-drift-tol", type=float, default=1e-6, metavar="TOL",
+        help="wrap-drift relative-error alert threshold (default 1e-6)",
+    )
+    p_run.add_argument(
+        "--watchdog-range-tol", type=float, default=1e14, metavar="TOL",
+        help="graded dynamic-range alert threshold (default 1e14)",
+    )
 
     p_info = sub.add_parser("info", help="analyze an input file without running")
     p_info.add_argument("input", type=Path)
+
+    p_report = sub.add_parser(
+        "telemetry-report",
+        help="summarize a JSONL telemetry archive (Table-I-style view)",
+    )
+    p_report.add_argument("jsonl", type=Path, help="telemetry file from run --telemetry")
 
     sub.add_parser("version", help="print the package version")
     return parser
@@ -69,11 +112,64 @@ def _emit(quiet: bool, text: str) -> None:
         print(text)
 
 
+def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
+    if not args.telemetry:
+        return None
+    return Telemetry(
+        TelemetryWriter(args.telemetry),
+        snapshot_every=args.telemetry_snapshot_every,
+    )
+
+
+def _build_watchdog(args: argparse.Namespace) -> Optional[WatchdogConfig]:
+    if not args.watchdog_every:
+        return None
+    return WatchdogConfig(
+        check_every=args.watchdog_every,
+        drift_tol=args.watchdog_drift_tol,
+        range_tol=args.watchdog_range_tol,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = load_config(args.input)
-    sim = cfg.simulation()
+    telemetry = _build_telemetry(args)
+    sim = cfg.simulation(telemetry=telemetry, watchdog=_build_watchdog(args))
     output = args.output if args.output else args.input.with_suffix(".npz")
+    try:
+        with flops.tally() as flop_tally:
+            if telemetry is not None:
+                telemetry.add_snapshot_source(
+                    lambda reg: reg.set_gauge(
+                        "flops.total", flop_tally.total_flops
+                    )
+                )
+                telemetry.event("run_started", input=str(args.input), config=cfg.dumps())
+            result = _run_stages(args, cfg, sim, telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.event("run_done")
+            telemetry.close()
 
+    save_observables(
+        output,
+        result.observables,
+        metadata={
+            "input": cfg.dumps(),
+            "acceptance": result.sweep_stats.acceptance_rate,
+            "mean_sign": result.mean_sign,
+        },
+    )
+    _emit(args.quiet, "")
+    _emit(args.quiet, result.summary())
+    _emit(args.quiet, f"\nobservables -> {output}")
+    if args.telemetry:
+        _emit(args.quiet, f"telemetry   -> {args.telemetry}")
+    return 0
+
+
+def _run_stages(args, cfg, sim, telemetry):
+    """Warmup (or resume), checkpointed measurement loop, reduction."""
     measured = 0
     if args.checkpoint and args.checkpoint.exists():
         load_checkpoint(args.checkpoint, sim)
@@ -83,6 +179,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"resumed from {args.checkpoint}: "
             f"{measured}/{cfg.npass} measurement sweeps done",
         )
+        if telemetry is not None:
+            telemetry.event(
+                "checkpoint_resumed",
+                path=str(args.checkpoint),
+                measured_sweeps=measured,
+            )
     else:
         _emit(
             args.quiet,
@@ -98,21 +200,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         measured += chunk
         if args.checkpoint:
             save_checkpoint(args.checkpoint, sim)
+            if telemetry is not None:
+                telemetry.event(
+                    "checkpoint_saved",
+                    path=str(args.checkpoint),
+                    measured_sweeps=measured,
+                )
         _emit(args.quiet, f"measured {measured}/{cfg.npass} sweeps")
 
-    result = sim.result(n_warmup=cfg.nwarm, n_measurement=cfg.npass)
-    save_observables(
-        output,
-        result.observables,
-        metadata={
-            "input": cfg.dumps(),
-            "acceptance": result.sweep_stats.acceptance_rate,
-            "mean_sign": result.mean_sign,
-        },
-    )
-    _emit(args.quiet, "")
-    _emit(args.quiet, result.summary())
-    _emit(args.quiet, f"\nobservables -> {output}")
+    return sim.result(n_warmup=cfg.nwarm, n_measurement=cfg.npass)
+
+
+def cmd_telemetry_report(args: argparse.Namespace) -> int:
+    if not args.jsonl.exists():
+        print(f"no such telemetry file: {args.jsonl}", file=sys.stderr)
+        return 1
+    print(render_report(summarize_jsonl(args.jsonl)))
     return 0
 
 
@@ -149,6 +252,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_info(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "telemetry-report":
+        return cmd_telemetry_report(args)
     raise AssertionError("unreachable")
 
 

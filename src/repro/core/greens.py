@@ -26,6 +26,7 @@ import numpy as np
 
 from ..hamiltonian import BMatrixFactory, HSField
 from ..profiling import PhaseProfiler, ensure_profiler
+from ..telemetry import Telemetry, ensure_telemetry
 from .recycling import ClusterCache
 from .stratification import (
     StratificationMethod,
@@ -57,6 +58,11 @@ class GreensFunctionEngine:
     profiler:
         Optional :class:`PhaseProfiler`; phases "clustering",
         "stratification" and "wrapping" are reported.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; the engine counts
+        fresh stratifications into it and registers the cluster cache's
+        hit/miss stats as a snapshot source. ``None`` costs nothing
+        (shared no-op instance).
     """
 
     def __init__(
@@ -67,14 +73,32 @@ class GreensFunctionEngine:
         cluster_size: int = 10,
         profiler: Optional[PhaseProfiler] = None,
         threaded_norms: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.factory = factory
         self.field = field
         self.method = method
         self.threaded_norms = threaded_norms
         self.profiler = ensure_profiler(profiler)
+        self.telemetry = ensure_telemetry(telemetry)
         self.cache = ClusterCache(factory, field, cluster_size)
+        self._register_cache_stats()
         self.last_stats = StratificationStats()
+
+    def _register_cache_stats(self) -> None:
+        """Expose the cluster cache's stats to telemetry snapshots.
+
+        The source reads ``self.cache`` at snapshot time, so subclasses
+        that swap in their own cache (the hybrid GPU engine) are covered
+        without re-registration."""
+        if not self.telemetry.enabled:
+            return
+
+        def export(registry, engine=self) -> None:
+            for name, value in engine.cache.stats().items():
+                registry.set_gauge(name, value)
+
+        self.telemetry.add_snapshot_source(export)
 
     @property
     def n(self) -> int:
@@ -117,6 +141,7 @@ class GreensFunctionEngine:
                 threaded_norms=self.threaded_norms,
             )
             self.last_stats = stats
+        self.telemetry.counter("engine.stratifications")
         return g
 
     def greens_at_slice(self, sigma: int, l: int) -> np.ndarray:

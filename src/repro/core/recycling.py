@@ -86,6 +86,24 @@ class ClusterCache:
         self._cache[key] = prod
         return prod
 
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss totals in telemetry-snapshot form.
+
+        Registered by the simulation driver as a telemetry snapshot
+        source, so the recycling effectiveness (paper Sec. III-B2's
+        whole point) is archived alongside the phase timings without the
+        cache itself carrying any per-access instrumentation.
+        """
+        accesses = self.hits + self.misses
+        return {
+            "cluster_cache.hits": float(self.hits),
+            "cluster_cache.misses": float(self.misses),
+            "cluster_cache.hit_rate": (
+                self.hits / accesses if accesses else 0.0
+            ),
+            "cluster_cache.entries": float(len(self._cache)),
+        }
+
     def chain(self, sigma: int, start_cluster: int) -> List[np.ndarray]:
         """Cluster chain rightmost-first starting at ``start_cluster``.
 

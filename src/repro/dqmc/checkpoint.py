@@ -16,11 +16,18 @@ state that rebuilds on demand.
 
 Format: a single ``.npz`` holding the arrays plus a JSON header — no
 pickle, so checkpoints are portable and safe to load.
+
+Atomicity guarantee: :func:`save_checkpoint` writes to a temporary file
+in the destination directory and ``os.replace``-s it into place, so a
+crash, out-of-disk, or node reclaim *during* a save can never destroy
+the previous good checkpoint — the file at ``path`` is always either
+the old complete checkpoint or the new complete one, never a torn write.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -66,7 +73,13 @@ def _rng_state_from_json(text: str) -> dict:
 
 
 def save_checkpoint(path: Union[str, Path], sim: Simulation) -> None:
-    """Write the simulation's resumable state to ``path`` (.npz)."""
+    """Write the simulation's resumable state to ``path`` (.npz).
+
+    The write is atomic with respect to crashes: the archive is built in
+    a temporary sibling file and renamed over ``path`` only once fully
+    written, so an interrupted save leaves any previous checkpoint
+    intact (see the module docstring).
+    """
     acc = sim.collector.accumulator
     payload = {}
     names = list(acc.names())
@@ -83,6 +96,7 @@ def save_checkpoint(path: Union[str, Path], sim: Simulation) -> None:
             "accepted": sim.total_stats.accepted,
             "negative_ratios": sim.total_stats.negative_ratios,
             "refreshes": sim.total_stats.refreshes,
+            "singular_rejects": sim.total_stats.singular_rejects,
         },
         "model": {
             "u": sim.model.u,
@@ -91,12 +105,25 @@ def save_checkpoint(path: Union[str, Path], sim: Simulation) -> None:
             "n_sites": sim.model.n_sites,
         },
     }
-    np.savez_compressed(
-        Path(path),
-        header=np.array(json.dumps(header)),
-        field=sim.field.h,
-        **payload,
-    )
+    dest = Path(path)
+    # Same directory as the destination so os.replace is a same-filesystem
+    # rename (atomic on POSIX), never a copy.
+    tmp = dest.with_name(dest.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                header=np.array(json.dumps(header)),
+                field=sim.field.h,
+                **payload,
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, dest)
+    finally:
+        # Failed mid-write (disk full, kill signal unwinding): drop the
+        # partial temp file; the previous checkpoint at `dest` is intact.
+        tmp.unlink(missing_ok=True)
 
 
 def load_checkpoint(path: Union[str, Path], sim: Simulation) -> Simulation:
@@ -144,12 +171,15 @@ def load_checkpoint(path: Union[str, Path], sim: Simulation) -> Simulation:
         sim.total_stats.accepted = int(st["accepted"])
         sim.total_stats.negative_ratios = int(st["negative_ratios"])
         sim.total_stats.refreshes = int(st["refreshes"])
+        # absent in checkpoints written before the singular-guard counter
+        sim.total_stats.singular_rejects = int(st.get("singular_rejects", 0))
 
+        # Restore *every* recorded observable through the public API —
+        # including zero-sample ones (measured names that had no samples
+        # yet), which must survive the round trip rather than vanish.
         acc = sim.collector.accumulator
-        acc._samples.clear()
-        for i, name in enumerate(header["observable_names"]):
+        acc.clear()
+        for i, name in enumerate(header.get("observable_names", [])):
             key = f"obs{i}"
-            if key in npz.files:
-                series = npz[key]
-                acc._samples[name] = [series[j] for j in range(series.shape[0])]
+            acc.restore_series(name, npz[key] if key in npz.files else [])
     return sim

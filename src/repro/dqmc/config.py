@@ -76,7 +76,14 @@ class SimulationConfig:
             n_slices=self.l,
         )
 
-    def simulation(self) -> Simulation:
+    def simulation(self, telemetry=None, watchdog=None) -> Simulation:
+        """Build the configured :class:`Simulation`.
+
+        ``telemetry`` / ``watchdog`` are runtime concerns (a Telemetry
+        facade and a WatchdogConfig), not physics, so they ride as
+        arguments rather than input-file keys — the same input file must
+        describe the same Markov chain with or without observability.
+        """
         return Simulation(
             self.model(),
             seed=self.seed,
@@ -85,6 +92,8 @@ class SimulationConfig:
             max_delay=self.ndelay,
             measurements_per_sweep=self.nmeas,
             alternate_directions=bool(self.altdir),
+            telemetry=telemetry,
+            watchdog=watchdog,
         )
 
     def dumps(self) -> str:

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..hamiltonian import HubbardModel
 from ..measure import Accumulator, BinnedEstimate
+from ..telemetry import Telemetry, ensure_telemetry
 from .simulation import Simulation
 from .sweep import SweepStats
 
@@ -54,8 +55,9 @@ def _run_chain(
     warmup: int,
     sweeps: int,
     kwargs: dict,
+    telemetry: Optional[Telemetry] = None,
 ) -> Simulation:
-    sim = Simulation(model, seed=seed, **kwargs)
+    sim = Simulation(model, seed=seed, telemetry=telemetry, **kwargs)
     sim.warmup(warmup)
     sim.measure_sweeps(sweeps)
     return sim
@@ -69,6 +71,7 @@ def run_ensemble(
     base_seed: int = 0,
     max_workers: Optional[int] = None,
     n_bins: int = 16,
+    telemetry: Optional[Telemetry] = None,
     **simulation_kwargs,
 ) -> EnsembleResult:
     """Run ``n_chains`` independent simulations concurrently and merge.
@@ -77,6 +80,12 @@ def run_ensemble(
     seeds are independent for Monte Carlo purposes). Extra keyword
     arguments are forwarded to :class:`Simulation` (method,
     cluster_size, ...).
+
+    When ``telemetry`` is given, each chain records into a private
+    in-memory registry (threads never share a JSONL writer); on
+    completion the chain registries are merged into ``telemetry``'s and
+    one ``chain_done`` event per chain plus a final ``ensemble_done``
+    event are archived.
 
     The merged estimate concatenates the chains' sample streams; since
     chains are mutually independent, binning across the concatenation is
@@ -87,6 +96,11 @@ def run_ensemble(
     """
     if n_chains < 1:
         raise ValueError("need at least one chain")
+    tel = ensure_telemetry(telemetry)
+    chain_tels = [
+        Telemetry(writer=None, snapshot_every=0) if tel.enabled else None
+        for _ in range(n_chains)
+    ]
     workers = max_workers if max_workers is not None else n_chains
     if workers > 1 and n_chains > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -98,6 +112,7 @@ def run_ensemble(
                         warmup_sweeps,
                         measurement_sweeps,
                         simulation_kwargs,
+                        telemetry=chain_tels[c],
                     ),
                     range(n_chains),
                 )
@@ -106,7 +121,7 @@ def run_ensemble(
         sims = [
             _run_chain(
                 model, base_seed + c, warmup_sweeps, measurement_sweeps,
-                simulation_kwargs,
+                simulation_kwargs, telemetry=chain_tels[c],
             )
             for c in range(n_chains)
         ]
@@ -114,10 +129,25 @@ def run_ensemble(
     merged = Accumulator()
     stats = SweepStats()
     per_chain = []
-    for sim in sims:
+    for c, sim in enumerate(sims):
         merged.extend(sim.collector.accumulator)
         stats.merge(sim.total_stats)
         per_chain.append(sim.collector.results(n_bins=n_bins))
+        if tel.enabled:
+            chain_tel = chain_tels[c]
+            chain_tel.snapshot()  # poll profiler/cache sources
+            tel.registry.merge(chain_tel.registry)
+            tel.event(
+                "chain_done",
+                chain=c,
+                seed=base_seed + c,
+                proposed=sim.total_stats.proposed,
+                accepted=sim.total_stats.accepted,
+                sign=sim._sign,
+            )
+    if tel.enabled:
+        tel.event("ensemble_done", chains=n_chains)
+        tel.snapshot()
 
     return EnsembleResult(
         model=model,

@@ -11,7 +11,7 @@ individually configurable for ablations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -19,6 +19,12 @@ from ..core import GreensFunctionEngine, StratificationMethod
 from ..hamiltonian import BMatrixFactory, HSField, HubbardModel
 from ..measure import BinnedEstimate, MeasurementCollector
 from ..profiling import PhaseProfiler
+from ..telemetry import (
+    NumericalHealthWatchdog,
+    Telemetry,
+    WatchdogConfig,
+    ensure_telemetry,
+)
 from .sweep import SweepStats, sweep
 
 __all__ = ["Simulation", "SimulationResult"]
@@ -97,6 +103,19 @@ class Simulation:
         cluster-boundary tau grid, via the O(L) incremental series.
         Costs roughly one extra Green's-function evaluation pair per
         sweep; off by default.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`: per-sweep counters
+        and events, periodic metric snapshots (profiler phases and
+        cluster-cache stats are registered as snapshot sources), and the
+        sink for watchdog alerts. ``None`` (the default) routes every
+        call site to the shared no-op instance — zero overhead, exactly
+        like a disabled ``REPRO_CONTRACTS``.
+    watchdog:
+        Optional :class:`~repro.telemetry.WatchdogConfig`. When given, a
+        :class:`~repro.telemetry.NumericalHealthWatchdog` samples wrap
+        drift and graded conditioning every ``check_every`` sweeps and —
+        past tolerance — emits a ``health_alert`` then forces a full
+        cache invalidation + fresh re-stratification.
     """
 
     def __init__(
@@ -113,10 +132,17 @@ class Simulation:
         use_gpu: bool = False,
         threaded_norms: bool = False,
         measure_dynamic: bool = False,
+        telemetry: Optional[Telemetry] = None,
+        watchdog: Optional[WatchdogConfig] = None,
     ):
         self.model = model
         self.rng = np.random.default_rng(seed)
         self.profiler = PhaseProfiler()
+        self.telemetry = ensure_telemetry(telemetry)
+        if self.telemetry.enabled:
+            self.telemetry.add_snapshot_source(
+                self.profiler.export_to_registry
+            )
         self.factory = BMatrixFactory(model)
         self.field = HSField.random(model.n_slices, model.n_sites, self.rng)
         if use_gpu:
@@ -128,6 +154,7 @@ class Simulation:
                 method=method,
                 cluster_size=cluster_size,
                 profiler=self.profiler,
+                telemetry=telemetry,
             )
         else:
             self.engine = GreensFunctionEngine(
@@ -137,7 +164,13 @@ class Simulation:
                 cluster_size=cluster_size,
                 profiler=self.profiler,
                 threaded_norms=threaded_norms,
+                telemetry=telemetry,
             )
+        self.watchdog = (
+            NumericalHealthWatchdog(self.engine, watchdog, self.telemetry)
+            if watchdog is not None
+            else None
+        )
         if global_flips_per_sweep < 0:
             raise ValueError("global_flips_per_sweep must be >= 0")
         self.global_flips_per_sweep = global_flips_per_sweep
@@ -156,6 +189,7 @@ class Simulation:
         self.alternate_directions = alternate_directions
         self.measure_dynamic = measure_dynamic
         self._sweep_parity = 0
+        self._sweep_index = 0
         self._sign = self.engine.configuration_sign()
         self.total_stats = SweepStats()
 
@@ -210,6 +244,14 @@ class Simulation:
                 start_sign=self._sign,
             )
 
+    def _after_sweep(self, st: SweepStats, stage: str) -> None:
+        """Per-sweep telemetry + watchdog cadence (no-ops when disabled)."""
+        self._sweep_index += 1
+        if self.telemetry.enabled:
+            self.telemetry.sweep_done(self._sweep_index, st, stage=stage)
+        if self.watchdog is not None:
+            self.watchdog.maybe_check(self._sweep_index)
+
     # -- stages ------------------------------------------------------------------
 
     def warmup(self, n_sweeps: int) -> SweepStats:
@@ -223,9 +265,11 @@ class Simulation:
                 profiler=self.profiler,
                 start_sign=self._sign,
                 direction=self._next_direction(),
+                telemetry=self.telemetry,
             )
             self._sign = st.sign
             self._maybe_global_flips()
+            self._after_sweep(st, stage="warmup")
             agg.merge(st)
         self.total_stats.merge(agg)
         return agg
@@ -251,11 +295,13 @@ class Simulation:
                 on_boundary=on_boundary,
                 start_sign=self._sign,
                 direction=self._next_direction(),
+                telemetry=self.telemetry,
             )
             self._sign = st.sign
             self._maybe_global_flips()
             if self.measure_dynamic:
                 self._measure_dynamic_sample()
+            self._after_sweep(st, stage="measure")
             agg.merge(st)
         self.total_stats.merge(agg)
         return agg

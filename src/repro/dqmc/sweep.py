@@ -29,11 +29,21 @@ import numpy as np
 
 from ..core import DelayedUpdater, GreensFunctionEngine
 from ..profiling import PhaseProfiler, ensure_profiler
+from ..telemetry import Telemetry, ensure_telemetry
 
-__all__ = ["SweepStats", "sweep"]
+__all__ = ["SweepStats", "sweep", "SINGULAR_THRESHOLD"]
 
 #: Spin species labels used throughout.
 SPINS = (1, -1)
+
+#: Reject (rather than accept) a proposal whose Metropolis denominator
+#: magnitude falls below this. A near-singular d has acceptance
+#: probability ~|r| ~ 0, so the statistical weight of these proposals is
+#: negligible — but *accepting* one divides by d in the delayed update
+#: and injects O(1/d) garbage into G (or raises ZeroDivisionError at
+#: exactly 0), killing a long run. Rejection keeps the chain valid:
+#: min(1, |r|) is replaced by 0 on a measure-~zero set of proposals.
+SINGULAR_THRESHOLD = 1e-12
 
 
 @dataclass
@@ -46,6 +56,9 @@ class SweepStats:
     sign: float = 1.0
     #: number of fresh stratifications performed
     refreshes: int = 0
+    #: proposals rejected because the Metropolis denominator was within
+    #: SINGULAR_THRESHOLD of zero (would have corrupted G if accepted)
+    singular_rejects: int = 0
 
     @property
     def acceptance_rate(self) -> float:
@@ -56,6 +69,7 @@ class SweepStats:
         self.accepted += other.accepted
         self.negative_ratios += other.negative_ratios
         self.refreshes += other.refreshes
+        self.singular_rejects += other.singular_rejects
 
 
 def sweep(
@@ -66,6 +80,7 @@ def sweep(
     on_boundary: Optional[Callable[[int, Dict[int, np.ndarray], float], None]] = None,
     start_sign: float = 1.0,
     direction: str = "forward",
+    telemetry: Optional[Telemetry] = None,
 ) -> SweepStats:
     """Run one full DQMC sweep, mutating the engine's HS field in place.
 
@@ -93,6 +108,12 @@ def sweep(
         L-1..0, *un*-wrapping after each slice. QUEST alternates the two
         to reduce autocorrelation along imaginary time; either alone
         satisfies detailed balance.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`. The sweep itself
+        only emits a ``singular_reject`` event when the denominator
+        guard fires (per-sweep counters are the driver's job via
+        ``Telemetry.sweep_done``), so the site loop carries zero
+        telemetry overhead.
 
     Returns
     -------
@@ -100,6 +121,7 @@ def sweep(
         Acceptance counters and the running configuration sign estimate.
     """
     prof = ensure_profiler(profiler)
+    tel = ensure_telemetry(telemetry)
     field = engine.field
     nu = engine.factory.nu
     n_sites = field.n_sites
@@ -150,6 +172,8 @@ def sweep(
                 h_row = field.h[l]
                 accepted = 0
                 negative = 0
+                singular = 0
+                tiny = SINGULAR_THRESHOLD
                 for i in range(n_sites):
                     a_up = alpha_up[i]
                     a_dn = alpha_dn[i]
@@ -159,6 +183,12 @@ def sweep(
                     if r < 0.0:
                         negative += 1
                     if uniforms[i] < abs(r):
+                        # A (near-)singular denominator would divide the
+                        # delayed update by ~0; its acceptance weight is
+                        # ~|r| ~ 0, so reject instead of crashing the run.
+                        if abs(d_up) < tiny or abs(d_dn) < tiny:
+                            singular += 1
+                            continue
                         h_row[i] = -h_row[i]
                         up.accept(i, a_up, d_up)
                         dn.accept(i, a_dn, d_dn)
@@ -170,6 +200,12 @@ def sweep(
                 stats.proposed += n_sites
                 stats.negative_ratios += negative
                 stats.accepted += accepted
+                if singular:
+                    stats.singular_rejects += singular
+                    tel.counter("sweep.singular_guard_hits", singular)
+                    tel.event(
+                        "singular_reject", slice=l, count=singular,
+                    )
                 if accepted:
                     engine.invalidate_slice(l)
                 up.flush()

@@ -47,13 +47,14 @@ class HybridGreensEngine(GreensFunctionEngine):
         device: Optional[SimulatedDevice] = None,
         model: GPUModel = TESLA_C2050,
         fused: bool = True,
+        telemetry=None,
     ):
         # A real profiler is required: the hybrid CPU-time accounting is
         # read off the "stratification" phase.
         profiler = profiler if profiler is not None else PhaseProfiler()
         super().__init__(
             factory, field, method=method, cluster_size=cluster_size,
-            profiler=profiler,
+            profiler=profiler, telemetry=telemetry,
         )
         self.device = device if device is not None else SimulatedDevice(model)
         self.ops = GPUPropagatorOps(

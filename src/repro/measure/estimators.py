@@ -175,13 +175,43 @@ class Accumulator:
         return len(self._samples.get(name, ()))
 
     def series(self, name: str) -> np.ndarray:
-        """The raw sample series (Monte Carlo time on axis 0)."""
+        """The raw sample series (Monte Carlo time on axis 0).
+
+        A registered observable with zero samples yields an empty
+        ``(0,)`` array (its per-sample shape is not yet known).
+        """
         if name not in self._samples:
             raise KeyError(name)
-        return np.stack(self._samples[name], axis=0)
+        vals = self._samples[name]
+        if not vals:
+            return np.empty((0,), dtype=np.float64)
+        return np.stack(vals, axis=0)
+
+    # -- checkpoint restore API ---------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every observable (used before a checkpoint restore)."""
+        self._samples.clear()
+
+    def restore_series(self, name: str, samples) -> None:
+        """Replace ``name``'s series with ``samples`` (axis 0 = Monte
+        Carlo time; an empty sequence registers the observable with zero
+        samples).
+
+        The public surface :func:`repro.dqmc.load_checkpoint` restores
+        through, so checkpoint code never reaches into accumulator
+        internals — and a zero-sample observable survives a save/load
+        round trip instead of vanishing.
+        """
+        arr = np.asarray(samples, dtype=np.float64)
+        self._samples[name] = [arr[j] for j in range(arr.shape[0])]
 
     def reduce(self, n_bins: int = 16) -> Dict[str, BinnedEstimate]:
+        """Binned estimates of every observable holding >= 1 sample
+        (zero-sample names — e.g. just restored from a checkpoint taken
+        before the first measurement — are skipped, not errors)."""
         return {
             name: binned_statistics(self.series(name), n_bins=n_bins)
-            for name in self._samples
+            for name, vals in self._samples.items()
+            if vals
         }

@@ -75,6 +75,22 @@ class PhaseProfiler:
         for k, c in other.calls.items():
             self.calls[k] = self.calls.get(k, 0) + c
 
+    def export_to_registry(self, registry, prefix: str = "phase.") -> None:
+        """Write per-phase seconds/calls as gauges into a
+        :class:`~repro.telemetry.MetricsRegistry`.
+
+        The bridge between the wall-clock accumulator (Table I's data
+        source) and the telemetry pipeline: registered once as a
+        snapshot source, so every periodic JSONL snapshot carries the
+        live phase breakdown and ``repro telemetry-report`` can render
+        the Table-I view from the archive alone.
+        """
+        for name, seconds in self.seconds.items():
+            registry.set_gauge(f"{prefix}{name}.seconds", seconds)
+        for name, calls in self.calls.items():
+            registry.set_gauge(f"{prefix}{name}.calls", float(calls))
+        registry.set_gauge(f"{prefix}total.seconds", self.accounted)
+
     def report(self) -> str:
         """A Table I-style text block."""
         pct = self.percentages()

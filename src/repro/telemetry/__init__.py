@@ -1,0 +1,39 @@
+"""Run telemetry: metrics, JSONL event archive, numerical-health watchdog.
+
+The observability layer for long DQMC runs (the paper's headline result
+is a 36-hour simulation — see docs/observability.md):
+
+* :class:`MetricsRegistry` / :class:`StreamingHistogram` — bounded-memory
+  counters, gauges and distributions,
+* :class:`TelemetryWriter` — append-only JSONL sink (one event per line,
+  readable mid-run and after a crash),
+* :class:`Telemetry` — the facade every subsystem reports into, with a
+  shared zero-overhead :class:`NullTelemetry` twin for disabled runs,
+* :class:`NumericalHealthWatchdog` — periodic wrap-drift and
+  graded-conditioning sampling with alert + forced-refresh degradation,
+* :func:`summarize_jsonl` / :func:`render_report` — the offline
+  ``repro telemetry-report`` summarizer.
+"""
+
+from .core import NULL_TELEMETRY, NullTelemetry, Telemetry, ensure_telemetry
+from .registry import MetricsRegistry, StreamingHistogram
+from .report import TelemetrySummary, render_report, summarize_jsonl
+from .watchdog import HealthReport, NumericalHealthWatchdog, WatchdogConfig
+from .writer import TelemetryWriter, read_events
+
+__all__ = [
+    "HealthReport",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "NumericalHealthWatchdog",
+    "StreamingHistogram",
+    "Telemetry",
+    "TelemetrySummary",
+    "TelemetryWriter",
+    "WatchdogConfig",
+    "ensure_telemetry",
+    "read_events",
+    "render_report",
+    "summarize_jsonl",
+]

@@ -1,0 +1,189 @@
+"""Metric primitives: counters, gauges, and streaming histograms.
+
+A long DQMC run (the paper's headline N=1024 case ran 36 hours) produces
+far more raw numbers than anyone can archive sample-by-sample. The
+registry keeps *bounded-memory* summaries that are cheap to update and
+cheap to serialize:
+
+* **counters** — monotonically increasing totals (proposals, accepted
+  flips, cache misses, forced refreshes),
+* **gauges** — last-written values (current sign, wrap drift, per-phase
+  seconds exported from the profiler),
+* **streaming histograms** — fixed-bucket distributions (acceptance rate
+  per sweep, wrap-drift samples, graded-scale dynamic range) that never
+  grow with run length.
+
+Everything here is plain Python floats and dicts — no numpy arrays are
+held — so a snapshot is directly JSON-serializable by
+:class:`~repro.telemetry.writer.TelemetryWriter`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["StreamingHistogram", "MetricsRegistry"]
+
+
+class StreamingHistogram:
+    """Fixed-memory distribution summary of a stream of floats.
+
+    Tracks count / sum / min / max plus counts over a fixed set of
+    bucket boundaries. The default boundaries are geometric decades from
+    1e-16 to 1e4 — wide enough to cover both wrap-drift relative errors
+    (~1e-12) and graded dynamic ranges (~1e+4 per cluster) without
+    configuration. Pass explicit ``bounds`` for quantities with a known
+    scale (e.g. acceptance rates in [0, 1]).
+
+    Values below the first bound land in bucket 0, values at-or-above
+    the last bound land in the overflow bucket ``len(bounds)``.
+    """
+
+    #: decade edges 1e-16 .. 1e4 (inclusive of sign: negatives underflow)
+    DEFAULT_BOUNDS = tuple(10.0**e for e in range(-16, 5))
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        b = tuple(float(x) for x in (bounds if bounds is not None else self.DEFAULT_BOUNDS))
+        if list(b) != sorted(b):
+            raise ValueError("histogram bounds must be sorted ascending")
+        if not b:
+            raise ValueError("histogram needs at least one bound")
+        self.bounds = b
+        self.buckets = [0] * (len(b) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        # Linear scan is fine: bucket lists are ~20 entries and observe()
+        # runs at sweep granularity, never inside the site loop.
+        for i, bound in enumerate(self.bounds):
+            if v < bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th sample); min/max exact at the extremes."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary (bucket counts omitted when empty)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with JSON snapshots.
+
+    One registry per run; every subsystem writes into it through the
+    :class:`~repro.telemetry.core.Telemetry` facade. ``snapshot()`` is
+    what the JSONL sink periodically archives; ``merge()`` is how
+    ensemble chains are folded into one run-level view.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, StreamingHistogram] = {}
+
+    # -- writes --------------------------------------------------------------
+
+    def inc(self, name: str, delta: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + delta
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(
+        self, name: str, value: float, bounds: Optional[Sequence[float]] = None
+    ) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = StreamingHistogram(bounds)
+        hist.observe(value)
+
+    # -- reads ---------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> float:
+        return self.gauges.get(name, 0.0)
+
+    def names(self) -> List[str]:
+        return sorted(
+            set(self.counters) | set(self.gauges) | set(self.histograms)
+        )
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of everything, safe to json.dumps."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                k: h.snapshot() for k, h in self.histograms.items()
+            },
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges take the other's
+        value (last write wins), histograms merge bucket-wise."""
+        for k, v in other.counters.items():
+            self.inc(k, v)
+        for k, v in other.gauges.items():
+            self.set_gauge(k, v)
+        for k, h in other.histograms.items():
+            mine = self.histograms.get(k)
+            if mine is None:
+                clone = StreamingHistogram(h.bounds)
+                clone.merge(h)
+                self.histograms[k] = clone
+            else:
+                mine.merge(h)

@@ -1,0 +1,128 @@
+"""Offline summarization of a telemetry JSONL archive.
+
+``repro telemetry-report run.jsonl`` renders the in-flight archive into
+the same Table-I-style view the profiler prints live: per-phase seconds
+and shares, sweep/acceptance totals, health-check history and any
+alerts. Works on truncated files from interrupted runs (the torn final
+line is ignored by the reader).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .writer import read_events
+
+__all__ = ["TelemetrySummary", "summarize_jsonl", "render_report"]
+
+#: gauge-name prefix the profiler export hook uses (see PhaseProfiler)
+PHASE_GAUGE_PREFIX = "phase."
+
+
+class TelemetrySummary:
+    """Aggregate view of one JSONL telemetry stream."""
+
+    def __init__(self) -> None:
+        self.n_events = 0
+        self.events_by_kind: Dict[str, int] = {}
+        self.duration: float = 0.0
+        self.sweeps = 0
+        self.proposed = 0
+        self.accepted = 0
+        self.singular_rejects = 0
+        self.last_sign: float = 1.0
+        self.alerts: List[dict] = []
+        self.forced_refreshes = 0
+        self.checkpoints = 0
+        #: the last full metrics snapshot seen (None if the run died
+        #: before its first snapshot)
+        self.metrics: Optional[dict] = None
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.proposed if self.proposed else 0.0
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Per-phase seconds recovered from the snapshot gauges (the
+        ``total`` roll-up gauge is excluded — it is the denominator,
+        not a phase)."""
+        if not self.metrics:
+            return {}
+        out = {}
+        for name, value in self.metrics.get("gauges", {}).items():
+            if name.startswith(PHASE_GAUGE_PREFIX) and name.endswith(".seconds"):
+                phase = name[len(PHASE_GAUGE_PREFIX):-len(".seconds")]
+                if phase != "total":
+                    out[phase] = float(value)
+        return out
+
+
+def summarize_jsonl(path: Union[str, Path]) -> TelemetrySummary:
+    """Fold a telemetry archive into a :class:`TelemetrySummary`."""
+    s = TelemetrySummary()
+    for rec in read_events(path):
+        s.n_events += 1
+        kind = rec.get("event", "?")
+        s.events_by_kind[kind] = s.events_by_kind.get(kind, 0) + 1
+        s.duration = max(s.duration, float(rec.get("t", 0.0)))
+        if kind == "sweep_done":
+            s.sweeps += 1
+            s.proposed += int(rec.get("proposed", 0))
+            s.accepted += int(rec.get("accepted", 0))
+            s.singular_rejects += int(rec.get("singular_rejects", 0))
+            s.last_sign = float(rec.get("sign", 1.0))
+        elif kind == "health_alert":
+            s.alerts.append(rec)
+        elif kind == "forced_refresh":
+            s.forced_refreshes += 1
+        elif kind == "checkpoint_saved":
+            s.checkpoints += 1
+        elif kind == "metrics":
+            s.metrics = rec.get("metrics", {})
+    return s
+
+
+def render_report(summary: TelemetrySummary) -> str:
+    """Human-readable digest: phase table + run health, Table-I style."""
+    s = summary
+    lines = [
+        f"events             {s.n_events} "
+        f"({', '.join(f'{k}:{v}' for k, v in sorted(s.events_by_kind.items()))})",
+        f"duration           {s.duration:.1f} s",
+        f"sweeps             {s.sweeps}",
+        f"acceptance         {s.acceptance_rate:.3f} "
+        f"({s.accepted}/{s.proposed})",
+        f"final sign         {s.last_sign:+.4f}",
+    ]
+    if s.singular_rejects:
+        lines.append(f"singular rejects   {s.singular_rejects}")
+    if s.checkpoints:
+        lines.append(f"checkpoints        {s.checkpoints}")
+
+    phases = s.phase_seconds()
+    if phases:
+        total = sum(phases.values())
+        lines.append("")
+        lines.append("phase                 seconds      share")
+        for name, sec in sorted(
+            phases.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            share = 100.0 * sec / total if total else 0.0
+            lines.append(f"{name:<20} {sec:>9.3f}   {share:>6.1f}%")
+
+    lines.append("")
+    if s.alerts:
+        lines.append(
+            f"HEALTH: {len(s.alerts)} alert(s), "
+            f"{s.forced_refreshes} forced refresh(es)"
+        )
+        for a in s.alerts:
+            for msg in a.get("alerts", []):
+                lines.append(f"  sweep {a.get('sweep', '?')}: {msg}")
+    else:
+        checks = 0
+        if s.metrics:
+            checks = int(s.metrics.get("counters", {}).get("health.checks", 0))
+        lines.append(f"HEALTH: ok ({checks} check(s), no alerts)")
+    return "\n".join(lines)

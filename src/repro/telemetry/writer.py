@@ -1,0 +1,101 @@
+"""JSONL event sink: one structured line per telemetry event.
+
+The archive format is deliberately the dumbest thing that works for a
+36-hour run: newline-delimited JSON, flushed per line, so
+
+* a run killed at any instant leaves a readable file (the partial last
+  line is simply dropped by readers),
+* ``tail -f run.jsonl | jq`` works while the run is in flight,
+* the file sits next to the BENCH ``results/`` artifacts and is parsed
+  back by ``repro telemetry-report``.
+
+Every line carries ``event`` (its kind), ``t`` (seconds since the writer
+opened — monotonic, so wall-clock adjustments cannot reorder events) and
+``seq`` (a per-file sequence number readers can use to detect truncation).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+__all__ = ["TelemetryWriter", "read_events"]
+
+
+class TelemetryWriter:
+    """Append-only JSONL sink for telemetry events.
+
+    Parameters
+    ----------
+    path:
+        Output file. Opened lazily on the first event so constructing a
+        writer for a run that emits nothing leaves no empty file behind.
+    flush_every:
+        Flush the OS buffer every this-many lines (1 = every line, the
+        default — events are sweep-granularity, so the syscall cost is
+        irrelevant next to a single N^3 stratification).
+    """
+
+    def __init__(self, path: Union[str, Path], flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self._fh: Optional[IO[str]] = None
+        self._t0 = time.monotonic()
+        self.seq = 0
+
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+        return self._fh
+
+    def write(self, event: str, **fields) -> dict:
+        """Emit one event line; returns the record written (for tests)."""
+        record = {
+            "event": event,
+            "t": round(time.monotonic() - self._t0, 6),
+            "seq": self.seq,
+        }
+        record.update(fields)
+        fh = self._handle()
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.seq += 1
+        if self.seq % self.flush_every == 0:
+            fh.flush()
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> Iterator[dict]:
+    """Parse a JSONL telemetry file, skipping a truncated final line.
+
+    A run killed mid-write (the exact failure checkpointing defends
+    against) leaves at most one partial line at EOF; only there is a
+    parse failure tolerated — corruption anywhere else raises, because a
+    mangled middle means the file is not the append-only stream we wrote.
+    """
+    lines: List[str] = Path(path).read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                return  # torn final write from an interrupted run
+            raise

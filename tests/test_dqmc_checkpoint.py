@@ -68,6 +68,131 @@ class TestRoundTrip:
         assert b.collector.n_measurements == 0
 
 
+class TestAtomicSave:
+    def test_failed_save_preserves_previous_checkpoint(self, tmp_path, monkeypatch):
+        """A crash mid-save must never destroy the last good checkpoint."""
+        import repro.dqmc.checkpoint as ckpt_mod
+
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        a.warmup(2)
+        save_checkpoint(path, a)
+        good_bytes = path.read_bytes()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ckpt_mod.np, "savez_compressed", explode)
+        a.measure_sweeps(1)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(path, a)
+
+        assert path.read_bytes() == good_bytes
+        # the partial temp file must not linger either
+        assert list(tmp_path.iterdir()) == [path]
+        # and the surviving file still loads
+        load_checkpoint(path, make_sim())
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, make_sim())
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        """Re-saving over an existing checkpoint goes through the same
+        temp-then-rename path, so the destination is always complete."""
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        save_checkpoint(path, a)
+        a.warmup(1)
+        save_checkpoint(path, a)
+        b = make_sim()
+        load_checkpoint(path, b)
+        np.testing.assert_array_equal(b.field.h, a.field.h)
+
+
+class TestLosslessObservables:
+    def test_zero_sample_observable_survives(self, tmp_path):
+        """A registered-but-unsampled observable must round-trip, not
+        silently vanish from the accumulator."""
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        a.warmup(1)
+        a.measure_sweeps(2)
+        acc = a.collector.accumulator
+        acc.restore_series("pending_obs", [])
+        names_before = list(acc.names())
+        assert acc.n_samples("pending_obs") == 0
+
+        save_checkpoint(path, a)
+        b = make_sim()
+        load_checkpoint(path, b)
+
+        bacc = b.collector.accumulator
+        assert list(bacc.names()) == names_before
+        assert bacc.n_samples("pending_obs") == 0
+        assert bacc.series("pending_obs").shape == (0,)
+        # zero-sample names must not break the final reduction
+        reduced = bacc.reduce()
+        assert "pending_obs" not in reduced
+        assert any(bacc.n_samples(n) > 0 for n in bacc.names())
+
+    def test_every_sample_series_restored_exactly(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        a.warmup(1)
+        a.measure_sweeps(3)
+        save_checkpoint(path, a)
+        b = make_sim()
+        load_checkpoint(path, b)
+        acc, bacc = a.collector.accumulator, b.collector.accumulator
+        assert list(bacc.names()) == list(acc.names())
+        for name in acc.names():
+            np.testing.assert_array_equal(bacc.series(name), acc.series(name))
+
+    def test_load_replaces_stale_accumulator_state(self, tmp_path):
+        """Loading clears anything accumulated before the restore."""
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        a.warmup(1)
+        a.measure_sweeps(1)
+        save_checkpoint(path, a)
+        b = make_sim()
+        b.warmup(1)
+        b.measure_sweeps(2)  # stale pre-restore measurements
+        load_checkpoint(path, b)
+        assert b.collector.n_measurements == a.collector.n_measurements
+
+    def test_singular_rejects_counter_roundtrips(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        a.warmup(1)
+        a.total_stats.singular_rejects = 7
+        save_checkpoint(path, a)
+        b = make_sim()
+        load_checkpoint(path, b)
+        assert b.total_stats.singular_rejects == 7
+
+    def test_pre_guard_checkpoint_loads_with_zero_rejects(self, tmp_path):
+        """Checkpoints written before the singular-guard counter existed
+        lack the stats key; loading must default it to zero."""
+        import json
+
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        a.warmup(1)
+        save_checkpoint(path, a)
+        with np.load(path, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        header = json.loads(str(payload["header"]))
+        del header["stats"]["singular_rejects"]
+        payload["header"] = np.array(json.dumps(header))
+        np.savez_compressed(path, **payload)
+        b = make_sim()
+        load_checkpoint(path, b)
+        assert b.total_stats.singular_rejects == 0
+
+
 class TestValidation:
     def test_model_mismatch_rejected(self, tmp_path):
         path = tmp_path / "ckpt.npz"
