@@ -1,0 +1,119 @@
+"""Backend matrix benchmark: one pipeline, every execution backend.
+
+Runs the same seeded DQMC workload through each available backend and
+emits ``benchmarks/results/BENCH_backends.json`` with, per backend:
+
+* wall-clock seconds of the run,
+* the nominal-flop GFlops rate (wall-clock divided into the FLOP
+  ledger, same convention as the Fig. 4 bench),
+* Table-I-style phase shares (stratification / clustering / wrapping /
+  delayed update / measurements),
+* dispatch counts from the backend's own telemetry.
+
+Standalone on purpose (not a pytest-benchmark case): CI runs it
+directly to publish the JSON artifact. ``--quick`` shrinks the workload
+to seconds for the CI leg; the defaults give steadier numbers locally.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backend_matrix.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_backend(name: str, size: int, n_slices: int, sweeps: int) -> dict:
+    from repro import HubbardModel, Simulation, SquareLattice
+    from repro.linalg import flops
+
+    model = HubbardModel(
+        SquareLattice(size, size), u=4.0, beta=n_slices * 0.125,
+        n_slices=n_slices,
+    )
+    sim = Simulation(model, seed=11, cluster_size=8, backend=name)
+    t0 = time.perf_counter()
+    with flops.tally() as tally:
+        sim.warmup(max(1, sweeps // 4))
+        sim.measure_sweeps(sweeps)
+    wall = time.perf_counter() - t0
+
+    phase_seconds = dict(sim.profiler.seconds)
+    total_phase = sum(phase_seconds.values()) or 1.0
+    return {
+        "backend": name,
+        "n_sites": model.n_sites,
+        "n_slices": n_slices,
+        "sweeps": sweeps,
+        "wall_seconds": wall,
+        "gflops": tally.gflops_rate(wall),
+        "total_gflop": tally.total_flops / 1e9,
+        "phase_share_pct": {
+            k: 100.0 * v / total_phase for k, v in sorted(phase_seconds.items())
+        },
+        "dispatch": sim.engine.backend.stats(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale workload (4x4, few sweeps) instead of bench scale",
+    )
+    parser.add_argument(
+        "--backends", nargs="*", default=None,
+        help="backend names to run (default: every available backend)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_DIR / "BENCH_backends.json",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.backends import available_backends
+
+    names = args.backends or list(available_backends())
+    size, n_slices, sweeps = (4, 16, 4) if args.quick else (8, 40, 10)
+
+    results = []
+    for name in names:
+        print(f"[{name}] N={size * size}, L={n_slices}, {sweeps} sweeps ...")
+        entry = run_backend(name, size, n_slices, sweeps)
+        print(
+            f"[{name}] {entry['wall_seconds']:.3f} s, "
+            f"{entry['gflops']:.2f} GFlops (nominal)"
+        )
+        results.append(entry)
+
+    # The simulated backends must agree bitwise, so the flop totals agree
+    # too; a mismatch means a backend ran a different operation mix.
+    totals = {r["backend"]: r["total_gflop"] for r in results}
+    reference = totals.get("numpy")
+    if reference is not None:
+        for name, total in totals.items():
+            if name != "cupy" and abs(total - reference) > 1e-9 * reference:
+                print(
+                    f"WARNING: {name} flop total {total} != numpy {reference}",
+                    file=sys.stderr,
+                )
+
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(
+        json.dumps(
+            {"quick": args.quick, "results": results}, indent=2, sort_keys=True
+        )
+        + "\n"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,12 @@ Quickstart::
     print(result.summary())
 """
 
+from .backends import (
+    available_backends,
+    get_backend,
+    known_backends,
+    register_backend,
+)
 from .hamiltonian import (
     BMatrixFactory,
     HSField,
@@ -64,6 +70,10 @@ __all__ = [
     "WatchdogConfig",
     "load_config",
     "__version__",
+    "available_backends",
+    "get_backend",
+    "known_backends",
+    "register_backend",
     "fourier_two_point",
     "free_dispersion_2d",
     "free_greens_function",

@@ -1,0 +1,57 @@
+"""Pluggable execution backends for the Green's-function pipeline.
+
+One protocol (:class:`PropagatorBackend`), four implementations:
+
+* ``"numpy"`` — serial reference (:class:`NumpyBackend`);
+* ``"threaded"`` — worker-pool fine-grain kernels, paper Sec. IV-B
+  (:class:`ThreadedBackend`);
+* ``"gpu-sim"`` — simulated-GPU offload of clustering and wrapping,
+  paper Sec. VI (:class:`SimulatedGPUBackend`);
+* ``"cupy"`` — real-GPU execution, active only when cupy imports
+  (:class:`CupyBackend`).
+
+Select by name anywhere a ``backend=`` knob exists (engine, Simulation,
+input files, ``repro run --backend``) or via ``$REPRO_BACKEND``; see
+``docs/architecture.md`` for the protocol and how to add a backend.
+"""
+
+from .base import (
+    BackendError,
+    BackendUnavailableError,
+    BaseBackend,
+    PropagatorBackend,
+)
+from .cupy_backend import CupyBackend, cupy_available
+from .gpu_sim import SimulatedGPUBackend
+from .numpy_backend import NumpyBackend
+from .registry import (
+    available_backends,
+    default_backend_name,
+    get_backend,
+    known_backends,
+    register_backend,
+    resolve_backend,
+    serial_backend,
+    validate_backend_method,
+)
+from .threaded import ThreadedBackend
+
+__all__ = [
+    "BackendError",
+    "BackendUnavailableError",
+    "BaseBackend",
+    "CupyBackend",
+    "NumpyBackend",
+    "PropagatorBackend",
+    "SimulatedGPUBackend",
+    "ThreadedBackend",
+    "available_backends",
+    "cupy_available",
+    "default_backend_name",
+    "get_backend",
+    "known_backends",
+    "register_backend",
+    "resolve_backend",
+    "serial_backend",
+    "validate_backend_method",
+]

@@ -1,0 +1,202 @@
+"""The execution-backend protocol for the Green's-function pipeline.
+
+The paper's central engineering claim (Secs. IV-VI) is that one DQMC
+pipeline — clustering, stratification, wrapping, delayed updates — runs
+on serial CPUs, multicore CPUs, and GPUs with only the *kernel
+implementations* swapped: Algorithms 4-7 are the GPU spellings of the
+same row/column scalings, cluster products, and wraps that BLAS spells
+on the host. This module captures that seam as an explicit protocol:
+
+:class:`PropagatorBackend`
+    The fine-grain operation set a backend must provide — GEMM,
+    row/column/two-sided diagonal scaling, column norms + the pre-pivot
+    permutation, dense cluster products, and the wrap/unwrap similarity
+    transforms — plus *batched* variants that take both spin sectors
+    stacked along a leading axis so a backend can turn the per-spin loop
+    into one stacked-GEMM call.
+
+:class:`BaseBackend`
+    Shared machinery: per-op dispatch counters (exported to telemetry as
+    ``backend.dispatch.*`` gauges), loud rejection of unknown
+    constructor options, and default batched implementations that loop
+    the single-matrix ops (correct for every backend; overridden where a
+    genuinely stacked execution exists).
+
+Canonical kernel orders
+-----------------------
+Every backend must implement the same *floating-point evaluation order*
+for each op, chosen to match the paper's GPU algorithms (the orders the
+simulated device already executes). Elementwise scalings and per-slice
+GEMMs are then bit-identical across numpy / threaded / simulated-GPU
+execution, which is what lets the equivalence suite assert bit-identical
+Markov chains rather than tolerance bands:
+
+* ``wrap``:    ``t = expK @ g``; ``t = t @ invexpK``; ``t *= v[:, None]``;
+  ``t *= (1/v)[None, :]``  (Algorithm 6/7 — scale *after* both GEMMs).
+* ``unwrap``:  exact inverse composition — ``t = g * (1/v)[:, None]``;
+  ``t *= v[None, :]``; ``t = invexpK @ t``; ``t = t @ expK``.
+* ``cluster_product``: ``out = expK * v_0[:, None]``; then per slice
+  ``out = expK @ out``; ``out *= v_j[:, None]``  (Algorithm 4/5).
+
+Reciprocals are always formed once on the host (``1/v``) and *multiplied*
+in — never re-divided — so an unwrap undoes a wrap with the exact same
+rounding on every backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..linalg import flops
+
+__all__ = ["BackendError", "BackendUnavailableError", "PropagatorBackend", "BaseBackend"]
+
+
+class BackendError(ValueError):
+    """Unknown backend name, invalid option, or invalid combination."""
+
+
+class BackendUnavailableError(BackendError):
+    """The backend's runtime dependency (e.g. cupy) is not importable."""
+
+
+class PropagatorBackend:
+    """Protocol stub documenting the backend operation set.
+
+    Concrete backends subclass :class:`BaseBackend` (which provides the
+    dispatch counters and batched defaults); this class exists so the
+    operation contract is importable and testable on its own.
+    """
+
+    #: registry name ("numpy", "threaded", "gpu-sim", "cupy")
+    name: str = "abstract"
+    #: stratification methods this backend may drive (all of them for
+    #: every shipped backend — the QR chain itself runs on the host, as
+    #: in the paper's hybrid division of labour).
+    supported_methods: tuple = ("qrp", "prepivot", "nopivot", "svd", "jacobi")
+
+    def bind(self, factory) -> "PropagatorBackend":
+        raise NotImplementedError
+
+    def gemm(self, a, b, category="gemm"):
+        raise NotImplementedError
+
+    def scale_rows(self, a, v, out=None, category="scaling"):
+        raise NotImplementedError
+
+    def scale_columns(self, a, v, out=None, category="scaling"):
+        raise NotImplementedError
+
+    def scale_two_sided(self, a, v, col_v=None, out=None, category="scaling"):
+        raise NotImplementedError
+
+    def column_norms(self, a):
+        raise NotImplementedError
+
+    def prepivot_permutation(self, a):
+        raise NotImplementedError
+
+    def cluster_product(self, v_diagonals):
+        raise NotImplementedError
+
+    def cluster_product_batched(self, v_stack):
+        raise NotImplementedError
+
+    def wrap(self, g, v):
+        raise NotImplementedError
+
+    def unwrap(self, g, v):
+        raise NotImplementedError
+
+    def wrap_batched(self, gs, vs):
+        raise NotImplementedError
+
+    def unwrap_batched(self, gs, vs):
+        raise NotImplementedError
+
+
+class BaseBackend(PropagatorBackend):
+    """Dispatch counting, option validation, and batched-op defaults."""
+
+    def __init__(self, **options):
+        if options:
+            bad = ", ".join(sorted(options))
+            raise BackendError(
+                f"backend {self.name!r} got unknown option(s): {bad} — "
+                "options that would be silently ignored are rejected"
+            )
+        self.op_counts: Dict[str, int] = {}
+        self.expk: Optional[np.ndarray] = None
+        self.inv_expk: Optional[np.ndarray] = None
+        self.n: int = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bind(self, factory) -> "BaseBackend":
+        """Attach the model's kinetic exponentials (resident state).
+
+        On the simulated GPU this is the one-time H2D upload of
+        ``exp(-+dtau K)`` (paper Sec. VI-A); on host backends it just
+        pins references. Idempotent for the same factory; returns self.
+        """
+        self.expk = factory.expk
+        self.inv_expk = factory.inv_expk
+        self.n = self.expk.shape[0]
+        return self
+
+    def _require_bound(self) -> None:
+        if self.expk is None:
+            raise BackendError(
+                f"backend {self.name!r} is not bound to a model: call "
+                "bind(factory) before propagator ops"
+            )
+
+    def _count(self, op: str) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+
+    def stats(self) -> Dict[str, float]:
+        """Per-op dispatch totals, telemetry-gauge shaped."""
+        out = {
+            f"backend.dispatch.{op}": float(c)
+            for op, c in sorted(self.op_counts.items())
+        }
+        out[f"backend.active.{self.name}"] = 1.0
+        return out
+
+    # -- batched defaults (loop the single-matrix ops) ---------------------
+
+    def wrap_batched(self, gs, vs):
+        """Wrap a stack: ``gs[i] -> wrap(gs[i], vs[i])`` for each sector.
+
+        The default loops :meth:`wrap`; backends with a genuinely stacked
+        execution (numpy's stacked GEMM, a batched cuBLAS) override it.
+        Looped and stacked paths are bit-identical by the canonical-order
+        contract, which the equivalence suite asserts at 0 ULP.
+        """
+        self._count("wrap_batched")
+        return np.stack([self.wrap(g, v) for g, v in zip(gs, vs)])
+
+    def unwrap_batched(self, gs, vs):
+        self._count("unwrap_batched")
+        return np.stack([self.unwrap(g, v) for g, v in zip(gs, vs)])
+
+    def cluster_product_batched(self, v_stack):
+        """Dense cluster products for a stack of spin sectors.
+
+        ``v_stack`` has shape ``(s, k, n)``: ``s`` sectors, ``k`` slices
+        per cluster, ``n`` sites. Returns shape ``(s, n, n)``.
+        """
+        self._count("cluster_product_batched")
+        return np.stack([self.cluster_product(list(vs)) for vs in v_stack])
+
+    # -- flop-ledger helpers ----------------------------------------------
+
+    @staticmethod
+    def _record_gemm(category: str, m: int, n: int, k: int) -> None:
+        flops.record(category, flops.gemm_flops(m, n, k))
+
+    @staticmethod
+    def _record_scale(category: str, m: int, n: int, passes: int = 1) -> None:
+        flops.record(category, passes * flops.scale_flops(m, n))

@@ -1,0 +1,140 @@
+"""Optional real-GPU backend over cupy (activates only when importable).
+
+This is the seam the simulated-GPU work has been pointing at: the same
+canonical kernel orders as every other backend, executed by cuBLAS and
+cupy elementwise kernels on an actual device. The module imports
+lazily — constructing :class:`CupyBackend` on a machine without cupy
+raises :class:`~repro.backends.base.BackendUnavailableError`, and the
+registry reports it as unavailable rather than failing at import time
+(the project installs no GPU dependencies itself).
+
+Interface contract: host ndarrays in, host ndarrays out — each op pays
+its own H2D/D2H transfers, like the paper's Algorithm 4/6 listings. A
+production port would keep G device-resident across wraps; that
+optimization belongs in a follow-up backend, not in the protocol.
+
+Numerical note: cuBLAS GEMM is *not* bitwise-identical to host BLAS
+(different blocking/FMA contraction), so this backend is excluded from
+the bit-identity equivalence class and tested to tolerances instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..linalg import flops
+from .base import BackendUnavailableError
+from .numpy_backend import NumpyBackend
+
+__all__ = ["CupyBackend", "cupy_available"]
+
+
+def cupy_available() -> bool:
+    """True when cupy imports and reports at least one device."""
+    try:
+        import cupy  # noqa: F401
+    except Exception:  # pragma: no cover - environment-dependent
+        return False
+    try:
+        return int(cupy.cuda.runtime.getDeviceCount()) > 0
+    except Exception:  # pragma: no cover - driver present, no device
+        return False
+
+
+class CupyBackend(NumpyBackend):
+    """Real-GPU execution of the propagator ops via cupy."""
+
+    name = "cupy"
+
+    def __init__(self, **options):
+        super().__init__(**options)
+        if not cupy_available():
+            raise BackendUnavailableError(
+                "backend 'cupy' needs an importable cupy with a CUDA "
+                "device; install cupy or pick numpy/threaded/gpu-sim"
+            )
+        import cupy
+
+        self._cp = cupy
+        self._d_expk = None
+        self._d_inv_expk = None
+
+    def bind(self, factory) -> "CupyBackend":
+        super().bind(factory)
+        self._d_expk = self._cp.asarray(self.expk)
+        self._d_inv_expk = self._cp.asarray(self.inv_expk)
+        return self
+
+    # -- ops (host in / host out) ------------------------------------------
+
+    def gemm(self, a, b, category: str = "gemm"):
+        self._count("gemm")
+        cp = self._cp
+        m, k = a.shape[0], a.shape[1]
+        n = b.shape[1] if b.ndim == 2 else 1
+        self._record_gemm(category, m, n, k)
+        return cp.asnumpy(cp.asarray(a) @ cp.asarray(b))
+
+    def cluster_product(self, v_diagonals: Sequence[np.ndarray]):
+        self._count("cluster_product")
+        self._require_bound()
+        if len(v_diagonals) == 0:
+            raise ValueError("empty cluster")
+        cp, n = self._cp, self.n
+        self._record_scale("clustering", n, n)
+        out = self._d_expk * cp.asarray(v_diagonals[0])[:, None]
+        for v in v_diagonals[1:]:
+            self._record_gemm("clustering", n, n, n)
+            self._record_scale("clustering", n, n)
+            out = self._d_expk @ out
+            out *= cp.asarray(v)[:, None]
+        return cp.asnumpy(out)
+
+    def wrap(self, g, v):
+        self._count("wrap")
+        self._require_bound()
+        cp, n = self._cp, self.n
+        flops.record(
+            "wrapping",
+            2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n),
+        )
+        dv = cp.asarray(v)
+        t = self._d_expk @ cp.asarray(g)
+        t = t @ self._d_inv_expk
+        t *= dv[:, None]
+        t *= (1.0 / dv)[None, :]
+        return cp.asnumpy(t)
+
+    def unwrap(self, g, v):
+        self._count("unwrap")
+        self._require_bound()
+        cp, n = self._cp, self.n
+        flops.record(
+            "wrapping",
+            2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n),
+        )
+        dv = cp.asarray(v)
+        t = cp.asarray(g) * (1.0 / dv)[:, None]
+        t *= dv[None, :]
+        t = self._d_inv_expk @ t
+        return cp.asnumpy(t @ self._d_expk)
+
+    def wrap_batched(self, gs, vs):
+        """Both sectors in one batched cuBLAS GEMM pair."""
+        self._count("wrap_batched")
+        self._require_bound()
+        cp = self._cp
+        s, n = np.asarray(vs).shape
+        flops.record(
+            "wrapping",
+            s * (2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n)),
+        )
+        dg = cp.asarray(gs)
+        dv = cp.asarray(vs)
+        t = cp.matmul(self._d_expk[None], dg)
+        t = cp.matmul(t, self._d_inv_expk[None])
+        t *= dv[:, :, None]
+        t *= (1.0 / dv)[:, None, :]
+        return cp.asnumpy(t)

@@ -1,0 +1,110 @@
+"""Simulated-GPU backend (paper Sec. VI's hybrid division of labour).
+
+Routes the GEMM-dominated, pivot-free operations — cluster-product
+rebuilds (Algorithm 4/5) and the wrap/unwrap transforms (Algorithm 6/7)
+— through :class:`~repro.gpu.ops.GPUPropagatorOps` on a
+:class:`~repro.gpu.device.SimulatedDevice`, while the stratification
+chain's QR work and everything else inherits the host (numpy) paths,
+exactly as the paper's preliminary hybrid defers them to the CPU.
+
+The device executes numerically with the same numpy kernels in the same
+canonical order as the host backends, so physics is bit-identical; only
+the *timing* story differs (virtual device clock, launch and transfer
+counters). ``repro.gpu`` imports are deferred to construction so merely
+importing the backends package never pulls in the simulator stack.
+"""
+
+from __future__ import annotations
+
+from .numpy_backend import NumpyBackend
+
+__all__ = ["SimulatedGPUBackend"]
+
+
+class SimulatedGPUBackend(NumpyBackend):
+    """GPU-offloaded cluster products and wraps over a simulated device.
+
+    Parameters
+    ----------
+    device:
+        An existing :class:`~repro.gpu.device.SimulatedDevice` to share;
+        a fresh one is created from ``model`` when omitted.
+    model:
+        Performance model for a fresh device (default Tesla C2050).
+    fused:
+        Use the fused custom kernels (Algorithms 5/7) instead of the
+        launch-per-row CUBLAS listings (Algorithms 4/6).
+    """
+
+    name = "gpu-sim"
+
+    def __init__(self, device=None, model=None, fused: bool = True, **options):
+        super().__init__(**options)
+        from ..gpu.device import SimulatedDevice
+        from ..gpu.perfmodel import TESLA_C2050
+
+        self._model = model if model is not None else TESLA_C2050
+        self.device = device if device is not None else SimulatedDevice(self._model)
+        self.fused = fused
+        self.ops = None
+
+    def bind(self, factory) -> "SimulatedGPUBackend":
+        """Host refs + the one-time H2D upload of the exponentials."""
+        from ..gpu.ops import GPUPropagatorOps
+
+        super().bind(factory)
+        if self.ops is None or self.ops.d_expk.shape != factory.expk.shape:
+            self.ops = GPUPropagatorOps(
+                self.device, factory.expk, factory.inv_expk, fused=self.fused
+            )
+        return self
+
+    def _require_ops(self):
+        if self.ops is None:
+            from .base import BackendError
+
+            raise BackendError(
+                "gpu-sim backend is not bound to a model: call bind(factory)"
+            )
+        return self.ops
+
+    # -- offloaded pieces --------------------------------------------------
+
+    def cluster_product(self, v_diagonals):
+        self._count("cluster_product")
+        return self._require_ops().cluster_product(list(v_diagonals))
+
+    def wrap(self, g, v):
+        self._count("wrap")
+        return self._require_ops().wrap(g, v)
+
+    def unwrap(self, g, v):
+        self._count("unwrap")
+        return self._require_ops().unwrap(g, v)
+
+    # The batched entry points loop per sector on the device (one scratch
+    # set per device; a real multi-stream port would override these).
+
+    def wrap_batched(self, gs, vs):
+        self._count("wrap_batched")
+        import numpy as np
+
+        return np.stack([self.wrap(g, v) for g, v in zip(gs, vs)])
+
+    def unwrap_batched(self, gs, vs):
+        self._count("unwrap_batched")
+        import numpy as np
+
+        return np.stack([self.unwrap(g, v) for g, v in zip(gs, vs)])
+
+    def cluster_product_batched(self, v_stack):
+        self._count("cluster_product_batched")
+        import numpy as np
+
+        return np.stack([self.cluster_product(list(vs)) for vs in v_stack])
+
+    def stats(self):
+        out = super().stats()
+        out["backend.gpu.kernel_launches"] = float(self.device.kernel_launches)
+        out["backend.gpu.elapsed_model_s"] = float(self.device.elapsed)
+        return out

@@ -1,0 +1,159 @@
+"""String registry of execution backends: ``get_backend("threaded")``.
+
+One knob selects the execution layer everywhere — `Simulation`,
+`SimulationConfig` input files, `repro run --backend`, the
+``REPRO_BACKEND`` environment variable — and this module is where the
+knob's value becomes a backend instance, with every failure mode loud:
+unknown names list the registry, unknown options raise from the backend
+constructor, unavailable backends (cupy without cupy) explain what is
+missing, and method/backend combinations are validated at configuration
+time rather than deep inside the first sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Union
+
+from .base import BackendError, BaseBackend
+
+__all__ = [
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "known_backends",
+    "default_backend_name",
+    "resolve_backend",
+    "validate_backend_method",
+]
+
+#: name -> backend class (imported lazily where construction is heavy).
+_REGISTRY: Dict[str, Callable[..., BaseBackend]] = {}
+
+#: environment variable consulted when no backend is requested explicitly.
+ENV_VAR = "REPRO_BACKEND"
+
+
+def register_backend(name: str, factory: Callable[..., BaseBackend]) -> None:
+    """Add (or replace) a backend under ``name``."""
+    _REGISTRY[name] = factory
+
+
+def _ensure_builtin_registered() -> None:
+    if _REGISTRY:
+        return
+    from .cupy_backend import CupyBackend
+    from .gpu_sim import SimulatedGPUBackend
+    from .numpy_backend import NumpyBackend
+    from .threaded import ThreadedBackend
+
+    register_backend("numpy", NumpyBackend)
+    register_backend("threaded", ThreadedBackend)
+    register_backend("gpu-sim", SimulatedGPUBackend)
+    register_backend("cupy", CupyBackend)
+
+
+def known_backends() -> List[str]:
+    """Every registered name, available or not."""
+    _ensure_builtin_registered()
+    return sorted(_REGISTRY)
+
+
+def available_backends() -> List[str]:
+    """Registered names whose runtime dependencies are present."""
+    _ensure_builtin_registered()
+    out = []
+    for name in sorted(_REGISTRY):
+        if name == "cupy":
+            from .cupy_backend import cupy_available
+
+            if not cupy_available():
+                continue
+        out.append(name)
+    return out
+
+
+def get_backend(name: str, **options) -> BaseBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Unknown names raise :class:`BackendError` listing the registry;
+    option validation is the constructor's job (unknown options raise
+    there, loudly, instead of being dropped).
+    """
+    _ensure_builtin_registered()
+    if name not in _REGISTRY:
+        raise BackendError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[name](**options)
+
+
+def default_backend_name() -> str:
+    """The name used when nothing is requested: ``$REPRO_BACKEND`` or numpy."""
+    return os.environ.get(ENV_VAR, "").strip() or "numpy"
+
+
+def resolve_backend(
+    spec: Union[None, str, BaseBackend], **options
+) -> BaseBackend:
+    """Turn a user-facing backend spec into an instance.
+
+    ``None`` consults ``$REPRO_BACKEND`` (default "numpy"); a string goes
+    through :func:`get_backend`; an existing instance passes through
+    (options are then rejected — they could not be applied).
+    """
+    if isinstance(spec, BaseBackend):
+        if options:
+            raise BackendError(
+                "cannot apply options to an already constructed backend "
+                f"instance ({spec.name!r})"
+            )
+        return spec
+    if spec is None:
+        spec = default_backend_name()
+    if not isinstance(spec, str):
+        raise BackendError(
+            f"backend must be a name or a PropagatorBackend, got {type(spec)!r}"
+        )
+    return get_backend(spec, **options)
+
+
+def validate_backend_method(
+    backend: Union[str, BaseBackend], method: str
+) -> None:
+    """Reject an invalid method/backend combination at configuration time.
+
+    ``backend`` may be a name (nothing is constructed — config parsing
+    must stay side-effect free) or an instance.
+    """
+    from ..core.stratification import METHODS
+
+    if method not in METHODS:
+        raise BackendError(
+            f"unknown method {method!r}; expected one of {METHODS}"
+        )
+    if isinstance(backend, BaseBackend):
+        name, supported = backend.name, backend.supported_methods
+    else:
+        _ensure_builtin_registered()
+        if backend not in _REGISTRY:
+            raise BackendError(
+                f"unknown backend {backend!r}; registered backends: "
+                f"{', '.join(sorted(_REGISTRY))}"
+            )
+        cls = _REGISTRY[backend]
+        name = getattr(cls, "name", backend)
+        supported = getattr(cls, "supported_methods", ())
+    if method not in supported:
+        raise BackendError(
+            f"backend {name!r} does not support method {method!r}; "
+            f"supported: {', '.join(supported)}"
+        )
+
+
+def serial_backend() -> BaseBackend:
+    """A fresh serial numpy backend (the default execution layer)."""
+    from .numpy_backend import NumpyBackend
+
+    return NumpyBackend()

@@ -1,0 +1,91 @@
+"""Multicore backend over the worker-pool kernels (paper Sec. IV-B).
+
+GEMMs stay with the (already multithreaded) BLAS; what this backend adds
+is exactly what QUEST added with OpenMP — thread-parallel execution of
+the fine-grain operations BLAS does not thread at DQMC sizes: diagonal
+scalings and the pre-pivot column-norm pass.
+
+Bit-identity contract: the chunked scalings are elementwise (no
+reductions), so they match the numpy backend exactly at every size. The
+column-norm pass reduces per-chunk partial sums; below the pool's grain
+size (128 rows) it runs in one chunk and is bit-identical, above it the
+reassociation differs in the last ulp — same guarantee the paper's
+OpenMP norm loop gives relative to serial dnrm2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel import (
+    parallel_column_norms,
+    parallel_prepivot_permutation,
+    scale_columns,
+    scale_rows,
+    scale_two_sided,
+)
+from .numpy_backend import NumpyBackend
+
+__all__ = ["ThreadedBackend"]
+
+
+class ThreadedBackend(NumpyBackend):
+    """Worker-pool execution of the fine-grain propagator ops."""
+
+    name = "threaded"
+
+    def scale_rows(self, a, v, out=None, category: str = "scaling"):
+        self._count("scale_rows")
+        return scale_rows(a, v, out=out, category=category)
+
+    def scale_columns(self, a, v, out=None, category: str = "scaling"):
+        self._count("scale_columns")
+        return scale_columns(a, v, out=out, category=category)
+
+    def scale_two_sided(self, a, v, col_v=None, out=None, category: str = "scaling"):
+        self._count("scale_two_sided")
+        return scale_two_sided(a, v, col_v=col_v, out=out, category=category)
+
+    def column_norms(self, a):
+        self._count("column_norms")
+        return parallel_column_norms(a)
+
+    def prepivot_permutation(self, a):
+        """Descending-norm order from the thread-parallel norm pass."""
+        self._count("prepivot_permutation")
+        return parallel_prepivot_permutation(a)
+
+    def cluster_product(self, v_diagonals):
+        """Algorithm 4/5 order with pooled row scalings."""
+        self._count("cluster_product")
+        self._require_bound()
+        if len(v_diagonals) == 0:
+            raise ValueError("empty cluster")
+        out = self.scale_rows(
+            self.expk,
+            np.asarray(v_diagonals[0], dtype=np.float64),
+            category="clustering",
+        )
+        for v in v_diagonals[1:]:
+            t = self.gemm(self.expk, out, category="clustering")
+            out = self.scale_rows(
+                t, np.asarray(v, dtype=np.float64), out=t, category="clustering"
+            )
+        return out
+
+    # wrap/unwrap inherit the numpy composition, which routes the
+    # scalings back through the overrides above — pooled automatically.
+    # The *batched* variants fall back to per-sector loops here: the
+    # stacked elementwise pass would serialize the pool's row chunking.
+
+    def wrap_batched(self, gs, vs):
+        self._count("wrap_batched")
+        return np.stack([self.wrap(g, v) for g, v in zip(gs, vs)])
+
+    def unwrap_batched(self, gs, vs):
+        self._count("unwrap_batched")
+        return np.stack([self.unwrap(g, v) for g, v in zip(gs, vs)])
+
+    def cluster_product_batched(self, v_stack):
+        self._count("cluster_product_batched")
+        return np.stack([self.cluster_product(list(vs)) for vs in v_stack])

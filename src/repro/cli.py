@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the progress lines"
     )
     p_run.add_argument(
+        "--backend", type=str, default=None, metavar="NAME",
+        help="execution backend: numpy, threaded, gpu-sim or cupy "
+        "(default: the input file's 'backend' key, else $REPRO_BACKEND, "
+        "else numpy); physics is backend-independent",
+    )
+    p_run.add_argument(
         "--telemetry", type=Path, default=None, metavar="JSONL",
         help="archive metrics snapshots and structured events to this "
         "JSONL file (inspectable mid-run; see docs/observability.md)",
@@ -133,9 +139,22 @@ def _build_watchdog(args: argparse.Namespace) -> Optional[WatchdogConfig]:
 
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = load_config(args.input)
+    if args.backend is not None:
+        from .backends import validate_backend_method
+
+        try:
+            validate_backend_method(args.backend, cfg.method)
+        except Exception as exc:
+            print(f"--backend {args.backend}: {exc}", file=sys.stderr)
+            return 2
     telemetry = _build_telemetry(args)
-    sim = cfg.simulation(telemetry=telemetry, watchdog=_build_watchdog(args))
+    sim = cfg.simulation(
+        telemetry=telemetry,
+        watchdog=_build_watchdog(args),
+        backend=args.backend,
+    )
     output = args.output if args.output else args.input.with_suffix(".npz")
+    _emit(args.quiet, f"backend: {sim.engine.backend.name}")
     try:
         with flops.tally() as flop_tally:
             if telemetry is not None:
@@ -232,6 +251,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"beta = {cfg.beta:g}  (L = {cfg.l}, dtau = {cfg.dtau:g})")
     print(f"HS coupling nu   {model.nu:.6f}")
     print(f"method           {cfg.method}, k = {cfg.north}, delay = {cfg.ndelay}")
+    print(f"backend          {cfg.backend}")
     print(f"conditioning     {report.describe()}")
     if cfg.north > report.suggested_cluster_size:
         print(

@@ -36,9 +36,13 @@ class DelayedUpdater:
     max_delay:
         Flush automatically once this many updates are pending. 1
         degenerates to plain rank-1 updates (the ablation baseline).
+    backend:
+        Optional :class:`~repro.backends.PropagatorBackend` executing the
+        rank-m flush GEMM (and counting it in the dispatch telemetry);
+        ``None`` keeps the plain in-process GEMM.
     """
 
-    def __init__(self, g: np.ndarray, max_delay: int = 32):
+    def __init__(self, g: np.ndarray, max_delay: int = 32, backend=None):
         if max_delay < 1:
             raise ValueError("max_delay must be >= 1")
         n = g.shape[0]
@@ -47,6 +51,7 @@ class DelayedUpdater:
         self.g = g
         self.n = n
         self.max_delay = max_delay
+        self.backend = backend
         self._u = np.empty((n, max_delay))
         self._w = np.empty((max_delay, n))
         # The effective diagonal is maintained incrementally (one
@@ -111,8 +116,13 @@ class DelayedUpdater:
         m = self.pending
         if m == 0:
             return
-        flops.record("delayed_update", flops.gemm_flops(self.n, self.n, m))
-        self.g += self._u[:, :m] @ self._w[:m, :]
+        if self.backend is not None:
+            self.g += self.backend.gemm(
+                self._u[:, :m], self._w[:m, :], category="delayed_update"
+            )
+        else:
+            flops.record("delayed_update", flops.gemm_flops(self.n, self.n, m))
+            self.g += self._u[:, :m] @ self._w[:m, :]
         # Re-anchor the incremental diagonal on the freshly updated G so
         # roundoff never accumulates across flushes.
         np.copyto(self._diag, np.diag(self.g))

@@ -34,6 +34,11 @@ is evaluated with two well-conditioned solves.
 
 from __future__ import annotations
 
+# qmclint: disable-file=QL007 — the stable sum-inverse works on graded
+# big/small splittings whose scalings and solves are pinned to this exact
+# rounding-sensitive composition (Bai et al.); it is deliberately not a
+# backend-dispatched propagator pipeline.
+
 from typing import List, Optional
 
 import numpy as np

@@ -61,8 +61,15 @@ class GreensFunctionEngine:
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry`; the engine counts
         fresh stratifications into it and registers the cluster cache's
-        hit/miss stats as a snapshot source. ``None`` costs nothing
-        (shared no-op instance).
+        hit/miss stats and the backend's dispatch counters as snapshot
+        sources. ``None`` costs nothing (shared no-op instance).
+    backend:
+        Execution backend (registry name or
+        :class:`~repro.backends.PropagatorBackend` instance) every
+        propagator operation dispatches through; ``None`` consults
+        ``$REPRO_BACKEND`` (default: the serial numpy backend).
+        ``threaded_norms=True`` is the deprecated spelling of
+        ``backend="threaded"``.
     """
 
     def __init__(
@@ -74,31 +81,62 @@ class GreensFunctionEngine:
         profiler: Optional[PhaseProfiler] = None,
         threaded_norms: bool = False,
         telemetry: Optional[Telemetry] = None,
+        backend=None,
     ):
+        from ..backends import resolve_backend, validate_backend_method
+        from .stratification import _resolve_backend
+
         self.factory = factory
         self.field = field
         self.method = method
-        self.threaded_norms = threaded_norms
+        if backend is None and not threaded_norms:
+            # The engine is the user-facing entry point, so (unlike the
+            # library-level chain functions) its default is env-aware.
+            self.backend = resolve_backend(None).bind(factory)
+        else:
+            self.backend = _resolve_backend(backend, threaded_norms).bind(
+                factory
+            )
+        validate_backend_method(self.backend, method)
+        self.threaded_norms = self.backend.name == "threaded"
         self.profiler = ensure_profiler(profiler)
         self.telemetry = ensure_telemetry(telemetry)
-        self.cache = ClusterCache(factory, field, cluster_size)
+        self.cache = ClusterCache(
+            factory, field, cluster_size, backend=self.backend
+        )
         self._register_cache_stats()
         self.last_stats = StratificationStats()
 
     def _register_cache_stats(self) -> None:
-        """Expose the cluster cache's stats to telemetry snapshots.
+        """Expose cluster-cache and backend stats to telemetry snapshots.
 
-        The source reads ``self.cache`` at snapshot time, so subclasses
-        that swap in their own cache (the hybrid GPU engine) are covered
-        without re-registration."""
+        The sources read ``self.cache`` / ``self.backend`` at snapshot
+        time, so subclasses that swap in their own (the hybrid GPU
+        engine) are covered without re-registration."""
         if not self.telemetry.enabled:
             return
 
         def export(registry, engine=self) -> None:
             for name, value in engine.cache.stats().items():
                 registry.set_gauge(name, value)
+            for name, value in engine.backend.stats().items():
+                registry.set_gauge(name, value)
 
         self.telemetry.add_snapshot_source(export)
+
+    @property
+    def device(self):
+        """The simulated device of a GPU-offload backend.
+
+        Raises AttributeError on backends without one, matching the old
+        hybrid-engine attribute surface.
+        """
+        device = getattr(self.backend, "device", None)
+        if device is None:
+            raise AttributeError(
+                f"backend {self.backend.name!r} has no device"
+            )
+        return device
 
     @property
     def n(self) -> int:
@@ -138,7 +176,7 @@ class GreensFunctionEngine:
                 chain,
                 method=self.method,
                 stats=stats,
-                threaded_norms=self.threaded_norms,
+                backend=self.backend,
             )
             self.last_stats = stats
         self.telemetry.counter("engine.stratifications")
@@ -175,19 +213,54 @@ class GreensFunctionEngine:
             self.factory.b_matrix(self.field, ll, sigma) for ll in order
         )
         with self.profiler.phase("stratification"):
-            return stratified_inverse(factors, method=self.method)
+            return stratified_inverse(
+                factors, method=self.method, backend=self.backend
+            )
 
     # -- wrapping -----------------------------------------------------------
 
     def wrap(self, g: np.ndarray, l: int, sigma: int) -> np.ndarray:
         """``B_l G B_l^{-1}``: advance so slice l becomes the leftmost factor."""
         with self.profiler.phase("wrapping"):
-            return wrap_forward(self.factory, self.field, g, l, sigma)
+            return wrap_forward(
+                self.factory, self.field, g, l, sigma, backend=self.backend
+            )
 
     def unwrap(self, g: np.ndarray, l: int, sigma: int) -> np.ndarray:
         """Inverse of :meth:`wrap` (used by reverse sweeps and tests)."""
         with self.profiler.phase("wrapping"):
-            return wrap_backward(self.factory, self.field, g, l, sigma)
+            return wrap_backward(
+                self.factory, self.field, g, l, sigma, backend=self.backend
+            )
+
+    def wrap_pair(self, gs: dict, l: int) -> dict:
+        """Wrap both spin sectors through slice ``l`` in one batched call.
+
+        ``gs`` maps spin (+1/-1) to its Green's function; the two sectors
+        are stacked so stacked-GEMM backends run them as single batched
+        products. Per-sector results are bit-identical to :meth:`wrap`.
+        """
+        nu = self.factory.nu
+        spins = (1, -1)
+        with self.profiler.phase("wrapping"):
+            vs = np.stack(
+                [self.field.v_diagonal(l, s, nu) for s in spins]
+            )
+            stacked = np.stack([np.asarray(gs[s]) for s in spins])
+            out = self.backend.wrap_batched(stacked, vs)
+        return {s: out[i] for i, s in enumerate(spins)}
+
+    def unwrap_pair(self, gs: dict, l: int) -> dict:
+        """Batched inverse of :meth:`wrap_pair` for both spin sectors."""
+        nu = self.factory.nu
+        spins = (1, -1)
+        with self.profiler.phase("wrapping"):
+            vs = np.stack(
+                [self.field.v_diagonal(l, s, nu) for s in spins]
+            )
+            stacked = np.stack([np.asarray(gs[s]) for s in spins])
+            out = self.backend.unwrap_batched(stacked, vs)
+        return {s: out[i] for i, s in enumerate(spins)}
 
     def configuration_sign(self) -> float:
         """Sign of ``det M_+ det M_-`` for the current field.
@@ -204,7 +277,9 @@ class GreensFunctionEngine:
             with self.profiler.phase("clustering"):
                 chain = self.cache.chain(sigma, 0)
             with self.profiler.phase("stratification"):
-                dec = stratified_decomposition(chain, method=self.method)
+                dec = stratified_decomposition(
+                    chain, method=self.method, backend=self.backend
+                )
             s, _ = stable_log_det_from_graded(dec)
             sign *= s
         return sign
@@ -228,7 +303,7 @@ class GreensFunctionEngine:
             chain = self.cache.chain(sigma, start_cluster)
         with self.profiler.phase("stratification"):
             dec = stratified_decomposition(
-                chain, method=self.method, threaded_norms=self.threaded_norms
+                chain, method=self.method, backend=self.backend
             )
         return np.sort(np.abs(dec.d))[::-1]
 
@@ -248,5 +323,7 @@ class GreensFunctionEngine:
         for l in range(n_wraps):
             g = self.wrap(g, l, sigma)
         fresh = self.greens_at_slice_direct(sigma, n_wraps - 1)
-        denom = np.linalg.norm(fresh)
-        return float(np.linalg.norm(g - fresh) / denom)
+        # Diagnostic Frobenius norms, not a propagator operation — no
+        # backend dispatch wanted here.
+        denom = np.linalg.norm(fresh)  # qmclint: disable=QL007
+        return float(np.linalg.norm(g - fresh) / denom)  # qmclint: disable=QL007

@@ -34,19 +34,30 @@ class ClusterCache:
         field: HSField,
         cluster_size: int,
         product_fn=None,
+        backend=None,
     ):
         """``product_fn(sigma, slices) -> ndarray`` overrides how a dense
-        cluster product is built — the hook the GPU offload layer uses to
-        route rebuilds through Algorithm 4/5 instead of the CPU path."""
+        cluster product is built — the legacy hook the GPU offload layer
+        used to route rebuilds through Algorithm 4/5 instead of the CPU
+        path. ``backend`` is the modern form: rebuilds go through
+        ``backend.cluster_product_batched`` and a miss on one spin
+        prefetches *both* spin sectors in one stacked call (both spins
+        are invalidated together, so the partner access is otherwise a
+        guaranteed second miss). ``product_fn`` wins when both are given.
+        """
         self.factory = factory
         self.field = field
         self.cluster_size = cluster_size
         self.ranges = cluster_slices(field.n_slices, cluster_size)
         self._product_fn = product_fn
+        self.backend = backend
+        if backend is not None and getattr(backend, "expk", None) is not factory.expk:
+            backend.bind(factory)
         # (sigma, cluster_index) -> dense product, or absent if stale.
         self._cache: Dict[Tuple[int, int], np.ndarray] = {}
         self.hits = 0
         self.misses = 0
+        self.batched_builds = 0
 
     @property
     def n_clusters(self) -> int:
@@ -81,10 +92,35 @@ class ClusterCache:
         self.misses += 1
         if self._product_fn is not None:
             prod = self._product_fn(sigma, self.ranges[j])
+        elif self.backend is not None:
+            prod = self._build_batched(sigma, j)
         else:
             prod = cluster_product(self.factory, self.field, sigma, self.ranges[j])
         self._cache[key] = prod
         return prod
+
+    def _build_batched(self, sigma: int, j: int) -> np.ndarray:
+        """Rebuild cluster ``j`` for both spins in one stacked call.
+
+        Invalidation always drops both spin sectors of a cluster, so the
+        other spin's rebuild is coming; stacking the two V-chains into one
+        ``cluster_product_batched`` call halves the kernel launches (and
+        on stacked-GEMM backends runs both sectors in single GEMMs).
+        """
+        nu = self.factory.nu
+        spins = (sigma, -sigma)
+        v_stack = np.stack(
+            [
+                [self.field.v_diagonal(l, s, nu) for l in self.ranges[j]]
+                for s in spins
+            ]
+        )
+        prods = self.backend.cluster_product_batched(v_stack)
+        self.batched_builds += 1
+        # The partner sector is cached directly (not via get()) so its
+        # later access counts as the hit it now is.
+        self._cache[(-sigma, j)] = prods[1]
+        return prods[0]
 
     def stats(self) -> Dict[str, float]:
         """Hit/miss totals in telemetry-snapshot form.
@@ -102,6 +138,7 @@ class ClusterCache:
                 self.hits / accesses if accesses else 0.0
             ),
             "cluster_cache.entries": float(len(self._cache)),
+            "cluster_cache.batched_builds": float(self.batched_builds),
         }
 
     def chain(self, sigma: int, start_cluster: int) -> List[np.ndarray]:

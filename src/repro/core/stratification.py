@@ -44,8 +44,9 @@ Three pivoting policies are offered:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Literal, Sequence
 
 import numpy as np
 
@@ -68,7 +69,7 @@ __all__ = [
 ]
 
 
-StratificationMethod = str
+StratificationMethod = Literal["qrp", "prepivot", "nopivot", "svd", "jacobi"]
 
 METHODS = ("qrp", "prepivot", "nopivot", "svd", "jacobi")
 
@@ -79,21 +80,48 @@ _FACTORIZERS: dict = {
 }
 
 
-def _step_factorize(method: str, c: np.ndarray, threaded_norms: bool = False):
+def _resolve_backend(backend, threaded_norms: bool):
+    """Map the (deprecated) ``threaded_norms`` flag and ``backend`` spec
+    to a live backend instance; the strat chain's scalings/GEMMs and the
+    pre-pivot norm pass dispatch through it."""
+    from ..backends import BaseBackend, get_backend, serial_backend
+
+    if threaded_norms:
+        warnings.warn(
+            "threaded_norms is deprecated; pass backend='threaded' "
+            "(or any registered backend) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if backend is not None:
+            raise ValueError(
+                "pass either backend= or the deprecated threaded_norms, "
+                "not both"
+            )
+        return get_backend("threaded")
+    if backend is None:
+        return serial_backend()
+    if isinstance(backend, str):
+        return get_backend(backend)
+    if not isinstance(backend, BaseBackend):
+        raise TypeError(f"backend must be a name or backend, got {backend!r}")
+    return backend
+
+
+def _step_factorize(method: str, c: np.ndarray, backend=None):
     """One chain step's factorization: ``c = q @ diag(d) @ t_factor``
     with ``t_factor`` well-conditioned; returns
     ``(q, d, t_factor, piv, sync_points)`` where ``piv`` is the row
     permutation to apply to the accumulated T (``P^T T = T[piv]``).
 
-    ``threaded_norms`` routes the pre-pivot column-norm pass through the
-    worker pool (paper Sec. IV-B: "our implementation uses OpenMP to
-    compute several norms simultaneously") — identical permutation,
-    different execution.
+    ``backend`` supplies the pre-pivot column-norm pass (paper
+    Sec. IV-B: "our implementation uses OpenMP to compute several norms
+    simultaneously" — same permutation, different execution).
     """
     if method == "svd":
         import scipy.linalg as sla
 
-        u, s, vt = sla.svd(c, check_finite=False)
+        u, s, vt = sla.svd(c, check_finite=False)  # qmclint: disable=QL007
         flops.record("svd", 22 * c.shape[0] ** 3)  # LAPACK gesdd-ish count
         _check_diag(s)
         # the implicit QR iteration inside the SVD is at least as
@@ -105,15 +133,15 @@ def _step_factorize(method: str, c: np.ndarray, threaded_norms: bool = False):
         u, s, vt = jacobi_svd(c)
         _check_diag(s)
         return u, s, vt, np.arange(c.shape[1]), min(c.shape)
-    if method == "prepivot" and threaded_norms:
-        from ..parallel import parallel_prepivot_permutation
-
-        res = qr_prepivoted(c, piv=parallel_prepivot_permutation(c))
+    if method == "prepivot" and backend is not None:
+        res = qr_prepivoted(c, piv=backend.prepivot_permutation(c))
     else:
         res = _FACTORIZERS[method](c)
     d = np.diag(res.r).copy()
     _check_diag(d)
-    return res.q, d, res.r / d[:, None], res.piv, res.sync_points
+    # The graded split of R is pinned to this exact division so every
+    # backend shares one rounding of the T factor.
+    return res.q, d, res.r / d[:, None], res.piv, res.sync_points  # qmclint: disable=QL007
 
 
 @dataclass
@@ -146,6 +174,7 @@ def stratified_decomposition(
     method: StratificationMethod = "prepivot",
     stats: StratificationStats | None = None,
     threaded_norms: bool = False,
+    backend=None,
 ) -> GradedDecomposition:
     """Graded decomposition of ``F_L ... F_2 F_1``.
 
@@ -161,6 +190,12 @@ def stratified_decomposition(
         L-1 chain steps.
     stats:
         Optional mutable diagnostics accumulator.
+    threaded_norms:
+        Deprecated spelling of ``backend="threaded"``.
+    backend:
+        A :class:`~repro.backends.PropagatorBackend` (or registry name)
+        executing the chain's GEMMs, diagonal scalings, and the
+        pre-pivot norm pass; ``None`` uses the serial numpy backend.
 
     Returns
     -------
@@ -170,6 +205,7 @@ def stratified_decomposition(
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    backend = _resolve_backend(backend, threaded_norms)
 
     it = iter(factors)
     try:
@@ -183,7 +219,7 @@ def stratified_decomposition(
     # Step 1-2: the first factor is fully pivoted under both QR policies
     # (paper Algorithm 3 keeps QRP there); svd/nopivot use themselves.
     first_method = "qrp" if method in ("qrp", "prepivot") else method
-    q, d, tf, piv, sync = _step_factorize(first_method, first)
+    q, d, tf, piv, sync = _step_factorize(first_method, first, backend=backend)
     t = np.empty((n, n))
     t[:, piv] = tf  # T = (graded factor) P^T: scatter columns back
 
@@ -198,21 +234,14 @@ def stratified_decomposition(
             raise ValueError("factors must all be square of the same size")
         # 3a: C = (F @ Q) * D  — GEMM first, diagonal column scaling after,
         # so nothing graded enters the GEMM.
-        flops.record(
-            "stratification", flops.gemm_flops(n, n, n) + flops.scale_flops(n, n)
-        )
-        c = (f @ q) * d[None, :]
+        c = backend.gemm(f, q, category="stratification")
+        c = backend.scale_columns(c, d, out=c, category="stratification")
         # 3b/3c: factor C under the chosen policy.
-        q, d, tf, piv, sync = _step_factorize(
-            method, c, threaded_norms=threaded_norms
-        )
+        q, d, tf, piv, sync = _step_factorize(method, c, backend=backend)
         sync_points += sync
         max_disp = max(max_disp, _pivot_displacement(piv))
         # 3d: T <- (graded factor)(P^T T); P^T permutes T's *rows* by piv.
-        flops.record(
-            "stratification", flops.gemm_flops(n, n, n) + flops.scale_flops(n, n)
-        )
-        t = tf @ t[piv, :]
+        t = backend.gemm(tf, t[piv, :], category="stratification")
         n_factors += 1
 
     out = GradedDecomposition(q=q, d=d, t=t)
@@ -229,15 +258,21 @@ def stratified_inverse(
     method: StratificationMethod = "prepivot",
     stats: StratificationStats | None = None,
     threaded_norms: bool = False,
+    backend=None,
 ) -> np.ndarray:
     """``(I + F_L ... F_1)^{-1}`` via stratification + the stable solve.
 
     This is the full Algorithm 2 (``method="qrp"``) or Algorithm 3
-    (``method="prepivot"``) including step 4; ``threaded_norms`` engages
-    the Sec. IV-B parallel norm pass for the pre-pivot permutations.
+    (``method="prepivot"``) including step 4; ``backend`` executes the
+    chain's GEMMs/scalings (``threaded_norms`` is the deprecated
+    spelling of ``backend="threaded"``).
     """
     g = stratified_decomposition(
-        factors, method=method, stats=stats, threaded_norms=threaded_norms
+        factors,
+        method=method,
+        stats=stats,
+        threaded_norms=threaded_norms,
+        backend=backend,
     )
     return stable_inverse_from_graded(g)
 
@@ -253,12 +288,13 @@ class IncrementalStratifier:
     restratifying from scratch.
     """
 
-    def __init__(self, method: StratificationMethod = "prepivot"):
+    def __init__(self, method: StratificationMethod = "prepivot", backend=None):
         if method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {METHODS}"
             )
         self.method = method
+        self.backend = _resolve_backend(backend, threaded_norms=False)
         self._q: np.ndarray | None = None
         self._d: np.ndarray | None = None
         self._t: np.ndarray | None = None
@@ -277,7 +313,9 @@ class IncrementalStratifier:
             first_method = (
                 "qrp" if self.method in ("qrp", "prepivot") else self.method
             )
-            q, d, tf, piv, _ = _step_factorize(first_method, f)
+            q, d, tf, piv, _ = _step_factorize(
+                first_method, f, backend=self.backend
+            )
             t = np.empty((n, n))
             t[:, piv] = tf
             self._q, self._d, self._t = q, d, t
@@ -285,13 +323,11 @@ class IncrementalStratifier:
             return
         if f.shape != self._q.shape:
             raise ValueError("factors must all be square of the same size")
-        flops.record(
-            "stratification",
-            2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n),
-        )
-        c = (f @ self._q) * self._d[None, :]
-        q, d, tf, piv, _ = _step_factorize(self.method, c)
-        self._t = tf @ self._t[piv, :]
+        b = self.backend
+        c = b.gemm(f, self._q, category="stratification")
+        c = b.scale_columns(c, self._d, out=c, category="stratification")
+        q, d, tf, piv, _ = _step_factorize(self.method, c, backend=b)
+        self._t = b.gemm(tf, self._t[piv, :], category="stratification")
         self._q, self._d = q, d
         self._n_factors += 1
 

@@ -12,6 +12,12 @@ needs), the next slice's function is the similarity transform
 Each wrap is four GEMM-sized operations (two dense products against the
 fixed kinetic exponentials plus two diagonal scalings) and slowly loses
 accuracy; after ``l_wrap`` wraps the engine re-stratifies from scratch.
+
+Both transforms execute through a
+:class:`~repro.backends.PropagatorBackend`, whose ``wrap``/``unwrap``
+methods pin one canonical operation order (GEMMs on the well-scaled
+matrix first, diagonal scalings after — the paper's GPU Algorithm 6/7
+shape) so every backend produces bit-identical Green's functions.
 """
 
 from __future__ import annotations
@@ -24,6 +30,20 @@ from ..hamiltonian import BMatrixFactory, HSField
 __all__ = ["wrap_forward", "wrap_backward"]
 
 
+def _bound_backend(factory: BMatrixFactory, backend):
+    """The backend executing a wrap: the caller's, bound to ``factory``
+    if not already, or a fresh serial backend when none is supplied (a
+    fresh instance per call — no hidden module-level singleton that
+    threaded ensembles would race on)."""
+    if backend is None:
+        from ..backends import NumpyBackend
+
+        return NumpyBackend().bind(factory)
+    if getattr(backend, "expk", None) is not factory.expk:
+        backend.bind(factory)
+    return backend
+
+
 @shape_contract("(n,n)", dtype=np.float64, finite=True)
 def wrap_forward(
     factory: BMatrixFactory,
@@ -31,6 +51,7 @@ def wrap_forward(
     g: np.ndarray,
     l: int,
     sigma: int,
+    backend=None,
 ) -> np.ndarray:
     """``B_l G B_l^{-1}`` — move the Green's function from slice l-1 to l.
 
@@ -38,8 +59,8 @@ def wrap_forward(
     on well-scaled matrices and the diagonal factors are pure row/column
     scalings (the shape of the paper's GPU Algorithm 6/7).
     """
-    out = factory.apply_b_left(field, l, sigma, g)  # B_l @ G
-    return factory.apply_b_inv_right(field, l, sigma, out)  # ... @ B_l^{-1}
+    v = field.v_diagonal(l, sigma, factory.nu)
+    return _bound_backend(factory, backend).wrap(g, v)
 
 
 @shape_contract("(n,n)", dtype=np.float64, finite=True)
@@ -49,19 +70,15 @@ def wrap_backward(
     g: np.ndarray,
     l: int,
     sigma: int,
+    backend=None,
 ) -> np.ndarray:
     """``B_l^{-1} G B_l`` — the inverse transform (undo a wrap through l).
 
     Used by reverse-order sweeps and by tests (a forward wrap followed by
-    a backward wrap must be the identity up to rounding).
+    a backward wrap must be the identity up to rounding). The backend's
+    ``unwrap`` composes the exact inverse of ``wrap``: the two-sided
+    scaling (rows by the host-formed ``1/v``, columns by the original
+    ``v``) first, then the two GEMMs.
     """
     v = field.v_diagonal(l, sigma, factory.nu)
-    n = factory.n
-    # B^{-1} @ G = invexpK @ (V^{-1} G): row scaling then GEMM.
-    out = factory.inv_expk @ (g / v[:, None])
-    # ... @ B = (out @ V... careful: G @ B = (G V) expK — column scale then GEMM.
-    out = (out * v[None, :]) @ factory.expk
-    from ..linalg import flops
-
-    flops.record("wrapping", 2 * flops.gemm_flops(n, n, n) + 2 * n * n)
-    return out
+    return _bound_backend(factory, backend).unwrap(g, v)

@@ -56,6 +56,8 @@ class SimulationConfig:
     ndelay: int = 32
     nmeas: int = 1
     altdir: int = 0
+    #: execution backend name; "auto" defers to $REPRO_BACKEND / "numpy"
+    backend: str = "auto"
 
     @property
     def beta(self) -> float:
@@ -76,14 +78,18 @@ class SimulationConfig:
             n_slices=self.l,
         )
 
-    def simulation(self, telemetry=None, watchdog=None) -> Simulation:
+    def simulation(self, telemetry=None, watchdog=None, backend=None) -> Simulation:
         """Build the configured :class:`Simulation`.
 
         ``telemetry`` / ``watchdog`` are runtime concerns (a Telemetry
         facade and a WatchdogConfig), not physics, so they ride as
         arguments rather than input-file keys — the same input file must
         describe the same Markov chain with or without observability.
+        ``backend`` (e.g. from ``repro run --backend``) overrides the
+        file's ``backend`` key; backends are execution policy, not
+        physics, so the Markov chain is the same either way.
         """
+        chosen = backend if backend is not None else self.backend
         return Simulation(
             self.model(),
             seed=self.seed,
@@ -94,6 +100,7 @@ class SimulationConfig:
             alternate_directions=bool(self.altdir),
             telemetry=telemetry,
             watchdog=watchdog,
+            backend=None if chosen == "auto" else chosen,
         )
 
     def dumps(self) -> str:
@@ -137,6 +144,17 @@ def parse_config(text: str) -> SimulationConfig:
             f"north = {cfg.north} must divide l = {cfg.l} "
             "(cluster boundaries must tile the time axis)"
         )
+    if cfg.backend != "auto":
+        # Unknown backend names and unsupported method/backend pairs are
+        # input errors — caught here at parse time, before any model is
+        # built (no backend is constructed; names are checked against
+        # the registry).
+        from ..backends import validate_backend_method
+
+        try:
+            validate_backend_method(cfg.backend, cfg.method)
+        except Exception as exc:
+            raise ValueError(f"backend = {cfg.backend!r}: {exc}") from exc
     return cfg
 
 

@@ -79,7 +79,8 @@ def run_ensemble(
     Seeds are ``base_seed + chain_index`` (PCG64 streams with different
     seeds are independent for Monte Carlo purposes). Extra keyword
     arguments are forwarded to :class:`Simulation` (method,
-    cluster_size, ...).
+    cluster_size, ``backend="threaded"``, ...), so every chain runs the
+    same execution backend.
 
     When ``telemetry`` is given, each chain records into a private
     in-memory registry (threads never share a JSONL writer); on

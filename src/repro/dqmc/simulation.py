@@ -30,6 +30,45 @@ from .sweep import SweepStats, sweep
 __all__ = ["Simulation", "SimulationResult"]
 
 
+def _resolve_backend_knobs(backend, use_gpu: bool, threaded_norms: bool):
+    """Fold the deprecated ``use_gpu``/``threaded_norms`` flags into the
+    single ``backend`` knob, loudly.
+
+    Every combination that used to be silently mis-handled (the old
+    hybrid path dropped ``threaded_norms`` on the floor) is now an
+    error; a lone legacy flag maps to its backend with a
+    DeprecationWarning.
+    """
+    import warnings
+
+    if use_gpu and threaded_norms:
+        raise ValueError(
+            "use_gpu=True and threaded_norms=True name two different "
+            "backends; pick one backend= ('gpu-sim' or 'threaded') — the "
+            "old hybrid engine silently ignored threaded_norms here"
+        )
+    if backend is not None and (use_gpu or threaded_norms):
+        flag = "use_gpu" if use_gpu else "threaded_norms"
+        raise ValueError(
+            f"pass either backend= or the deprecated {flag}, not both"
+        )
+    if use_gpu:
+        warnings.warn(
+            "use_gpu is deprecated; pass backend='gpu-sim' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return "gpu-sim"
+    if threaded_norms:
+        warnings.warn(
+            "threaded_norms is deprecated; pass backend='threaded' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return "threaded"
+    return backend
+
+
 @dataclass
 class SimulationResult:
     """Everything a finished run reports."""
@@ -90,13 +129,21 @@ class Simulation:
         Whole-worldline flip proposals appended after every sweep —
         ergodicity insurance at strong coupling (each proposal costs a
         full Green's evaluation). 0 disables.
+    backend:
+        Execution backend for every propagator operation: a registry
+        name (``"numpy"``, ``"threaded"``, ``"gpu-sim"``, ``"cupy"``) or
+        a live :class:`~repro.backends.PropagatorBackend`. ``None``
+        means the default (``$REPRO_BACKEND`` or ``"numpy"``). Physics
+        is backend-independent by construction (bit-identical for the
+        simulated backends); only the execution/timing story differs.
     use_gpu:
-        Route clustering and wrapping through the simulated-GPU hybrid
-        engine (Sec. VI). Physics is identical by construction; the
-        device's virtual clock is available at ``sim.engine.device``.
+        Deprecated spelling of ``backend="gpu-sim"`` (Sec. VI's hybrid
+        offload; the device's virtual clock is at ``sim.engine.device``).
     threaded_norms:
-        Compute the pre-pivot column norms on the worker pool
-        (Sec. IV-B's OpenMP norm loop).
+        Deprecated spelling of ``backend="threaded"`` (Sec. IV-B's
+        OpenMP-style norm/scaling pool). Combining either legacy flag
+        with ``backend=`` — or both legacy flags with each other — is an
+        error: nothing is silently ignored.
     measure_dynamic:
         Also record the time-displaced observables once per measurement
         sweep: spin-averaged ``G(k, tau)`` and ``G_loc(tau)`` on the
@@ -134,6 +181,7 @@ class Simulation:
         measure_dynamic: bool = False,
         telemetry: Optional[Telemetry] = None,
         watchdog: Optional[WatchdogConfig] = None,
+        backend=None,
     ):
         self.model = model
         self.rng = np.random.default_rng(seed)
@@ -145,27 +193,16 @@ class Simulation:
             )
         self.factory = BMatrixFactory(model)
         self.field = HSField.random(model.n_slices, model.n_sites, self.rng)
-        if use_gpu:
-            from ..gpu import HybridGreensEngine
-
-            self.engine = HybridGreensEngine(
-                self.factory,
-                self.field,
-                method=method,
-                cluster_size=cluster_size,
-                profiler=self.profiler,
-                telemetry=telemetry,
-            )
-        else:
-            self.engine = GreensFunctionEngine(
-                self.factory,
-                self.field,
-                method=method,
-                cluster_size=cluster_size,
-                profiler=self.profiler,
-                threaded_norms=threaded_norms,
-                telemetry=telemetry,
-            )
+        backend = _resolve_backend_knobs(backend, use_gpu, threaded_norms)
+        self.engine = GreensFunctionEngine(
+            self.factory,
+            self.field,
+            method=method,
+            cluster_size=cluster_size,
+            profiler=self.profiler,
+            telemetry=telemetry,
+            backend=backend,
+        )
         self.watchdog = (
             NumericalHealthWatchdog(self.engine, watchdog, self.telemetry)
             if watchdog is not None

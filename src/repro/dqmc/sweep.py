@@ -151,10 +151,15 @@ def sweep(
         slice_order = slices if forward else reversed(slices)
         for l in slice_order:
             if forward:
-                # Move slice l to the leftmost position before updating.
-                for s in SPINS:
-                    g[s] = engine.wrap(g[s], l, s)
-            upd = {s: DelayedUpdater(g[s], max_delay=max_delay) for s in SPINS}
+                # Move slice l to the leftmost position before updating:
+                # both spin sectors wrapped in one batched backend call.
+                g = engine.wrap_pair(g, l)
+            upd = {
+                s: DelayedUpdater(
+                    g[s], max_delay=max_delay, backend=engine.backend
+                )
+                for s in SPINS
+            }
 
             with prof.phase("delayed_update"):
                 # Flip factors for the whole slice, vectorized up front.
@@ -213,9 +218,9 @@ def sweep(
 
             if not forward and l != slices[0]:
                 # Retreat: remove the (freshly updated) B_l from the
-                # leftmost position so slice l-1 is exposed next.
-                for s in SPINS:
-                    g[s] = engine.unwrap(g[s], l, s)
+                # leftmost position so slice l-1 is exposed next (both
+                # spins in one batched call).
+                g = engine.unwrap_pair(g, l)
 
     stats.sign = sign
     return stats

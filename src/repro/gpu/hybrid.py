@@ -1,6 +1,11 @@
 """Hybrid CPU+GPU Green's function engine (paper Sec. VI, Fig 10).
 
-Division of labour exactly as in the paper's preliminary results:
+.. deprecated::
+    ``HybridGreensEngine`` is now a thin alias for
+    ``GreensFunctionEngine(backend="gpu-sim")`` — the GPU offload lives
+    in :class:`repro.backends.SimulatedGPUBackend`, selectable anywhere
+    a ``backend=`` knob exists. This class remains only so existing
+    callers (and the Fig 10 bench) keep their timing-accounting surface:
 
 * **GPU** (simulated): cluster product rebuilds (Algorithm 4/5) and the
   wrapping transforms (Algorithm 6/7) — the GEMM-dominated, pivot-free
@@ -19,29 +24,31 @@ model-derived in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
-import numpy as np
-
 from ..core import GreensFunctionEngine
-from ..core.recycling import ClusterCache
+from ..core.stratification import StratificationMethod
 from ..hamiltonian import BMatrixFactory, HSField
 from ..profiling import PhaseProfiler
 from .device import SimulatedDevice
-from .ops import GPUPropagatorOps
 from .perfmodel import TESLA_C2050, GPUModel
 
 __all__ = ["HybridGreensEngine"]
 
 
 class HybridGreensEngine(GreensFunctionEngine):
-    """Drop-in :class:`GreensFunctionEngine` with GPU-offloaded kernels."""
+    """Deprecated alias: engine pinned to the ``"gpu-sim"`` backend.
+
+    Prefer ``GreensFunctionEngine(..., backend="gpu-sim")`` (or the
+    ``backend`` knob on :class:`~repro.dqmc.simulation.Simulation`).
+    """
 
     def __init__(
         self,
         factory: BMatrixFactory,
         field: HSField,
-        method: str = "prepivot",
+        method: StratificationMethod = "prepivot",
         cluster_size: int = 10,
         profiler: Optional[PhaseProfiler] = None,
         device: Optional[SimulatedDevice] = None,
@@ -49,37 +56,27 @@ class HybridGreensEngine(GreensFunctionEngine):
         fused: bool = True,
         telemetry=None,
     ):
+        warnings.warn(
+            "HybridGreensEngine is deprecated; use "
+            "GreensFunctionEngine(backend='gpu-sim') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..backends import SimulatedGPUBackend
+
         # A real profiler is required: the hybrid CPU-time accounting is
         # read off the "stratification" phase.
         profiler = profiler if profiler is not None else PhaseProfiler()
+        backend = SimulatedGPUBackend(device=device, model=model, fused=fused)
         super().__init__(
             factory, field, method=method, cluster_size=cluster_size,
-            profiler=profiler, telemetry=telemetry,
-        )
-        self.device = device if device is not None else SimulatedDevice(model)
-        self.ops = GPUPropagatorOps(
-            self.device,
-            factory.expk,
-            factory.inv_expk,
-            fused=fused,
-        )
-        # Re-route cluster rebuilds through the GPU path.
-        self.cache = ClusterCache(
-            factory, field, cluster_size, product_fn=self._gpu_cluster_product
+            profiler=profiler, telemetry=telemetry, backend=backend,
         )
 
-    # -- offloaded pieces -------------------------------------------------------
-
-    def _gpu_cluster_product(self, sigma: int, slices: range) -> np.ndarray:
-        vs = [
-            self.field.v_diagonal(l, sigma, self.factory.nu) for l in slices
-        ]
-        return self.ops.cluster_product(vs)
-
-    def wrap(self, g: np.ndarray, l: int, sigma: int) -> np.ndarray:
-        with self.profiler.phase("wrapping"):
-            v = self.field.v_diagonal(l, sigma, self.factory.nu)
-            return self.ops.wrap(g, v)
+    @property
+    def ops(self):
+        """The backend's device-resident propagator operations."""
+        return self.backend.ops
 
     # -- timing accounting --------------------------------------------------------
 

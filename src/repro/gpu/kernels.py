@@ -157,22 +157,31 @@ def two_sided_scale_kernel(
     v: DeviceArray,
     g: DeviceArray,
     block: int = DEFAULT_BLOCK,
+    col_v: DeviceArray | None = None,
 ) -> None:
-    """Algorithm 7: in-place ``G[i, j] *= v[i] / v[j]``, row per thread.
+    """Algorithm 7: in-place ``G[i, j] *= v[i] * col_v[j]``, row per thread,
+    with ``col_v = 1/v`` formed on the fly when not supplied.
 
-    The column factor ``u = V_j`` is a broadcast read shared by all
-    threads in a warp — texture-cached on hardware, a vectorized row
-    divide here. Cost model: one launch, read + write of G plus one pass
-    of V per block (amortized to ~2 copies of G at these sizes).
+    The column factor ``u`` is a broadcast read shared by all threads in
+    a warp — texture-cached on hardware, a vectorized row multiply here.
+    The explicit ``col_v`` form serves the unwrap transform, which needs
+    rows scaled by ``1/v`` and columns by the *original* ``v`` (a second
+    reciprocal of ``1/v`` would not be bitwise ``v``). Cost model: one
+    launch, read + write of G plus one pass of the diagonals per block
+    (amortized to ~2 copies of G at these sizes).
     """
-    for arr in (v, g):
+    arrays = (v, g) if col_v is None else (v, g, col_v)
+    for arr in arrays:
         if arr.device is not device:
             raise DeviceError("array bound to a different device")
     n = g.shape[0]
     if g.shape != (n, n) or v.shape != (n,):
         raise DeviceError("two_sided_scale_kernel shape mismatch")
+    if col_v is not None and col_v.shape != (n,):
+        raise DeviceError("two_sided_scale_kernel shape mismatch")
     pv, pg = v._payload(), g._payload()
-    inv = 1.0 / pv  # texture-cache image of V for the column reads
+    # texture-cache image of the column factor
+    inv = 1.0 / pv if col_v is None else col_v._payload()
 
     grid = _grid_size(n, block)
     for blk in range(grid):

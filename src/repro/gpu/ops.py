@@ -65,13 +65,14 @@ class GPUPropagatorOps:
         self._t = device.alloc((n, n))
         self._a = device.alloc((n, n))
         self._v = device.alloc((n,))
+        self._v2 = device.alloc((n,))
 
     # -- diagonal upload -------------------------------------------------------
 
-    def _send_v(self, v: np.ndarray) -> DeviceArray:
+    def _send_v(self, v: np.ndarray, dest: DeviceArray = None) -> DeviceArray:
         if v.shape != (self.n,):
             raise ValueError("diagonal has wrong length")
-        return self.device.set_matrix(v, dest=self._v)
+        return self.device.set_matrix(v, dest=dest if dest is not None else self._v)
 
     # -- clustering (Algorithm 4) ------------------------------------------------
 
@@ -132,4 +133,34 @@ class GPUPropagatorOps:
                 dev.tick(
                     dev.model.time_bandwidth_kernel(2 * payload[:, j].nbytes)
                 )
+        return dev.get_matrix(dg)
+
+    def unwrap(self, g: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """``diag(v)^{-1} (invexpK @ (. ) @ expK) diag(v)`` — the exact
+        inverse composition of :meth:`wrap`, scalings first.
+
+        Rows are scaled by the host-formed ``1/v`` and columns by the
+        *original* ``v`` (re-reciprocating on device would not be bitwise
+        ``v``); then two DGEMMs against the resident exponentials.
+        """
+        v = np.asarray(v, dtype=np.float64)
+        dev, blas = self.device, self.blas
+        dg = dev.set_matrix(np.asarray(g, dtype=np.float64), dest=self._a)
+        vinv = 1.0 / v
+        dvinv = self._send_v(vinv)
+        if self.fused:
+            dv = self._send_v(v, dest=self._v2)
+            two_sided_scale_kernel(dev, dvinv, dg, col_v=dv)
+        else:
+            for i in range(self.n):
+                blas.dscal(float(vinv[i]), dg, row=i)
+            payload = dg._payload()
+            for j in range(self.n):
+                payload[:, j] *= v[j]
+                dev.kernel_launches += 1
+                dev.tick(
+                    dev.model.time_bandwidth_kernel(2 * payload[:, j].nbytes)
+                )
+        blas.dgemm(self.d_inv_expk, dg, self._t)  # T <- B^{-1} G'
+        blas.dgemm(self._t, self.d_expk, dg)  # G <- T B
         return dev.get_matrix(dg)

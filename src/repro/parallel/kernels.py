@@ -34,14 +34,19 @@ __all__ = [
 _GRAIN = 128
 
 
-def scale_rows(a: np.ndarray, v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-    """``diag(v) @ a``, chunked across row blocks."""
+def scale_rows(
+    a: np.ndarray,
+    v: np.ndarray,
+    out: np.ndarray | None = None,
+    category: str = "scaling",
+) -> np.ndarray:
+    """``diag(v) @ a``, chunked across row blocks (in place into ``out``)."""
     a = np.asarray(a)
     m, n = a.shape
     if v.shape != (m,):
         raise ValueError("v must have one entry per row")
     res = np.empty_like(a) if out is None else out
-    flops.record("scaling", flops.scale_flops(m, n))
+    flops.record(category, flops.scale_flops(m, n))
 
     def body(r0: int, r1: int) -> None:
         np.multiply(a[r0:r1], v[r0:r1, None], out=res[r0:r1])
@@ -50,14 +55,19 @@ def scale_rows(a: np.ndarray, v: np.ndarray, out: np.ndarray | None = None) -> n
     return res
 
 
-def scale_columns(a: np.ndarray, v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-    """``a @ diag(v)``, chunked across row blocks (C-order friendly)."""
+def scale_columns(
+    a: np.ndarray,
+    v: np.ndarray,
+    out: np.ndarray | None = None,
+    category: str = "scaling",
+) -> np.ndarray:
+    """``a @ diag(v)``, chunked across row blocks (in place into ``out``)."""
     a = np.asarray(a)
     m, n = a.shape
     if v.shape != (n,):
         raise ValueError("v must have one entry per column")
     res = np.empty_like(a) if out is None else out
-    flops.record("scaling", flops.scale_flops(m, n))
+    flops.record(category, flops.scale_flops(m, n))
 
     def body(r0: int, r1: int) -> None:
         np.multiply(a[r0:r1], v[None, :], out=res[r0:r1])
@@ -67,20 +77,27 @@ def scale_columns(a: np.ndarray, v: np.ndarray, out: np.ndarray | None = None) -
 
 
 def scale_two_sided(
-    a: np.ndarray, v: np.ndarray, out: np.ndarray | None = None
+    a: np.ndarray,
+    v: np.ndarray,
+    col_v: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+    category: str = "scaling",
 ) -> np.ndarray:
-    """``diag(v) @ a @ diag(v)^{-1}`` — the wrapping scaling (Algorithm 7).
+    """``diag(v) @ a @ diag(col_v)`` with ``col_v = 1/v`` by default —
+    the wrapping scaling (Algorithm 7), in place into ``out``.
 
-    Fused into one pass: each element is multiplied by ``v_i / v_j``.
+    Fused into one pass: each element is multiplied by ``v_i * col_v_j``.
     This is the CPU analogue of the paper's texture-cached CUDA kernel.
+    The explicit column factor lets the unwrap pass the original ``v``
+    instead of re-reciprocating (``1/(1/v)`` is not bitwise ``v``).
     """
     a = np.asarray(a)
     m, n = a.shape
     if m != n or v.shape != (n,):
         raise ValueError("two-sided scaling needs square a and matching v")
     res = np.empty_like(a) if out is None else out
-    inv = 1.0 / v
-    flops.record("scaling", 2 * flops.scale_flops(m, n))
+    inv = (1.0 / v) if col_v is None else col_v
+    flops.record(category, 2 * flops.scale_flops(m, n))
 
     def body(r0: int, r1: int) -> None:
         np.multiply(a[r0:r1], v[r0:r1, None], out=res[r0:r1])

@@ -1,0 +1,376 @@
+"""The execution-backend layer: protocol, registry, and bit-identity.
+
+The tentpole contract: one Green's-function pipeline over numpy /
+threaded / simulated-GPU execution, with the *same bits* out of each.
+The equivalence class is enforced here on a seeded 4x4 beta=2 run —
+Green's functions, configuration sign, and observables bit-identical
+across backends — plus 0-ULP checks of every batched op against its
+per-matrix loop. ``cupy`` (real GPU BLAS, not bitwise-reproducible) is
+excluded from the identity class and only smoke-tested when installed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import HubbardModel, Simulation, SquareLattice
+from repro.backends import (
+    BackendError,
+    BackendUnavailableError,
+    BaseBackend,
+    NumpyBackend,
+    SimulatedGPUBackend,
+    ThreadedBackend,
+    available_backends,
+    cupy_available,
+    get_backend,
+    known_backends,
+    register_backend,
+    resolve_backend,
+    serial_backend,
+    validate_backend_method,
+)
+from repro.dqmc.config import parse_config
+from repro.hamiltonian import BMatrixFactory, HSField
+
+#: The backends whose outputs must be bit-for-bit identical.
+IDENTITY_BACKENDS = ("numpy", "threaded", "gpu-sim")
+
+
+def model_4x4(beta=2.0, n_slices=16):
+    return HubbardModel(SquareLattice(4, 4), u=4.0, beta=beta, n_slices=n_slices)
+
+
+def bound_backend(name):
+    factory = BMatrixFactory(model_4x4())
+    return get_backend(name).bind(factory), factory
+
+
+# ---------------------------------------------------------------------------
+# registry + options
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert set(known_backends()) >= {"numpy", "threaded", "gpu-sim", "cupy"}
+
+    def test_available_excludes_cupy_when_missing(self):
+        avail = available_backends()
+        assert {"numpy", "threaded", "gpu-sim"} <= set(avail)
+        if not cupy_available():
+            assert "cupy" not in avail
+
+    def test_unknown_name_raises_with_catalogue(self):
+        with pytest.raises(BackendError, match="numpy"):
+            get_backend("cuda")
+
+    def test_resolve_passthrough_and_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        b = NumpyBackend()
+        assert resolve_backend(b) is b
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("threaded").name == "threaded"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threaded")
+        assert resolve_backend(None).name == "threaded"
+
+    def test_custom_backend_registration(self):
+        class MyBackend(NumpyBackend):
+            name = "my-test-backend"
+
+        register_backend("my-test-backend", MyBackend)
+        assert get_backend("my-test-backend").name == "my-test-backend"
+
+    def test_serial_backend_is_fresh(self):
+        assert serial_backend() is not serial_backend()
+
+    def test_cupy_unavailable_raises(self):
+        if cupy_available():
+            pytest.skip("cupy present")
+        with pytest.raises(BackendUnavailableError):
+            get_backend("cupy")
+
+
+class TestLoudOptionRejection:
+    """Satellite 1: no backend knob is ever silently dropped."""
+
+    @pytest.mark.parametrize("name", IDENTITY_BACKENDS)
+    def test_unknown_options_raise(self, name):
+        with pytest.raises(BackendError, match="threaded_norms"):
+            get_backend(name, threaded_norms=True)
+
+    def test_simulation_rejects_gpu_plus_threaded_norms(self):
+        """The old hybrid path silently ignored threaded_norms; now the
+        combination is a loud error."""
+        with pytest.raises(ValueError, match="threaded_norms"):
+            Simulation(
+                model_4x4(), cluster_size=4, use_gpu=True, threaded_norms=True
+            )
+
+    def test_simulation_rejects_backend_plus_legacy_flag(self):
+        with pytest.raises(ValueError, match="use_gpu"):
+            Simulation(
+                model_4x4(), cluster_size=4, backend="numpy", use_gpu=True
+            )
+        with pytest.raises(ValueError, match="threaded_norms"):
+            Simulation(
+                model_4x4(), cluster_size=4, backend="numpy",
+                threaded_norms=True,
+            )
+
+    def test_legacy_flags_deprecate_to_backends(self):
+        with pytest.warns(DeprecationWarning, match="gpu-sim"):
+            sim = Simulation(model_4x4(), cluster_size=4, use_gpu=True)
+        assert sim.engine.backend.name == "gpu-sim"
+        with pytest.warns(DeprecationWarning, match="threaded"):
+            sim = Simulation(model_4x4(), cluster_size=4, threaded_norms=True)
+        assert sim.engine.backend.name == "threaded"
+
+
+class TestMethodValidation:
+    """Satellite 2: method/backend combos validated before anything runs."""
+
+    def test_valid_combo_passes(self):
+        validate_backend_method("numpy", "prepivot")
+        validate_backend_method("gpu-sim", "qrp")
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            validate_backend_method("numpy", "cholesky")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError):
+            validate_backend_method("cuda", "prepivot")
+
+    def test_config_parse_time_validation(self):
+        good = "l = 8\nnorth = 4\nbackend = threaded\n"
+        assert parse_config(good).backend == "threaded"
+        with pytest.raises(ValueError, match="backend"):
+            parse_config("l = 8\nnorth = 4\nbackend = cuda\n")
+
+    def test_config_auto_backend_defers(self, monkeypatch):
+        cfg = parse_config("l = 8\nnorth = 4\n")
+        assert cfg.backend == "auto"
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert cfg.simulation().engine.backend.name == "numpy"
+        # "auto" is env-aware: the CI backend-matrix leg rides on this.
+        monkeypatch.setenv("REPRO_BACKEND", "gpu-sim")
+        assert cfg.simulation().engine.backend.name == "gpu-sim"
+
+    def test_config_backend_override(self):
+        cfg = parse_config("l = 8\nnorth = 4\nbackend = numpy\n")
+        sim = cfg.simulation(backend="threaded")
+        assert sim.engine.backend.name == "threaded"
+
+
+# ---------------------------------------------------------------------------
+# bit-identity of the single ops
+# ---------------------------------------------------------------------------
+
+
+def _rng_ops(seed=3):
+    rng = np.random.default_rng(seed)
+    n = 16
+    g = rng.standard_normal((n, n))
+    v = np.exp(rng.standard_normal(n))
+    return g, v
+
+
+class TestSingleOpIdentity:
+    @pytest.mark.parametrize("name", IDENTITY_BACKENDS)
+    def test_wrap_unwrap_identity_across_backends(self, name):
+        ref, factory = bound_backend("numpy")
+        other = get_backend(name).bind(factory)
+        g, v = _rng_ops()
+        assert np.array_equal(other.wrap(g, v), ref.wrap(g, v))
+        assert np.array_equal(other.unwrap(g, v), ref.unwrap(g, v))
+
+    @pytest.mark.parametrize("name", IDENTITY_BACKENDS)
+    def test_cluster_product_across_backends(self, name):
+        ref, factory = bound_backend("numpy")
+        other = get_backend(name).bind(factory)
+        rng = np.random.default_rng(5)
+        vs = [np.exp(rng.standard_normal(16)) for _ in range(4)]
+        assert np.array_equal(other.cluster_product(vs), ref.cluster_product(vs))
+
+    def test_unwrap_inverts_wrap_to_rounding(self):
+        b, _ = bound_backend("numpy")
+        g, v = _rng_ops()
+        np.testing.assert_allclose(b.unwrap(b.wrap(g, v), v), g, rtol=1e-10)
+
+    @pytest.mark.parametrize("name", IDENTITY_BACKENDS)
+    def test_scalings_bit_identical(self, name):
+        b = get_backend(name)
+        ref = NumpyBackend()
+        g, v = _rng_ops()
+        assert np.array_equal(b.scale_rows(g, v), ref.scale_rows(g, v))
+        assert np.array_equal(b.scale_columns(g, v), ref.scale_columns(g, v))
+        assert np.array_equal(
+            b.scale_two_sided(g, v), ref.scale_two_sided(g, v)
+        )
+
+    @pytest.mark.parametrize("name", IDENTITY_BACKENDS)
+    def test_prepivot_permutation_identical(self, name):
+        """4x4 lattice (n=16) is below the threaded grain, so even the
+        reassociating norm reduction is single-chunk → bit-identical."""
+        b = get_backend(name)
+        g, _ = _rng_ops()
+        assert np.array_equal(
+            b.prepivot_permutation(g), NumpyBackend().prepivot_permutation(g)
+        )
+
+
+# ---------------------------------------------------------------------------
+# batched ops: 0 ULP vs the per-matrix loop
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedOpsZeroULP:
+    @pytest.mark.parametrize("name", IDENTITY_BACKENDS)
+    def test_wrap_batched_matches_loop(self, name):
+        b, factory = bound_backend(name)
+        rng = np.random.default_rng(7)
+        gs = rng.standard_normal((2, 16, 16))
+        vs = np.exp(rng.standard_normal((2, 16)))
+        batched = b.wrap_batched(gs.copy(), vs)
+        for i in range(2):
+            single = b.wrap(gs[i], vs[i])
+            assert np.array_equal(batched[i], single), f"sector {i} differs"
+
+    @pytest.mark.parametrize("name", IDENTITY_BACKENDS)
+    def test_unwrap_batched_matches_loop(self, name):
+        b, factory = bound_backend(name)
+        rng = np.random.default_rng(8)
+        gs = rng.standard_normal((2, 16, 16))
+        vs = np.exp(rng.standard_normal((2, 16)))
+        batched = b.unwrap_batched(gs.copy(), vs)
+        for i in range(2):
+            assert np.array_equal(batched[i], b.unwrap(gs[i], vs[i]))
+
+    @pytest.mark.parametrize("name", IDENTITY_BACKENDS)
+    def test_cluster_product_batched_matches_loop(self, name):
+        b, factory = bound_backend(name)
+        rng = np.random.default_rng(9)
+        v_stack = np.exp(rng.standard_normal((2, 4, 16)))
+        batched = b.cluster_product_batched(v_stack)
+        for i in range(2):
+            assert np.array_equal(
+                batched[i], b.cluster_product(list(v_stack[i]))
+            )
+
+    def test_batched_unwrap_round_trips_batched_wrap(self):
+        b, _ = bound_backend("numpy")
+        rng = np.random.default_rng(10)
+        gs = rng.standard_normal((2, 16, 16))
+        vs = np.exp(rng.standard_normal((2, 16)))
+        np.testing.assert_allclose(
+            b.unwrap_batched(b.wrap_batched(gs, vs), vs), gs, rtol=1e-10
+        )
+
+
+# ---------------------------------------------------------------------------
+# the headline contract: one seeded run, identical bits out of every backend
+# ---------------------------------------------------------------------------
+
+
+def run_backend(name, seed=42):
+    sim = Simulation(
+        model_4x4(), seed=seed, cluster_size=4, backend=name
+    )
+    res = sim.run(warmup_sweeps=2, measurement_sweeps=4)
+    g_up = sim.engine.greens_at_slice(1, 3)
+    g_dn = sim.engine.greens_at_slice(-1, 3)
+    return {
+        "h": sim.field.h.copy(),
+        "g_up": g_up,
+        "g_dn": g_dn,
+        "sign": sim.engine.configuration_sign(),
+        "density": res.observables["density"].mean,
+        "double_occ": res.observables["double_occupancy"].mean,
+        "kinetic": res.observables["kinetic_energy"].mean,
+    }
+
+
+class TestEndToEndBitIdentity:
+    """Seeded 4x4 beta=2 run: every backend in the identity class must
+    produce the same Markov chain, Green's functions, sign, and
+    observables down to the last bit."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return run_backend("numpy")
+
+    @pytest.mark.parametrize("name", ("threaded", "gpu-sim"))
+    def test_identical_run(self, name, reference):
+        got = run_backend(name)
+        np.testing.assert_array_equal(got["h"], reference["h"])
+        assert np.array_equal(got["g_up"], reference["g_up"])
+        assert np.array_equal(got["g_dn"], reference["g_dn"])
+        assert got["sign"] == reference["sign"]
+        assert got["density"] == reference["density"]
+        assert got["double_occ"] == reference["double_occ"]
+        assert got["kinetic"] == reference["kinetic"]
+
+    def test_gpu_sim_device_clock_advances(self):
+        sim = Simulation(
+            model_4x4(), seed=1, cluster_size=4, backend="gpu-sim"
+        )
+        sim.warmup(1)
+        assert sim.engine.device.elapsed > 0.0
+        assert sim.engine.device.kernel_launches > 0
+
+
+# ---------------------------------------------------------------------------
+# engine integration + telemetry
+# ---------------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_backend_stats_have_dispatch_counts(self):
+        sim = Simulation(model_4x4(), seed=2, cluster_size=4, backend="numpy")
+        sim.warmup(1)
+        stats = sim.engine.backend.stats()
+        assert stats.get("backend.active.numpy") == 1.0
+        assert stats.get("backend.dispatch.wrap_batched", 0.0) > 0
+        assert stats.get("backend.dispatch.gemm", 0.0) > 0
+
+    def test_batched_dual_spin_prefetch(self):
+        sim = Simulation(model_4x4(), seed=2, cluster_size=4, backend="numpy")
+        sim.warmup(1)
+        cache = sim.engine.cache
+        assert cache.batched_builds > 0
+        # every miss pair was served by one batched build
+        assert cache.stats()["cluster_cache.batched_builds"] == float(
+            cache.batched_builds
+        )
+
+    def test_device_property_raises_on_cpu_backend(self):
+        sim = Simulation(model_4x4(), seed=0, cluster_size=4, backend="numpy")
+        with pytest.raises(AttributeError, match="no device"):
+            sim.engine.device
+
+    def test_engine_rejects_backend_plus_threaded_norms(self):
+        from repro.core import GreensFunctionEngine
+
+        factory = BMatrixFactory(model_4x4())
+        field = HSField.ordered(16, 16)
+        with pytest.raises(ValueError, match="not both"):
+            GreensFunctionEngine(
+                factory, field, cluster_size=4,
+                backend="numpy", threaded_norms=True,
+            )
+
+
+# ---------------------------------------------------------------------------
+# cupy (only meaningful where a real GPU stack is installed)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not cupy_available(), reason="cupy not installed")
+class TestCupySmoke:
+    def test_wrap_close_to_numpy(self):
+        ref, factory = bound_backend("numpy")
+        gpu = get_backend("cupy").bind(factory)
+        g, v = _rng_ops()
+        np.testing.assert_allclose(gpu.wrap(g, v), ref.wrap(g, v), rtol=1e-12)

@@ -178,8 +178,8 @@ class RiggedUpdater(DelayedUpdater):
     #: set by the test to the (uniform) spin-up alpha of the field
     rig_alpha = None
 
-    def __init__(self, g, max_delay: int = 32):
-        super().__init__(g, max_delay=max_delay)
+    def __init__(self, g, max_delay: int = 32, backend=None):
+        super().__init__(g, max_delay=max_delay, backend=backend)
         self._diag[:] = 1.0 + (1.0 - self.D_TARGET) / self.rig_alpha
 
 

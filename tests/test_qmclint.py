@@ -224,7 +224,7 @@ class TestQL004FlopLedger:
                 lu, piv = sla.lu_factor(a)
                 return sla.qr(b)
             """,
-            rel="repro/core/x.py",
+            rel="repro/linalg/x.py",
         )
         assert codes(vs) == ["QL004"]
 
@@ -345,6 +345,69 @@ class TestQL006SilentExcept:
                     print(exc)
                     raise
             """,
+        )
+        assert vs == []
+
+
+class TestQL007BackendBypass:
+    def test_flags_direct_linalg_call_in_core(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad(a):
+                return np.linalg.qr(a)
+            """,
+            rel="repro/core/mod.py",
+        )
+        assert "QL007" in codes(vs)
+
+    def test_flags_manual_diag_scaling_in_core(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            def bad(a, v, d):
+                c = a * v[:, None]
+                c *= d[None, :]
+                return c
+            """,
+            rel="repro/core/mod.py",
+        )
+        assert codes(vs) == ["QL007", "QL007"]
+
+    def test_out_of_scope_dirs_ignored(self, tmp_path):
+        src = """
+        def fine(a, v):
+            return a * v[:, None]
+        """
+        assert lint_source(tmp_path, src, rel="repro/backends/mod.py") == []
+        assert lint_source(tmp_path, src, rel="repro/linalg/mod.py") == []
+        assert lint_source(tmp_path, src, rel="repro/gpu/mod.py") == []
+
+    def test_exception_classes_not_flagged(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def ok():
+                raise np.linalg.LinAlgError("singular")
+            """,
+            rel="repro/core/mod.py",
+        )
+        assert vs == []
+
+    def test_line_pragma_suppresses(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def diagnostic(a):
+                return np.linalg.norm(a)  # qmclint: disable=QL007
+            """,
+            rel="repro/core/mod.py",
         )
         assert vs == []
 

@@ -1,4 +1,4 @@
-"""The rule catalogue: QL001–QL006.
+"""The rule catalogue: QL001–QL007.
 
 Each rule is a small AST pass grounded in a failure mode this codebase
 actually has to defend against (see ``docs/static_analysis.md`` for the
@@ -298,7 +298,7 @@ class FlopLedgerRule(Rule):
     name = "flop-ledger"
     description = "matmul/qr/solve without flops.record in kernel dirs"
 
-    _SCOPED_DIRS = {"linalg", "core", "gpu"}
+    _SCOPED_DIRS = {"linalg", "core", "gpu", "backends"}
     _HEAVY_CALLS = {"qr", "solve", "lu_factor", "lu_solve", "svd"}
 
     def _in_scope(self, ctx: FileContext) -> bool:
@@ -324,8 +324,12 @@ class FlopLedgerRule(Rule):
         if not isinstance(node, ast.Call):
             return False
         func = node.func
-        if isinstance(func, ast.Attribute) and func.attr == "record":
-            return dotted_name(func.value).endswith("flops")
+        if isinstance(func, ast.Attribute):
+            if func.attr == "record":
+                return dotted_name(func.value).endswith("flops")
+            # ledger helpers (BaseBackend._record_gemm / _record_scale)
+            # that wrap flops.record
+            return func.attr.startswith("_record")
         return isinstance(func, ast.Name) and func.id == "record"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
@@ -513,6 +517,99 @@ class SilentExceptRule(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# QL007 — core pipeline must dispatch propagator ops through a backend
+# ---------------------------------------------------------------------------
+
+
+class BackendBypassRule(Rule):
+    """Flag direct linalg calls and hand-rolled diagonal scalings in
+    ``src/repro/core/``.
+
+    The execution-backend layer (``repro.backends``) exists so one
+    pipeline runs unchanged over numpy / threaded / GPU execution — and
+    so every backend shares a single canonical operation order (the
+    bit-identity contract). A ``np.linalg.*`` call or a broadcast
+    diagonal scaling (``a * v[:, None]``) written directly in the core
+    pipeline silently pins that operation to serial numpy *and* risks a
+    second, differently-rounded spelling of a kernel the backends
+    already own. Genuinely backend-independent uses (diagnostics, the
+    pinned graded split) carry a line pragma.
+    """
+
+    code = "QL007"
+    name = "backend-bypass"
+    description = "direct linalg call or manual diag scaling in core/"
+
+    _LINALG_HOLDERS = {"np.linalg", "numpy.linalg", "scipy.linalg", "sla", "la"}
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        parts = ctx.rel.split("/")
+        return "core" in parts[:-1] and "backends" not in parts
+
+    def _linalg_call(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        name = func.attr
+        # Exception classes (np.linalg.LinAlgError) are not operations.
+        if name[:1].isupper() or name.endswith("Error"):
+            return None
+        holder = dotted_name(func.value)
+        if holder in self._LINALG_HOLDERS or holder.endswith(".linalg"):
+            return dotted_name(func)
+        return None
+
+    def _is_broadcast_diag(self, node: ast.AST) -> bool:
+        """``v[:, None]`` / ``d[None, :]`` — a diagonal factor reshaped
+        for broadcasting against a matrix."""
+        if not isinstance(node, ast.Subscript):
+            return False
+        sl = node.slice
+        if not isinstance(sl, ast.Tuple):
+            return False
+        return any(
+            isinstance(e, ast.Constant) and e.value is None for e in sl.elts
+        )
+
+    def _manual_scaling(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Mult, ast.Div)
+        ):
+            return self._is_broadcast_diag(node.left) or self._is_broadcast_diag(
+                node.right
+            )
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.op, (ast.Mult, ast.Div)
+        ):
+            return self._is_broadcast_diag(node.value)
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not self._in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = self._linalg_call(node)
+                if name:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"direct `{name}` in the core pipeline: dispatch "
+                        "through the PropagatorBackend (or pragma a "
+                        "genuinely backend-independent diagnostic)",
+                    )
+            elif self._manual_scaling(node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "hand-rolled diagonal scaling (broadcast against "
+                    "None-indexed vector): use backend.scale_rows / "
+                    "scale_columns / scale_two_sided so every backend "
+                    "shares one rounding",
+                )
+
+
 ALL_RULES = (
     RawInverseRule(),
     UnseededRNGRule(),
@@ -520,4 +617,5 @@ ALL_RULES = (
     FlopLedgerRule(),
     InPlaceParamRule(),
     SilentExceptRule(),
+    BackendBypassRule(),
 )
