@@ -1,0 +1,94 @@
+"""Campaign orchestration: declarative sweeps over fleets of DQMC runs.
+
+The paper's capability figures (Figs 5-7) are grids of independent runs
+— exactly the axis where scaling out pays (the paper found distributed
+memory never paid off *within* a chain). This subsystem is that layer:
+
+* :mod:`~repro.campaign.spec` — a declarative grid spec expands to
+  deterministic jobs (content-hash ids, ``SeedSequence``-derived seeds);
+* :mod:`~repro.campaign.manifest` — an append-only crash-safe JSONL
+  journal of job states with run counters;
+* :mod:`~repro.campaign.scheduler` — process-isolated workers with
+  retry/backoff/timeout and injectable fault plans;
+* :mod:`~repro.campaign.worker` — one job per process, checkpointed and
+  bit-exactly resumable;
+* :mod:`~repro.campaign.store` — the results catalog (per-job ``.npz``
+  + queryable index, replica merging);
+* :mod:`~repro.campaign.report` — the status/report digest.
+
+:func:`run_campaign` is the one-call entry the CLI wraps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..telemetry import Telemetry
+from .manifest import JobState, Manifest, ManifestError
+from .report import build_report, render_report, write_report_json
+from .scheduler import (
+    CampaignScheduler,
+    SchedulerConfig,
+    WorkerTimeout,
+    run_subprocess_task,
+    run_tasks,
+)
+from .spec import CampaignSpec, JobSpec, SpecError
+from .store import JobRecord, ResultsCatalog, merge_estimates
+from .worker import FaultPlan, WorkerCrash
+
+__all__ = [
+    "CampaignScheduler",
+    "CampaignSpec",
+    "FaultPlan",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "Manifest",
+    "ManifestError",
+    "ResultsCatalog",
+    "SchedulerConfig",
+    "SpecError",
+    "WorkerCrash",
+    "WorkerTimeout",
+    "build_report",
+    "merge_estimates",
+    "render_report",
+    "run_campaign",
+    "run_subprocess_task",
+    "run_tasks",
+    "write_report_json",
+]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    campaign_dir: Union[str, Path],
+    config: Optional[SchedulerConfig] = None,
+    telemetry: Optional[Telemetry] = None,
+    resume: bool = False,
+):
+    """Create (or resume) a campaign directory and drive it to completion.
+
+    Returns the scheduler's
+    :class:`~repro.campaign.scheduler.CampaignRunSummary`. With
+    ``resume=True`` an existing manifest is loaded and only non-terminal
+    jobs run; without it a fresh manifest is created (and an existing
+    one is an error — no accidental double campaigns).
+    """
+    campaign_dir = Path(campaign_dir)
+    if resume:
+        manifest = Manifest.load(campaign_dir)
+        if spec is not None and manifest.spec.spec_hash() != spec.spec_hash():
+            raise ManifestError(
+                "resume spec does not match the manifest's spec "
+                f"({spec.spec_hash()} vs {manifest.spec.spec_hash()})"
+            )
+    else:
+        manifest = Manifest.create(campaign_dir, spec)
+    with manifest:
+        scheduler = CampaignScheduler(
+            manifest, config=config, telemetry=telemetry
+        )
+        return scheduler.run()

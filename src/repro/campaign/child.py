@@ -1,0 +1,74 @@
+"""Worker-process entry point: ``python -m repro.campaign.child``.
+
+The scheduler isolates each job attempt in a plain subprocess running
+this module (rather than ``multiprocessing`` spawn workers, whose
+children re-execute the parent's ``__main__`` — which breaks REPL and
+unguarded-script callers and couples worker startup to whatever the
+parent process happens to be). The contract is three argv entries:
+
+``target``
+    The task function as ``"module:qualname"`` — imported fresh in the
+    child, so it must be a module-level callable.
+``payload_path``
+    Pickle file holding the single argument passed to the target.
+``result_path``
+    Where the child writes ``("ok", value)`` or ``("error", message)``
+    as a pickle, atomically (tmp + rename). The parent only trusts this
+    file when the exit code says to; a SIGKILL'd child leaves either no
+    file or a complete error record, never a half-trusted result.
+
+Exit codes: 0 = result written; 1 = the target raised (error record
+written); anything else = the process died (crash, OOM, signal).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pickle
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _write_pickle_atomic(path: Path, payload) -> None:
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(
+            "usage: python -m repro.campaign.child "
+            "module:function payload.pkl result.pkl",
+            file=sys.stderr,
+        )
+        return 2
+    target, payload_path, result_path = argv
+    module_name, _, func_name = target.partition(":")
+    fn = importlib.import_module(module_name)
+    for part in func_name.split("."):
+        fn = getattr(fn, part)
+    with open(payload_path, "rb") as fh:
+        payload = pickle.load(fh)
+    try:
+        result = ("ok", fn(payload))
+    except BaseException as exc:  # noqa: BLE001 - report, then fail loudly
+        _write_pickle_atomic(
+            Path(result_path), ("error", f"{type(exc).__name__}: {exc}")
+        )
+        return 1
+    _write_pickle_atomic(Path(result_path), result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

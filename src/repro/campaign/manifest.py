@@ -1,0 +1,296 @@
+"""The campaign's crash-safe state journal (JSONL, append-only).
+
+A manifest is the single source of truth for "what has this campaign
+done so far". It is an append-only JSONL file — the same torn-line-
+tolerant format the telemetry writer uses — with three record kinds:
+
+``campaign``
+    First line: spec (verbatim), spec hash, format version.
+``job``
+    One per expanded job: id, index, resolved params, seed derivation.
+``state``
+    A transition for one job: ``running`` (a worker attempt started),
+    ``done``, ``failed`` (attempts exhausted), or ``requeued`` (an
+    interrupted attempt discovered at resume time).
+
+Crash safety comes from the write discipline, not from rewriting:
+every record is one ``write + flush + fsync`` of a single line under a
+lock, so the file on disk is always a valid prefix of the journal plus
+at most one torn final line (a crash mid-append). :meth:`Manifest.load`
+tolerates exactly that torn tail and refuses anything else.
+
+Replaying the journal yields each job's current :class:`JobState`,
+including ``runs`` — the number of attempts ever *started*. The run
+counter is how the resume guarantee is verified: after a mid-campaign
+SIGKILL, ``campaign resume`` must finish the missing jobs while every
+already-``done`` job keeps its original run count (it was never
+re-executed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .spec import CampaignSpec, JobSpec, SpecError
+
+__all__ = ["Manifest", "ManifestError", "JobState", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.jsonl"
+_FORMAT_VERSION = 1
+
+#: terminal + live statuses a state record may carry
+_STATUSES = ("running", "done", "failed", "requeued")
+
+
+class ManifestError(RuntimeError):
+    """Missing, corrupt, or mismatched manifest."""
+
+
+@dataclass
+class JobState:
+    """Current replayed state of one job."""
+
+    status: str = "pending"
+    #: attempts ever started (== number of ``running`` records)
+    runs: int = 0
+    #: retries recorded by the scheduler (runs beyond each first
+    #: attempt within a scheduling session)
+    retries: int = 0
+    last_error: Optional[str] = None
+    summary: Optional[dict] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.status in ("done", "failed")
+
+
+class Manifest:
+    """One campaign directory's journal: jobs + replayed states.
+
+    Construct via :meth:`create` (new campaign) or :meth:`load`
+    (status / resume). All mutation goes through the ``mark_*`` methods,
+    each of which appends exactly one fsync'd line; instances are
+    thread-safe (scheduler worker threads append concurrently).
+    """
+
+    def __init__(
+        self,
+        campaign_dir: Union[str, Path],
+        spec: CampaignSpec,
+        jobs: List[JobSpec],
+    ):
+        self.campaign_dir = Path(campaign_dir)
+        self.spec = spec
+        self.jobs = jobs
+        self.states: Dict[str, JobState] = {
+            job.job_id: JobState() for job in jobs
+        }
+        self._lock = threading.Lock()
+        self._fh = None
+
+    # -- construction --------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self.campaign_dir / MANIFEST_NAME
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.campaign_dir / "jobs" / job_id
+
+    @classmethod
+    def create(
+        cls, campaign_dir: Union[str, Path], spec: CampaignSpec
+    ) -> "Manifest":
+        """Expand ``spec`` and write a fresh journal (header + jobs).
+
+        Refuses to overwrite an existing manifest — resuming goes
+        through :meth:`load`; starting over means a new directory.
+        """
+        campaign_dir = Path(campaign_dir)
+        manifest = cls(campaign_dir, spec, spec.expand())
+        if manifest.path.exists():
+            raise ManifestError(
+                f"{manifest.path} already exists; use resume (or a fresh "
+                "directory for a new campaign)"
+            )
+        campaign_dir.mkdir(parents=True, exist_ok=True)
+        (campaign_dir / "jobs").mkdir(exist_ok=True)
+        manifest._append(
+            {
+                "kind": "campaign",
+                "version": _FORMAT_VERSION,
+                "name": spec.name,
+                "spec": spec.to_dict(),
+                "spec_hash": spec.spec_hash(),
+            }
+        )
+        for job in manifest.jobs:
+            manifest._append({"kind": "job", **job.to_dict()})
+        return manifest
+
+    @classmethod
+    def load(cls, campaign_dir: Union[str, Path]) -> "Manifest":
+        """Replay an existing journal, tolerating one torn final line."""
+        campaign_dir = Path(campaign_dir)
+        path = campaign_dir / MANIFEST_NAME
+        if not path.exists():
+            raise ManifestError(f"no manifest at {path}")
+        records = []
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    break  # torn tail: a crash mid-append; drop it
+                raise ManifestError(
+                    f"{path}:{lineno}: corrupt journal line: {exc}"
+                ) from exc
+        if not records or records[0].get("kind") != "campaign":
+            raise ManifestError(f"{path}: missing campaign header")
+        header = records[0]
+        if header.get("version") != _FORMAT_VERSION:
+            raise ManifestError(
+                f"unsupported manifest version {header.get('version')}"
+            )
+        try:
+            spec = CampaignSpec.from_dict(header["spec"])
+        except SpecError as exc:
+            raise ManifestError(f"{path}: bad spec in header: {exc}") from exc
+        jobs = [
+            JobSpec.from_dict(r) for r in records if r.get("kind") == "job"
+        ]
+        manifest = cls(campaign_dir, spec, jobs)
+        for record in records:
+            if record.get("kind") != "state":
+                continue
+            state = manifest.states.get(record.get("id"))
+            if state is None:
+                raise ManifestError(
+                    f"{path}: state record for unknown job {record.get('id')!r}"
+                )
+            manifest._apply(state, record)
+        return manifest
+
+    # -- journal writes ------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "Manifest":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _state_record(self, job_id: str, status: str, **extra) -> dict:
+        record = {
+            "kind": "state",
+            "id": job_id,
+            "status": status,
+            "time": round(time.time(), 3),
+        }
+        record.update(extra)
+        return record
+
+    def _apply(self, state: JobState, record: dict) -> None:
+        status = record["status"]
+        if status not in _STATUSES:
+            raise ManifestError(f"unknown status {status!r} in journal")
+        if status == "running":
+            state.runs += 1
+            if record.get("retry"):
+                state.retries += 1
+            state.status = "running"
+        elif status == "requeued":
+            state.status = "pending"
+        else:
+            state.status = status
+            if status == "failed":
+                state.last_error = record.get("error")
+            if status == "done":
+                state.summary = record.get("summary")
+
+    def _transition(self, job_id: str, status: str, **extra) -> None:
+        if job_id not in self.states:
+            raise ManifestError(f"unknown job {job_id!r}")
+        record = self._state_record(job_id, status, **extra)
+        self._apply(self.states[job_id], record)
+        self._append(record)
+
+    # -- public transitions --------------------------------------------------
+
+    def mark_running(self, job_id: str, attempt: int, retry: bool = False) -> None:
+        self._transition(job_id, "running", attempt=attempt, retry=bool(retry))
+
+    def mark_done(self, job_id: str, summary: Optional[dict] = None) -> None:
+        self._transition(job_id, "done", summary=summary or {})
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        self._transition(job_id, "failed", error=str(error))
+
+    def requeue_interrupted(self) -> List[str]:
+        """Re-queue every job stuck in ``running`` (the scheduler that
+        started them is gone — a crash or SIGKILL mid-campaign). The
+        worker restarts them from their latest on-disk checkpoint, so
+        already-sampled sweeps are not repeated."""
+        requeued = []
+        for job_id, state in self.states.items():
+            if state.status == "running":
+                self._transition(job_id, "requeued")
+                requeued.append(job_id)
+        return requeued
+
+    # -- queries -------------------------------------------------------------
+
+    def job(self, job_id: str) -> JobSpec:
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise ManifestError(f"unknown job {job_id!r}")
+
+    def runnable_jobs(self, retry_failed: bool = False) -> List[JobSpec]:
+        """Jobs a scheduler should run now, in expansion order."""
+        wanted = ("pending",) + (("failed",) if retry_failed else ())
+        return [
+            job
+            for job in self.jobs
+            if self.states[job.job_id].status in wanted
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        out = {"pending": 0, "running": 0, "done": 0, "failed": 0}
+        for state in self.states.values():
+            out[state.status] = out.get(state.status, 0) + 1
+        return out
+
+    @property
+    def complete(self) -> bool:
+        return all(s.is_terminal for s in self.states.values())
+
+    @property
+    def all_done(self) -> bool:
+        return all(s.status == "done" for s in self.states.values())
+
+    def total_retries(self) -> int:
+        return sum(s.retries for s in self.states.values())

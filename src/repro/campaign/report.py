@@ -1,0 +1,111 @@
+"""Campaign reporting: one JSON-able digest of a campaign directory.
+
+``repro campaign status`` and ``repro campaign report`` both render
+from :func:`build_report`, and the CI smoke leg archives the same dict
+as an artifact (``campaign_report.json``) — so what a human reads at
+the terminal and what the machines diff is one representation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+from .manifest import Manifest
+
+__all__ = ["build_report", "render_report", "write_report_json"]
+
+
+def build_report(campaign_dir: Union[str, Path]) -> dict:
+    """Summarize a campaign directory (manifest + job summaries)."""
+    manifest = Manifest.load(campaign_dir)
+    jobs = []
+    for job in manifest.jobs:
+        state = manifest.states[job.job_id]
+        entry = {
+            "id": job.job_id,
+            "index": job.index,
+            "status": state.status,
+            "runs": state.runs,
+            "retries": state.retries,
+            "params": dict(job.params),
+        }
+        if state.last_error:
+            entry["error"] = state.last_error
+        if state.summary:
+            entry["summary"] = state.summary
+        jobs.append(entry)
+    counts = manifest.counts()
+    return {
+        "name": manifest.spec.name,
+        "spec_hash": manifest.spec.spec_hash(),
+        "campaign_dir": str(Path(campaign_dir)),
+        "n_jobs": len(manifest.jobs),
+        "counts": counts,
+        "total_runs": sum(s.runs for s in manifest.states.values()),
+        "total_retries": manifest.total_retries(),
+        "complete": manifest.complete,
+        "all_done": manifest.all_done,
+        "jobs": jobs,
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable view of :func:`build_report`'s dict."""
+    counts = report["counts"]
+    lines = [
+        f"campaign   {report['name']}  [{report['spec_hash']}]",
+        f"directory  {report['campaign_dir']}",
+        f"jobs       {report['n_jobs']} total: "
+        + ", ".join(f"{n} {s}" for s, n in sorted(counts.items()) if n),
+        f"attempts   {report['total_runs']} runs, "
+        f"{report['total_retries']} retries",
+    ]
+    header = f"{'idx':>4} {'job':<14} {'status':<8} {'runs':>4}  params"
+    lines += ["", header, "-" * len(header)]
+    for job in report["jobs"]:
+        swept = {
+            k: v
+            for k, v in job["params"].items()
+            if k in _swept_keys(report)
+        }
+        params = ", ".join(f"{k}={v}" for k, v in sorted(swept.items()))
+        lines.append(
+            f"{job['index']:>4} {job['id']:<14} {job['status']:<8} "
+            f"{job['runs']:>4}  {params}"
+        )
+        if job.get("error"):
+            lines.append(f"{'':>4} {'':<14} error: {job['error']}")
+    return "\n".join(lines)
+
+
+def _swept_keys(report: dict) -> set:
+    """Parameters that actually vary across the campaign's jobs."""
+    jobs = report["jobs"]
+    if not jobs:
+        return set()
+    keys = set(jobs[0]["params"])
+    return {
+        k
+        for k in keys
+        if len({repr(j["params"].get(k)) for j in jobs}) > 1
+    } or keys
+
+
+def write_report_json(campaign_dir: Union[str, Path], path: Union[str, Path]) -> dict:
+    """Build the report and atomically write it as JSON; returns it."""
+    report = build_report(campaign_dir)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, sort_keys=True, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return report

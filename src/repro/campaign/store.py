@@ -1,0 +1,214 @@
+"""The results catalog: per-job ``.npz`` archives + a queryable index.
+
+Workers leave one :func:`repro.io.save_observables` archive per job
+under ``<campaign>/jobs/<job_id>/results.npz``; this module turns that
+directory layout into something a physicist can query::
+
+    catalog = ResultsCatalog.load(campaign_dir)
+    for rec in catalog.select(u=4.0):          # every U=4 job
+        print(rec.params["mu"], rec.observables()["density"])
+    est = catalog.merged("density", u=4.0, mu=0.0)   # replicas merged
+
+The index (``catalog.json``) is a derived artifact, rewritten
+atomically by the scheduler after each session — the manifest plus the
+job directories remain the source of truth, so :meth:`ResultsCatalog.load`
+falls back to rebuilding from them when the index is missing or stale
+(e.g. after a mid-campaign SIGKILL). Merging replica estimates uses
+sample-count weighting: means combine exactly as if the sample streams
+had been concatenated, errors combine in quadrature with the same
+weights (chains are independent by seeding, so cross terms vanish).
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..measure import BinnedEstimate
+from .manifest import Manifest
+from .worker import RESULTS_NAME
+
+__all__ = [
+    "CatalogError",
+    "JobRecord",
+    "ResultsCatalog",
+    "merge_estimates",
+    "write_catalog_index",
+]
+
+INDEX_NAME = "catalog.json"
+
+
+class CatalogError(RuntimeError):
+    """Missing or inconsistent catalog."""
+
+
+def merge_estimates(estimates: Sequence[BinnedEstimate]) -> BinnedEstimate:
+    """Merge independent-run estimates of one observable.
+
+    The merged mean is the sample-count-weighted average (identical to
+    concatenating the runs' sample streams); the merged error adds the
+    weighted per-run errors in quadrature, valid because the runs use
+    mutually independent ``SeedSequence``-spawned streams.
+    """
+    if not estimates:
+        raise ValueError("nothing to merge")
+    weights = np.array([float(e.n_samples) for e in estimates])
+    if weights.sum() <= 0:
+        raise ValueError("merging estimates with zero samples")
+    weights /= weights.sum()
+    means = [np.asarray(e.mean, dtype=np.float64) for e in estimates]
+    errors = [np.asarray(e.error, dtype=np.float64) for e in estimates]
+    mean = sum(w * m for w, m in zip(weights, means))
+    error = np.sqrt(sum((w * err) ** 2 for w, err in zip(weights, errors)))
+    return BinnedEstimate(
+        mean=mean,
+        error=error,
+        n_bins=int(sum(e.n_bins for e in estimates)),
+        n_samples=int(sum(e.n_samples for e in estimates)),
+    )
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, numbers.Number) and isinstance(b, numbers.Number):
+        return float(a) == float(b)
+    return a == b
+
+
+@dataclass
+class JobRecord:
+    """One catalog entry: job identity, state, and lazy-loaded results."""
+
+    job_id: str
+    index: int
+    params: Dict[str, object]
+    status: str
+    runs: int
+    path: Optional[Path]
+
+    @property
+    def has_results(self) -> bool:
+        return self.path is not None and Path(self.path).exists()
+
+    def observables(self) -> Dict[str, BinnedEstimate]:
+        from ..io import load_observables
+
+        if not self.has_results:
+            raise CatalogError(
+                f"job {self.job_id} ({self.status}) has no results archive"
+            )
+        obs, _meta = load_observables(self.path)
+        return obs
+
+    def matches(self, filters: Dict[str, object]) -> bool:
+        for key, want in filters.items():
+            if not _values_equal(self.params.get(key.lower()), want):
+                return False
+        return True
+
+
+def _records_from_manifest(manifest: Manifest) -> List[JobRecord]:
+    records = []
+    for job in manifest.jobs:
+        state = manifest.states[job.job_id]
+        results = manifest.job_dir(job.job_id) / RESULTS_NAME
+        records.append(
+            JobRecord(
+                job_id=job.job_id,
+                index=job.index,
+                params=dict(job.params),
+                status=state.status,
+                runs=state.runs,
+                path=results if results.exists() else None,
+            )
+        )
+    return records
+
+
+def write_catalog_index(manifest: Manifest) -> Path:
+    """Atomically (re)write ``catalog.json`` from the manifest + disk."""
+    records = _records_from_manifest(manifest)
+    index = {
+        "name": manifest.spec.name,
+        "spec_hash": manifest.spec.spec_hash(),
+        "jobs": {
+            r.job_id: {
+                "index": r.index,
+                "params": r.params,
+                "status": r.status,
+                "runs": r.runs,
+                "results": (
+                    str(Path(r.path).relative_to(manifest.campaign_dir))
+                    if r.path
+                    else None
+                ),
+            }
+            for r in records
+        },
+    }
+    path = manifest.campaign_dir / INDEX_NAME
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(index, fh, sort_keys=True, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+class ResultsCatalog:
+    """Queryable view over a campaign's results."""
+
+    def __init__(self, campaign_dir: Union[str, Path], records: List[JobRecord]):
+        self.campaign_dir = Path(campaign_dir)
+        self.records = records
+
+    @classmethod
+    def load(cls, campaign_dir: Union[str, Path]) -> "ResultsCatalog":
+        """Load from ``catalog.json`` when fresh, else rebuild from the
+        manifest (always correct — the index is only a cache)."""
+        campaign_dir = Path(campaign_dir)
+        manifest = Manifest.load(campaign_dir)
+        return cls(campaign_dir, _records_from_manifest(manifest))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def select(self, **filters) -> List[JobRecord]:
+        """Records whose params match every filter, e.g.
+        ``select(u=4.0, backend="threaded")`` (keys case-insensitive)."""
+        return [r for r in self.records if r.matches(filters)]
+
+    def estimates(self, name: str, **filters) -> List[BinnedEstimate]:
+        """Per-job estimates of one observable over matching *done* jobs."""
+        out = []
+        for record in self.select(**filters):
+            if record.has_results:
+                obs = record.observables()
+                if name in obs:
+                    out.append(obs[name])
+        return out
+
+    def merged(self, name: str, **filters) -> BinnedEstimate:
+        """Matching jobs' estimates merged into one (see
+        :func:`merge_estimates`)."""
+        estimates = self.estimates(name, **filters)
+        if not estimates:
+            raise CatalogError(
+                f"no finished job matching {filters!r} records {name!r}"
+            )
+        return merge_estimates(estimates)
+
+    def grid_values(self, key: str) -> List[object]:
+        """Distinct values of one parameter across the catalog, sorted."""
+        values = {r.params.get(key.lower()) for r in self.records}
+        return sorted(values, key=lambda v: (str(type(v)), v))

@@ -18,6 +18,15 @@ archive out — with checkpoint/resume for long runs:
     Summarize a JSONL telemetry archive from a previous (or still
     running) ``run --telemetry`` into a Table-I-style digest.
 
+``campaign``
+    Fleet-of-runs orchestration (see ``docs/campaigns.md``):
+    ``campaign run spec.json --dir DIR`` expands a declarative sweep
+    spec into process-isolated jobs with retries and a crash-safe
+    manifest; ``campaign resume DIR`` finishes an interrupted campaign
+    without re-running completed jobs; ``campaign status DIR`` /
+    ``campaign report DIR [--json PATH]`` summarize the manifest and
+    results catalog.
+
 ``version``
     Print the package version.
 """
@@ -109,6 +118,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("jsonl", type=Path, help="telemetry file from run --telemetry")
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="orchestrate a parameter-sweep campaign (docs/campaigns.md)",
+    )
+    csub = p_campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_exec_flags(p):
+        p.add_argument(
+            "--executor", choices=("process", "thread"), default="process",
+            help="worker isolation: one spawned process per job attempt "
+            "(default; crashes stay contained) or in-process threads",
+        )
+        p.add_argument(
+            "--max-workers", type=int, default=None, metavar="N",
+            help="jobs in flight at once (default: all runnable jobs)",
+        )
+        p.add_argument(
+            "--max-attempts", type=int, default=3, metavar="N",
+            help="attempts per job this session, incl. the first (default 3)",
+        )
+        p.add_argument(
+            "--backoff", type=float, default=0.25, metavar="SECONDS",
+            help="first retry delay; doubles per retry (default 0.25)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-attempt wall-time budget; a worker past it is "
+            "killed and retried (process executor only)",
+        )
+        p.add_argument(
+            "--telemetry", type=Path, default=None, metavar="JSONL",
+            help="archive campaign.* gauges and job events to this file",
+        )
+        p.add_argument(
+            "--fault", type=str, default=None, metavar="JSON",
+            help="inject a deterministic FaultPlan, e.g. "
+            '\'{"kill_job": 2, "on_attempt": 1}\' (testing/CI only)',
+        )
+        p.add_argument("--quiet", action="store_true")
+
+    pc_run = csub.add_parser("run", help="expand a spec and run every job")
+    pc_run.add_argument("spec", type=Path, help="campaign spec (JSON)")
+    pc_run.add_argument(
+        "--dir", type=Path, required=True, dest="campaign_dir",
+        help="campaign directory (manifest, per-job archives, catalog)",
+    )
+    add_exec_flags(pc_run)
+
+    pc_resume = csub.add_parser(
+        "resume", help="finish an interrupted campaign (skips done jobs)"
+    )
+    pc_resume.add_argument("campaign_dir", type=Path)
+    pc_resume.add_argument(
+        "--retry-failed", action="store_true",
+        help="also retry jobs whose attempts were exhausted",
+    )
+    add_exec_flags(pc_resume)
+
+    pc_status = csub.add_parser("status", help="print the manifest's state")
+    pc_status.add_argument("campaign_dir", type=Path)
+
+    pc_report = csub.add_parser(
+        "report", help="render the campaign report (optionally as JSON)"
+    )
+    pc_report.add_argument("campaign_dir", type=Path)
+    pc_report.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the report dict to this JSON file",
+    )
+
     sub.add_parser("version", help="print the package version")
     return parser
 
@@ -123,7 +202,7 @@ def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
         return None
     return Telemetry(
         TelemetryWriter(args.telemetry),
-        snapshot_every=args.telemetry_snapshot_every,
+        snapshot_every=getattr(args, "telemetry_snapshot_every", 10),
     )
 
 
@@ -238,6 +317,86 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scheduler_config(args: argparse.Namespace):
+    from .campaign import FaultPlan, SchedulerConfig
+
+    fault = None
+    if args.fault:
+        import json as _json
+
+        fault = FaultPlan(**_json.loads(args.fault))
+    return SchedulerConfig(
+        executor=args.executor,
+        max_workers=args.max_workers,
+        max_attempts=args.max_attempts,
+        backoff_base=args.backoff,
+        timeout=args.timeout,
+        fault_plan=fault,
+        retry_failed=getattr(args, "retry_failed", False),
+    )
+
+
+def _campaign_session(args: argparse.Namespace, resume: bool) -> int:
+    from .campaign import CampaignSpec, run_campaign
+
+    spec = None
+    if not resume:
+        spec = CampaignSpec.load(args.spec)
+    telemetry = _build_telemetry(args)
+    try:
+        summary = run_campaign(
+            spec,
+            args.campaign_dir,
+            config=_scheduler_config(args),
+            telemetry=telemetry,
+            resume=resume,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    counts = summary.counts
+    _emit(
+        args.quiet,
+        f"campaign {'resumed' if resume else 'run'}: "
+        + ", ".join(f"{n} {s}" for s, n in sorted(counts.items()) if n)
+        + f" ({summary.retries} retries, {summary.elapsed_s:.1f}s)",
+    )
+    _emit(args.quiet, f"catalog     -> {args.campaign_dir}/catalog.json")
+    if args.telemetry:
+        _emit(args.quiet, f"telemetry   -> {args.telemetry}")
+    return 0 if summary.all_done else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import ManifestError, SpecError
+
+    try:
+        if args.campaign_command == "run":
+            return _campaign_session(args, resume=False)
+        if args.campaign_command == "resume":
+            return _campaign_session(args, resume=True)
+        if args.campaign_command == "status":
+            from .campaign import build_report, render_report
+
+            print(render_report(build_report(args.campaign_dir)))
+            return 0
+        if args.campaign_command == "report":
+            from .campaign import build_report, render_report, write_report_json
+
+            if args.json is not None:
+                report = write_report_json(args.campaign_dir, args.json)
+            else:
+                report = build_report(args.campaign_dir)
+            print(render_report(report))
+            if args.json is not None:
+                print(f"\nreport JSON -> {args.json}")
+            return 0
+    except (ManifestError, SpecError, FileNotFoundError, ValueError) as exc:
+        print(f"campaign {args.campaign_command}: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     cfg = load_config(args.input)
     model = cfg.model()
@@ -274,6 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "telemetry-report":
         return cmd_telemetry_report(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     raise AssertionError("unreachable")
 
 

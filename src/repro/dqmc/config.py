@@ -78,7 +78,36 @@ class SimulationConfig:
             n_slices=self.l,
         )
 
-    def simulation(self, telemetry=None, watchdog=None, backend=None) -> Simulation:
+    def validate(self) -> "SimulationConfig":
+        """Check cross-field consistency; returns self for chaining.
+
+        Shared by :func:`parse_config` and the campaign spec expansion,
+        so a bad method/cluster/backend combination fails identically
+        whether it arrives from an input file or a sweep grid.
+        """
+        if self.method not in ("prepivot", "qrp", "nopivot"):
+            raise ValueError(f"unknown method {self.method!r}")
+        if self.l % self.north != 0:
+            raise ValueError(
+                f"north = {self.north} must divide l = {self.l} "
+                "(cluster boundaries must tile the time axis)"
+            )
+        if self.backend != "auto":
+            # Unknown backend names and unsupported method/backend pairs
+            # are configuration errors — caught here before any model is
+            # built (no backend is constructed; names are checked
+            # against the registry).
+            from ..backends import validate_backend_method
+
+            try:
+                validate_backend_method(self.backend, self.method)
+            except Exception as exc:
+                raise ValueError(f"backend = {self.backend!r}: {exc}") from exc
+        return self
+
+    def simulation(
+        self, telemetry=None, watchdog=None, backend=None, seed=None
+    ) -> Simulation:
         """Build the configured :class:`Simulation`.
 
         ``telemetry`` / ``watchdog`` are runtime concerns (a Telemetry
@@ -87,12 +116,15 @@ class SimulationConfig:
         describe the same Markov chain with or without observability.
         ``backend`` (e.g. from ``repro run --backend``) overrides the
         file's ``backend`` key; backends are execution policy, not
-        physics, so the Markov chain is the same either way.
+        physics, so the Markov chain is the same either way. ``seed``
+        overrides the file's integer seed and may be anything
+        ``np.random.default_rng`` accepts — the campaign layer passes a
+        spawned ``SeedSequence`` here so jobs get independent streams.
         """
         chosen = backend if backend is not None else self.backend
         return Simulation(
             self.model(),
-            seed=self.seed,
+            seed=self.seed if seed is None else seed,
             method=self.method,
             cluster_size=self.north,
             max_delay=self.ndelay,
@@ -136,26 +168,7 @@ def parse_config(text: str) -> SimulationConfig:
             raise ValueError(
                 f"line {lineno}: cannot parse {val!r} as {typ_name} for {key!r}"
             ) from exc
-    cfg = SimulationConfig(**values)
-    if cfg.method not in ("prepivot", "qrp", "nopivot"):
-        raise ValueError(f"unknown method {cfg.method!r}")
-    if cfg.l % cfg.north != 0:
-        raise ValueError(
-            f"north = {cfg.north} must divide l = {cfg.l} "
-            "(cluster boundaries must tile the time axis)"
-        )
-    if cfg.backend != "auto":
-        # Unknown backend names and unsupported method/backend pairs are
-        # input errors — caught here at parse time, before any model is
-        # built (no backend is constructed; names are checked against
-        # the registry).
-        from ..backends import validate_backend_method
-
-        try:
-            validate_backend_method(cfg.backend, cfg.method)
-        except Exception as exc:
-            raise ValueError(f"backend = {cfg.backend!r}: {exc}") from exc
-    return cfg
+    return SimulationConfig(**values).validate()
 
 
 def load_config(path: Union[str, Path]) -> SimulationConfig:

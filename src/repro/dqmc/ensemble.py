@@ -1,4 +1,4 @@
-"""Ensemble parallelism: independent Markov chains across threads.
+"""Ensemble parallelism: independent Markov chains across workers.
 
 Orthogonal to the kernel-level parallelism of Sec. IV, DQMC offers an
 embarrassingly parallel axis QUEST exploits in production: run several
@@ -7,14 +7,24 @@ streams. Monte Carlo error then falls like 1/sqrt(chains) with *zero*
 communication during sampling — exactly the regime where the paper notes
 distributed memory never paid off for single-chain DQMC.
 
-Threads (not processes) suffice here because the time is spent inside
-BLAS, which releases the GIL; the Python-level sweep bookkeeping of the
-chains interleaves.
+Two executors, sharing the campaign scheduler's worker layer:
+
+* ``executor="thread"`` (default): the time is spent inside BLAS, which
+  releases the GIL, so the Python-level sweep bookkeeping of the chains
+  interleaves across a thread pool. Zero startup cost.
+* ``executor="process"``: every chain in its own spawned process — true
+  isolation (a crashing chain cannot take down its siblings) and no GIL
+  contention on the interpreted Metropolis loop, at interpreter-startup
+  cost per chain. Chains ship back their accumulators, stats and
+  telemetry registries; the physics is bit-identical to thread mode.
+
+Chain seeds are ``np.random.SeedSequence(base_seed).spawn(n_chains)`` —
+the documented way to derive mutually independent PCG64 streams (naive
+``base_seed + i`` seeding gives streams with no independence guarantee).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -49,18 +59,29 @@ class EnsembleResult:
         return float(np.std(vals, ddof=1)) if len(vals) > 1 else np.inf
 
 
-def _run_chain(
-    model: HubbardModel,
-    seed: int,
-    warmup: int,
-    sweeps: int,
-    kwargs: dict,
-    telemetry: Optional[Telemetry] = None,
-) -> Simulation:
-    sim = Simulation(model, seed=seed, telemetry=telemetry, **kwargs)
-    sim.warmup(warmup)
-    sim.measure_sweeps(sweeps)
-    return sim
+def _chain_task(payload: dict) -> dict:
+    """Run one chain; returns a picklable payload (crosses the process
+    boundary under ``executor="process"``, so no ``Simulation`` inside).
+    """
+    sim = Simulation(
+        payload["model"],
+        seed=np.random.SeedSequence(
+            entropy=payload["base_seed"], spawn_key=(payload["chain"],)
+        ),
+        telemetry=payload["telemetry"],
+        **payload["kwargs"],
+    )
+    sim.warmup(payload["warmup"])
+    sim.measure_sweeps(payload["sweeps"])
+    tel = payload["telemetry"]
+    if tel is not None:
+        tel.snapshot()  # poll profiler/cache sources
+    return {
+        "accumulator": sim.collector.accumulator,
+        "stats": sim.total_stats,
+        "sign": sim._sign,
+        "registry": tel.registry if tel is not None else None,
+    }
 
 
 def run_ensemble(
@@ -72,18 +93,21 @@ def run_ensemble(
     max_workers: Optional[int] = None,
     n_bins: int = 16,
     telemetry: Optional[Telemetry] = None,
+    executor: str = "thread",
     **simulation_kwargs,
 ) -> EnsembleResult:
     """Run ``n_chains`` independent simulations concurrently and merge.
 
-    Seeds are ``base_seed + chain_index`` (PCG64 streams with different
-    seeds are independent for Monte Carlo purposes). Extra keyword
-    arguments are forwarded to :class:`Simulation` (method,
-    cluster_size, ``backend="threaded"``, ...), so every chain runs the
-    same execution backend.
+    Chain ``c`` is seeded with ``SeedSequence(base_seed).spawn(...)[c]``
+    (independent PCG64 streams by construction). Extra keyword arguments
+    are forwarded to :class:`Simulation` (method, cluster_size,
+    ``backend="threaded"``, ...), so every chain runs the same
+    execution backend. ``executor`` picks the worker layer: ``"thread"``
+    (default, backward compatible) or ``"process"`` for spawned-process
+    isolation via :func:`repro.campaign.run_tasks`.
 
     When ``telemetry`` is given, each chain records into a private
-    in-memory registry (threads never share a JSONL writer); on
+    in-memory registry (workers never share a JSONL writer); on
     completion the chain registries are merged into ``telemetry``'s and
     one ``chain_done`` event per chain plus a final ``ensemble_done``
     event are archived.
@@ -98,56 +122,54 @@ def run_ensemble(
     if n_chains < 1:
         raise ValueError("need at least one chain")
     tel = ensure_telemetry(telemetry)
-    chain_tels = [
-        Telemetry(writer=None, snapshot_every=0) if tel.enabled else None
-        for _ in range(n_chains)
+    payloads = [
+        {
+            "model": model,
+            "chain": c,
+            "base_seed": base_seed,
+            "warmup": warmup_sweeps,
+            "sweeps": measurement_sweeps,
+            "kwargs": simulation_kwargs,
+            "telemetry": (
+                Telemetry(writer=None, snapshot_every=0)
+                if tel.enabled
+                else None
+            ),
+        }
+        for c in range(n_chains)
     ]
-    workers = max_workers if max_workers is not None else n_chains
-    if workers > 1 and n_chains > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            sims = list(
-                pool.map(
-                    lambda c: _run_chain(
-                        model,
-                        base_seed + c,
-                        warmup_sweeps,
-                        measurement_sweeps,
-                        simulation_kwargs,
-                        telemetry=chain_tels[c],
-                    ),
-                    range(n_chains),
-                )
-            )
-    else:
-        sims = [
-            _run_chain(
-                model, base_seed + c, warmup_sweeps, measurement_sweeps,
-                simulation_kwargs, telemetry=chain_tels[c],
-            )
-            for c in range(n_chains)
-        ]
+    # The campaign scheduler's worker layer (lazy import: campaign's
+    # worker module imports dqmc, so a top-level import would cycle).
+    from ..campaign.scheduler import run_tasks
+
+    chains = run_tasks(
+        _chain_task,
+        payloads,
+        executor=executor,
+        max_workers=max_workers if max_workers is not None else n_chains,
+    )
 
     merged = Accumulator()
     stats = SweepStats()
     per_chain = []
-    for c, sim in enumerate(sims):
-        merged.extend(sim.collector.accumulator)
-        stats.merge(sim.total_stats)
-        per_chain.append(sim.collector.results(n_bins=n_bins))
+    for c, chain in enumerate(chains):
+        merged.extend(chain["accumulator"])
+        stats.merge(chain["stats"])
+        per_chain.append(chain["accumulator"].reduce(n_bins=n_bins))
         if tel.enabled:
-            chain_tel = chain_tels[c]
-            chain_tel.snapshot()  # poll profiler/cache sources
-            tel.registry.merge(chain_tel.registry)
+            if chain["registry"] is not None:
+                tel.registry.merge(chain["registry"])
             tel.event(
                 "chain_done",
                 chain=c,
-                seed=base_seed + c,
-                proposed=sim.total_stats.proposed,
-                accepted=sim.total_stats.accepted,
-                sign=sim._sign,
+                base_seed=base_seed,
+                spawn_key=[c],
+                proposed=chain["stats"].proposed,
+                accepted=chain["stats"].accepted,
+                sign=chain["sign"],
             )
     if tel.enabled:
-        tel.event("ensemble_done", chains=n_chains)
+        tel.event("ensemble_done", chains=n_chains, executor=executor)
         tel.snapshot()
 
     return EnsembleResult(

@@ -1,0 +1,175 @@
+"""End-to-end tests for the ``repro campaign`` CLI surface.
+
+Everything runs through ``main(argv)`` in-process on the thread
+executor (process isolation has its own suite) so the CLI paths stay
+fast enough for tier-1.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BASE = {
+    "nx": 2, "ny": 2, "dtau": 0.125, "l": 8, "north": 4,
+    "nwarm": 2, "npass": 4,
+}
+
+
+def write_spec(tmp_path, **overrides):
+    spec = {
+        "name": "cli",
+        "base": dict(BASE),
+        "grid": {"u": [2.0, 4.0]},
+        "base_seed": 17,
+        "checkpoint_every": 2,
+    }
+    spec.update(overrides)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+def run_cli(*argv):
+    return main([str(a) for a in argv])
+
+
+class TestRun:
+    def test_run_creates_catalog(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        cdir = tmp_path / "camp"
+        rc = run_cli(
+            "campaign", "run", spec, "--dir", cdir, "--executor", "thread"
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 done" in out
+        assert (cdir / "manifest.jsonl").exists()
+        assert (cdir / "catalog.json").exists()
+        assert len(list((cdir / "jobs").glob("*/results.npz"))) == 2
+
+    def test_run_with_fault_retries_and_telemetry(self, tmp_path):
+        spec = write_spec(tmp_path)
+        cdir = tmp_path / "camp"
+        tele = tmp_path / "tel.jsonl"
+        rc = run_cli(
+            "campaign", "run", spec, "--dir", cdir,
+            "--executor", "thread", "--quiet",
+            "--telemetry", tele,
+            "--fault",
+            '{"kill_job": 0, "on_attempt": 1, "mode": "exception"}',
+        )
+        assert rc == 0
+        kinds = [
+            json.loads(line)["event"]
+            for line in tele.read_text().splitlines()
+            if line.strip()
+        ]
+        assert "campaign_started" in kinds
+        assert "job_retry" in kinds
+        assert "campaign_done" in kinds
+
+    def test_run_refuses_existing_dir(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        cdir = tmp_path / "camp"
+        assert run_cli(
+            "campaign", "run", spec, "--dir", cdir, "--executor", "thread",
+            "--quiet",
+        ) == 0
+        rc = run_cli(
+            "campaign", "run", spec, "--dir", cdir, "--executor", "thread",
+            "--quiet",
+        )
+        assert rc == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_run_bad_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"grid": {"temperature": [1.0]}}')
+        rc = run_cli(
+            "campaign", "run", bad, "--dir", tmp_path / "camp",
+            "--executor", "thread", "--quiet",
+        )
+        assert rc == 2
+        assert "temperature" in capsys.readouterr().err
+
+    def test_run_exhausted_retries_exit_1(self, tmp_path, capsys):
+        """A campaign that completes with failed jobs exits 1, not 2."""
+        spec = write_spec(tmp_path)
+        rc = run_cli(
+            "campaign", "run", spec, "--dir", tmp_path / "camp",
+            "--executor", "thread", "--quiet", "--max-attempts", "2",
+            "--fault",
+            '{"kill_job": 0, "on_attempt": 0, "mode": "exception"}',
+        )
+        assert rc == 1
+
+
+class TestStatusAndReport:
+    def test_status_renders_table(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        cdir = tmp_path / "camp"
+        run_cli(
+            "campaign", "run", spec, "--dir", cdir, "--executor", "thread",
+            "--quiet",
+        )
+        capsys.readouterr()
+        assert run_cli("campaign", "status", cdir) == 0
+        out = capsys.readouterr().out
+        assert "campaign   cli" in out
+        assert "2 done" in out
+        assert "u=2.0" in out and "u=4.0" in out
+
+    def test_report_writes_json(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        cdir = tmp_path / "camp"
+        run_cli(
+            "campaign", "run", spec, "--dir", cdir, "--executor", "thread",
+            "--quiet",
+        )
+        dest = tmp_path / "report.json"
+        assert run_cli("campaign", "report", cdir, "--json", dest) == 0
+        report = json.loads(dest.read_text())
+        assert report["all_done"] is True
+        assert report["n_jobs"] == 2
+        assert {j["status"] for j in report["jobs"]} == {"done"}
+
+    def test_status_missing_dir_exits_2(self, tmp_path, capsys):
+        rc = run_cli("campaign", "status", tmp_path / "nope")
+        assert rc == 2
+        assert "no manifest" in capsys.readouterr().err
+
+
+class TestResume:
+    def test_resume_completed_campaign_is_noop(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        cdir = tmp_path / "camp"
+        run_cli(
+            "campaign", "run", spec, "--dir", cdir, "--executor", "thread",
+            "--quiet",
+        )
+        rc = run_cli(
+            "campaign", "resume", cdir, "--executor", "thread", "--quiet"
+        )
+        assert rc == 0
+        report_rc = run_cli("campaign", "report", cdir)
+        assert report_rc == 0
+        out = capsys.readouterr().out
+        assert "2 runs, 0 retries" in out  # nothing was re-run
+
+    def test_resume_retry_failed(self, tmp_path):
+        spec = write_spec(tmp_path)
+        cdir = tmp_path / "camp"
+        rc = run_cli(
+            "campaign", "run", spec, "--dir", cdir, "--executor", "thread",
+            "--quiet", "--max-attempts", "1",
+            "--fault",
+            '{"kill_job": 1, "on_attempt": 0, "mode": "exception"}',
+        )
+        assert rc == 1  # one job exhausted its (single) attempt
+        rc = run_cli(
+            "campaign", "resume", cdir, "--executor", "thread", "--quiet",
+            "--retry-failed",
+        )
+        assert rc == 0  # fault gone, the failed job completes

@@ -1,0 +1,149 @@
+"""Unit tests for the campaign manifest journal (crash-safe state)."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, Manifest, ManifestError
+
+BASE = {
+    "nx": 2, "ny": 2, "dtau": 0.125, "l": 8, "north": 4,
+    "nwarm": 2, "npass": 4,
+}
+
+
+def make_spec():
+    return CampaignSpec(
+        name="m", base=dict(BASE), grid={"u": [2.0, 4.0]}, base_seed=5,
+    )
+
+
+def create(tmp_path, name="c"):
+    return Manifest.create(tmp_path / name, make_spec())
+
+
+def nonzero(counts):
+    return {k: v for k, v in counts.items() if v}
+
+
+class TestLifecycle:
+    def test_create_then_load_roundtrip(self, tmp_path):
+        with create(tmp_path) as man:
+            ids = [j.job_id for j in man.jobs]
+        loaded = Manifest.load(tmp_path / "c")
+        assert [j.job_id for j in loaded.jobs] == ids
+        assert loaded.spec.spec_hash() == make_spec().spec_hash()
+        assert all(s.status == "pending" for s in loaded.states.values())
+
+    def test_create_refuses_existing(self, tmp_path):
+        create(tmp_path).close()
+        with pytest.raises(ManifestError, match="already exists"):
+            create(tmp_path)
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ManifestError, match="no manifest"):
+            Manifest.load(tmp_path / "nope")
+
+    def test_state_transitions_and_counts(self, tmp_path):
+        with create(tmp_path) as man:
+            a, b = [j.job_id for j in man.jobs]
+            man.mark_running(a, attempt=1)
+            man.mark_done(a, summary={"ok": True})
+            man.mark_running(b, attempt=1)
+            man.mark_failed(b, error="boom")
+            assert nonzero(man.counts()) == {"done": 1, "failed": 1}
+            assert man.states[a].runs == 1
+            assert man.states[b].last_error == "boom"
+            assert man.complete and not man.all_done
+        # and the same picture after replaying the journal
+        loaded = Manifest.load(tmp_path / "c")
+        assert nonzero(loaded.counts()) == {"done": 1, "failed": 1}
+        assert loaded.states[a].summary == {"ok": True}
+
+    def test_retry_counting(self, tmp_path):
+        with create(tmp_path) as man:
+            a = man.jobs[0].job_id
+            man.mark_running(a, attempt=1)
+            man.mark_running(a, attempt=2, retry=True)
+            man.mark_done(a, summary={})
+            assert man.states[a].runs == 2
+            assert man.states[a].retries == 1
+            assert man.total_retries() == 1
+
+
+class TestResume:
+    def test_requeue_interrupted(self, tmp_path):
+        with create(tmp_path) as man:
+            a, b = [j.job_id for j in man.jobs]
+            man.mark_running(a, attempt=1)
+            man.mark_done(a, summary={})
+            man.mark_running(b, attempt=1)
+            # scheduler dies here: b is stuck "running" in the journal
+        loaded = Manifest.load(tmp_path / "c")
+        assert loaded.states[b].status == "running"
+        requeued = loaded.requeue_interrupted()
+        assert requeued == [b]
+        assert loaded.states[b].status == "pending"
+        assert loaded.states[b].runs == 1  # the interrupted run still counts
+        assert [j.job_id for j in loaded.runnable_jobs()] == [b]
+        loaded.close()
+
+    def test_runnable_jobs_retry_failed(self, tmp_path):
+        with create(tmp_path) as man:
+            a, b = [j.job_id for j in man.jobs]
+            man.mark_running(a, attempt=1)
+            man.mark_failed(a, error="x")
+            assert [j.job_id for j in man.runnable_jobs()] == [b]
+            retriable = man.runnable_jobs(retry_failed=True)
+            assert {j.job_id for j in retriable} == {a, b}
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        man = create(tmp_path)
+        a = man.jobs[0].job_id
+        man.mark_running(a, attempt=1)
+        man.close()
+        path = tmp_path / "c" / "manifest.jsonl"
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind":"state","id":"' + a)  # torn mid-write
+        loaded = Manifest.load(tmp_path / "c")
+        assert loaded.states[a].status == "running"
+        loaded.close()
+
+    def test_corrupt_interior_line_rejected(self, tmp_path):
+        create(tmp_path).close()
+        path = tmp_path / "c" / "manifest.jsonl"
+        lines = path.read_text().splitlines()
+        lines[1] = "not json at all"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ManifestError, match="corrupt"):
+            Manifest.load(tmp_path / "c")
+
+    def test_unknown_job_id_rejected(self, tmp_path):
+        with create(tmp_path) as man:
+            with pytest.raises(ManifestError, match="unknown job"):
+                man.mark_done("feedfeedfeed", summary={})
+
+    def test_appends_survive_reload_midstream(self, tmp_path):
+        """Every append is flushed: a reader sees it immediately."""
+        with create(tmp_path) as man:
+            a = man.jobs[0].job_id
+            man.mark_running(a, attempt=1)
+            other = Manifest.load(tmp_path / "c")
+            assert other.states[a].status == "running"
+            other.close()
+
+
+class TestJobDirs:
+    def test_job_dir_layout(self, tmp_path):
+        with create(tmp_path) as man:
+            a = man.jobs[0].job_id
+            d = man.job_dir(a)
+            assert d == tmp_path / "c" / "jobs" / a
+            assert d.parent.is_dir()
+
+    def test_journal_is_jsonl(self, tmp_path):
+        create(tmp_path).close()
+        lines = (tmp_path / "c" / "manifest.jsonl").read_text().splitlines()
+        kinds = [json.loads(ln)["kind"] for ln in lines]
+        assert kinds[0] == "campaign"
+        assert kinds.count("job") == 2

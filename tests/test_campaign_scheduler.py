@@ -1,0 +1,378 @@
+"""Fault-injection tests for the campaign scheduler.
+
+The ISSUE acceptance criteria live here:
+
+* a worker killed mid-job is retried with backoff and the campaign
+  still completes with every job done and exactly one recorded retry;
+* the faulted campaign's catalog is bit-for-bit identical to an
+  uninterrupted run's (checkpoint resume is exact);
+* when retries are exhausted the job is marked failed but the campaign
+  completes;
+* after a mid-campaign SIGKILL, ``resume`` finishes only the missing
+  jobs (done jobs' run counters do not move) and reaches the same
+  catalog.
+
+Thread-executor faults (``mode="exception"``) cover the retry logic
+cheaply; the process-executor kill tests prove real process isolation.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    FaultPlan,
+    Manifest,
+    ResultsCatalog,
+    SchedulerConfig,
+    WorkerTimeout,
+    run_campaign,
+    run_subprocess_task,
+    run_tasks,
+)
+from repro.telemetry import Telemetry
+
+BASE = {
+    "nx": 2, "ny": 2, "dtau": 0.125, "l": 8, "north": 4,
+    "nwarm": 2, "npass": 4,
+}
+
+
+def make_spec(npass=4, checkpoint_every=2, grid=None):
+    return CampaignSpec(
+        name="sched",
+        base={**BASE, "npass": npass},
+        grid=grid or {"u": [2.0, 4.0]},
+        base_seed=7,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+def thread_cfg(**kw):
+    kw.setdefault("executor", "thread")
+    kw.setdefault("backoff_base", 0.0)  # no real sleeping in tests
+    return SchedulerConfig(**kw)
+
+
+def runs_by_index(campaign_dir):
+    man = Manifest.load(campaign_dir)
+    try:
+        return {j.index: man.states[j.job_id].runs for j in man.jobs}
+    finally:
+        man.close()
+
+
+def catalog_arrays(campaign_dir):
+    """Every observable array of every job, keyed for exact comparison."""
+    catalog = ResultsCatalog.load(campaign_dir)
+    out = {}
+    for rec in sorted(catalog.select(), key=lambda r: r.index):
+        for name, est in rec.observables().items():
+            out[(rec.index, name, "mean")] = np.asarray(est.mean)
+            out[(rec.index, name, "error")] = np.asarray(est.error)
+    return out
+
+
+def assert_catalogs_identical(dir_a, dir_b):
+    a, b = catalog_arrays(dir_a), catalog_arrays(dir_b)
+    assert a.keys() == b.keys() and a
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key], err_msg=str(key))
+
+
+class TestConfigValidation:
+    def test_unknown_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            SchedulerConfig(executor="mpi")
+
+    def test_max_attempts_floor(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            SchedulerConfig(max_attempts=0)
+
+    def test_backoff_validation(self):
+        with pytest.raises(ValueError, match="backoff"):
+            SchedulerConfig(backoff_base=-1.0)
+        with pytest.raises(ValueError, match="backoff"):
+            SchedulerConfig(backoff_factor=0.5)
+
+    def test_timeout_requires_process(self):
+        with pytest.raises(ValueError, match="timeout"):
+            SchedulerConfig(executor="thread", timeout=5.0)
+
+
+class TestRetryLogic:
+    def test_exception_fault_retried_once(self, tmp_path):
+        """Fault on attempt 1 only -> one retry, then done."""
+        summary = run_campaign(
+            make_spec(),
+            tmp_path / "c",
+            config=thread_cfg(
+                fault_plan=FaultPlan(
+                    kill_job=1, on_attempt=1, mode="exception"
+                ),
+            ),
+        )
+        assert summary.all_done
+        assert summary.retries == 1
+        assert runs_by_index(tmp_path / "c") == {0: 1, 1: 2}
+
+    def test_retries_exhausted_marks_failed_campaign_completes(
+        self, tmp_path
+    ):
+        """on_attempt=0 faults every attempt: the job burns its whole
+        budget and fails, but the other job still finishes."""
+        summary = run_campaign(
+            make_spec(),
+            tmp_path / "c",
+            config=thread_cfg(
+                max_attempts=3,
+                fault_plan=FaultPlan(
+                    kill_job=0, on_attempt=0, mode="exception"
+                ),
+            ),
+        )
+        assert summary.complete and not summary.all_done
+        assert summary.counts["done"] == 1
+        assert summary.counts["failed"] == 1
+        man = Manifest.load(tmp_path / "c")
+        failed = next(
+            s for s in man.states.values() if s.status == "failed"
+        )
+        assert failed.runs == 3
+        assert "injected fault" in failed.last_error
+        man.close()
+
+    def test_backoff_schedule_is_exponential(self, tmp_path, monkeypatch):
+        delays = []
+        monkeypatch.setattr(time, "sleep", lambda s: delays.append(s))
+        run_campaign(
+            make_spec(grid={"u": [2.0]}),
+            tmp_path / "c",
+            config=thread_cfg(
+                max_attempts=4,
+                backoff_base=0.25,
+                backoff_factor=2.0,
+                max_workers=1,
+                fault_plan=FaultPlan(
+                    kill_job=0, on_attempt=0, mode="exception"
+                ),
+            ),
+        )
+        assert delays == [0.25, 0.5, 1.0]  # no sleep after the last attempt
+
+    def test_retry_failed_gives_fresh_budget(self, tmp_path):
+        """resume --retry-failed reruns a failed job; with the fault gone
+        it succeeds, and attempt numbers continue across sessions."""
+        spec = make_spec(grid={"u": [2.0]})
+        run_campaign(
+            spec,
+            tmp_path / "c",
+            config=thread_cfg(
+                max_attempts=2,
+                fault_plan=FaultPlan(
+                    kill_job=0, on_attempt=0, mode="exception"
+                ),
+            ),
+        )
+        summary = run_campaign(
+            spec,
+            tmp_path / "c",
+            config=thread_cfg(retry_failed=True),
+            resume=True,
+        )
+        assert summary.all_done
+        assert runs_by_index(tmp_path / "c") == {0: 3}  # 2 failed + 1 clean
+
+    def test_resume_spec_mismatch_rejected(self, tmp_path):
+        from repro.campaign import ManifestError
+
+        run_campaign(make_spec(grid={"u": [2.0]}), tmp_path / "c",
+                     config=thread_cfg())
+        with pytest.raises(ManifestError, match="spec does not match"):
+            run_campaign(
+                make_spec(grid={"u": [3.0]}), tmp_path / "c",
+                config=thread_cfg(), resume=True,
+            )
+
+
+class TestProcessFaults:
+    def test_sigkill_fault_bit_identical_catalog(self, tmp_path):
+        """ISSUE acceptance: 2x2 grid, worker SIGKILLed mid-job after a
+        checkpoint -> all done, exactly one retry, catalog bit-for-bit
+        equal to a fault-free run."""
+        spec = make_spec(
+            npass=6, grid={"u": [2.0, 4.0], "mu": [0.0, -0.25]}
+        )
+        clean = run_campaign(
+            spec, tmp_path / "clean", config=SchedulerConfig()
+        )
+        assert clean.all_done and clean.retries == 0
+        faulted = run_campaign(
+            spec,
+            tmp_path / "faulted",
+            config=SchedulerConfig(
+                backoff_base=0.0,
+                fault_plan=FaultPlan(
+                    kill_job=2, on_attempt=1, mode="kill", after_sweeps=2
+                ),
+            ),
+        )
+        assert faulted.all_done
+        assert faulted.retries == 1
+        assert runs_by_index(tmp_path / "faulted") == {0: 1, 1: 1, 2: 2, 3: 1}
+        assert_catalogs_identical(tmp_path / "clean", tmp_path / "faulted")
+
+    def test_mid_campaign_sigkill_then_resume(self, tmp_path):
+        """SIGKILL the whole scheduler process mid-campaign; resume
+        finishes only the missing jobs and matches a clean catalog."""
+        spec = make_spec(npass=6)
+        clean = run_campaign(
+            spec, tmp_path / "clean", config=SchedulerConfig()
+        )
+        assert clean.all_done
+
+        camp = tmp_path / "killed"
+        (tmp_path / "spec.json").write_text(json.dumps(spec.to_dict()))
+        (tmp_path / "runner.py").write_text(
+            "from repro.campaign import (CampaignSpec, SchedulerConfig,\n"
+            "                            run_campaign)\n"
+            f"spec = CampaignSpec.load({str(tmp_path / 'spec.json')!r})\n"
+            f"run_campaign(spec, {str(camp)!r},\n"
+            "             config=SchedulerConfig(max_workers=1))\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, str(tmp_path / "runner.py")],
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(p for p in sys.path if p),
+            },
+            start_new_session=True,
+        )
+        done_before = 0
+        try:
+            # wait until >= 1 job is done, then SIGKILL the process group
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break
+                try:
+                    man = Manifest.load(camp)
+                except Exception:
+                    time.sleep(0.1)
+                    continue
+                done_before = man.counts().get("done", 0)
+                man.close()
+                if done_before >= 1:
+                    os.killpg(proc.pid, signal.SIGKILL)
+                    proc.wait()
+                    break
+                time.sleep(0.05)
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+                proc.wait()
+        assert done_before >= 1, "runner never reached a done job"
+
+        man = Manifest.load(camp)
+        pre_runs = {
+            j.job_id: man.states[j.job_id].runs
+            for j in man.jobs
+            if man.states[j.job_id].status == "done"
+        }
+        man.close()
+        assert pre_runs  # at least one job finished before the kill
+
+        summary = run_campaign(
+            spec, camp, config=SchedulerConfig(), resume=True
+        )
+        assert summary.all_done
+        man = Manifest.load(camp)
+        for job_id, runs in pre_runs.items():
+            # completed jobs were NOT re-run by the resume
+            assert man.states[job_id].runs == runs
+        man.close()
+        assert_catalogs_identical(tmp_path / "clean", camp)
+
+    def test_hang_trips_timeout_and_retry_recovers(self, tmp_path):
+        """A hanging worker is killed at the wall-time budget and the
+        retry (fault only on attempt 1) completes the job."""
+        summary = run_campaign(
+            make_spec(grid={"u": [2.0]}),
+            tmp_path / "c",
+            config=SchedulerConfig(
+                timeout=5.0,
+                backoff_base=0.0,
+                fault_plan=FaultPlan(
+                    kill_job=0, on_attempt=1, mode="hang", hang_seconds=60
+                ),
+            ),
+        )
+        assert summary.all_done
+        assert summary.retries == 1
+
+
+class TestWorkerLayer:
+    def test_run_tasks_validates_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_tasks(len, [{}], executor="mpi")
+
+    def test_subprocess_task_roundtrip(self):
+        assert run_subprocess_task(_echo, {"x": 3}) == {"x": 3}
+
+    def test_subprocess_task_error_propagates(self):
+        with pytest.raises(RuntimeError, match="worker failed.*boom"):
+            run_subprocess_task(_boom, {})
+
+    def test_subprocess_task_timeout(self):
+        with pytest.raises(WorkerTimeout):
+            run_subprocess_task(_sleep_forever, {}, timeout=1.0)
+
+
+class TestTelemetry:
+    def test_events_and_gauges(self, tmp_path):
+        tel = Telemetry(writer=None, snapshot_every=0)
+        events = []
+        tel.event = lambda kind, **f: events.append((kind, f))  # capture
+        summary = run_campaign(
+            make_spec(),
+            tmp_path / "c",
+            config=thread_cfg(
+                fault_plan=FaultPlan(
+                    kill_job=0, on_attempt=1, mode="exception"
+                ),
+            ),
+            telemetry=tel,
+        )
+        assert summary.all_done
+        kinds = [k for k, _ in events]
+        assert kinds[0] == "campaign_started"
+        assert "campaign_done" in kinds
+        assert kinds.count("job_done") == 2
+        assert kinds.count("job_retry") == 1
+        retry = next(f for k, f in events if k == "job_retry")
+        assert "injected fault" in retry["error"]
+        gauges = tel.registry.gauges
+        assert gauges["campaign.jobs_done"] == 2
+        assert gauges["campaign.jobs_total"] == 2
+        assert gauges["campaign.retries"] == 1
+
+
+# module-level helpers for the subprocess worker tests (the child
+# process imports them by qualified name)
+def _echo(payload):
+    return payload
+
+
+def _boom(payload):
+    raise ValueError("boom")
+
+
+def _sleep_forever(payload):
+    time.sleep(600)

@@ -1,0 +1,154 @@
+"""Unit tests for campaign spec expansion, seeding and job identity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignSpec, JobSpec, SpecError
+
+BASE = {
+    "nx": 2, "ny": 2, "dtau": 0.125, "l": 8, "north": 4,
+    "nwarm": 2, "npass": 4,
+}
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        name="t",
+        base=dict(BASE),
+        grid={"u": [2.0, 4.0], "mu": [0.0, -0.25]},
+        base_seed=3,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestExpansion:
+    def test_grid_size_and_order(self):
+        jobs = make_spec().expand()
+        assert len(jobs) == 4
+        # sorted grid keys (mu before u), user value order preserved
+        assert [(j.params["mu"], j.params["u"]) for j in jobs] == [
+            (0.0, 2.0), (0.0, 4.0), (-0.25, 2.0), (-0.25, 4.0),
+        ]
+        assert [j.index for j in jobs] == [0, 1, 2, 3]
+
+    def test_replicas_are_innermost(self):
+        jobs = make_spec(grid={"u": [2.0, 4.0]}, replicas=2).expand()
+        assert len(jobs) == 4
+        assert [j.params["u"] for j in jobs] == [2.0, 2.0, 4.0, 4.0]
+        # distinct seeds, same params
+        assert jobs[0].params == jobs[1].params
+        assert jobs[0].spawn_key != jobs[1].spawn_key
+
+    def test_params_are_fully_resolved(self):
+        job = make_spec().expand()[0]
+        assert job.params["method"] == "prepivot"  # default filled in
+        assert "seed" not in job.params  # campaign-managed
+
+    def test_expansion_is_deterministic(self):
+        a = make_spec().expand()
+        b = make_spec().expand()
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+
+    def test_counts(self):
+        spec = make_spec(replicas=3)
+        assert spec.n_points == 4
+        assert spec.n_jobs == 12
+
+
+class TestSeeding:
+    def test_spawn_key_matches_seedsequence_spawn(self):
+        """Job seeds ARE SeedSequence(base_seed).spawn(n) children."""
+        jobs = make_spec().expand()
+        spawned = np.random.SeedSequence(3).spawn(len(jobs))
+        for job, child in zip(jobs, spawned):
+            assert job.seed_sequence().spawn_key == child.spawn_key
+            assert (
+                job.seed_sequence().generate_state(4).tolist()
+                == child.generate_state(4).tolist()
+            )
+
+    def test_streams_are_distinct(self):
+        jobs = make_spec().expand()
+        states = {tuple(j.seed_sequence().generate_state(4)) for j in jobs}
+        assert len(states) == len(jobs)
+
+
+class TestJobIdentity:
+    def test_id_is_content_hash(self):
+        job = make_spec().expand()[0]
+        assert job.job_id == job.compute_id()
+        assert len(job.job_id) == 12
+
+    def test_id_changes_with_params_and_seed(self):
+        base = make_spec().expand()[0]
+        other_u = make_spec(grid={"u": [3.0, 4.0], "mu": [0.0, -0.25]})
+        assert other_u.expand()[0].job_id != base.job_id
+        other_seed = make_spec(base_seed=4)
+        assert other_seed.expand()[0].job_id != base.job_id
+
+    def test_roundtrip_dict(self):
+        job = make_spec().expand()[2]
+        clone = JobSpec.from_dict(job.to_dict())
+        assert clone == job
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecError, match="temperature"):
+            make_spec(grid={"temperature": [1.0]})
+
+    def test_seed_key_is_reserved(self):
+        with pytest.raises(SpecError, match="campaign-managed"):
+            make_spec(base={**BASE, "seed": 1})
+        with pytest.raises(SpecError, match="campaign-managed"):
+            make_spec(grid={"seed": [1, 2]})
+
+    def test_base_grid_overlap_rejected(self):
+        with pytest.raises(SpecError, match="both base and grid"):
+            make_spec(base={**BASE, "u": 2.0})
+
+    def test_empty_grid_values_rejected(self):
+        with pytest.raises(SpecError, match="non-empty"):
+            make_spec(grid={"u": []})
+
+    def test_replicas_validated(self):
+        with pytest.raises(SpecError):
+            make_spec(replicas=0)
+
+    def test_bad_config_point_fails_at_expansion(self):
+        # north does not divide l only for the swept value
+        base = {k: v for k, v in BASE.items() if k != "north"}
+        spec = make_spec(base=base, grid={"north": [4, 3]})
+        with pytest.raises(ValueError, match="north"):
+            spec.expand()
+
+    def test_bad_backend_fails_at_expansion(self):
+        spec = make_spec(grid={"backend": ["numpy", "not-a-backend"]})
+        with pytest.raises(ValueError, match="backend"):
+            spec.expand()
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        spec = make_spec(replicas=2, checkpoint_every=7)
+        clone = CampaignSpec.from_json(json.dumps(spec.to_dict()))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(make_spec().to_dict()))
+        assert CampaignSpec.load(path) == make_spec()
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown spec key"):
+            CampaignSpec.from_dict({"name": "x", "gird": {}})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SpecError, match="JSON"):
+            CampaignSpec.from_json("{nope")
+        with pytest.raises(SpecError, match="object"):
+            CampaignSpec.from_json("[1]")

@@ -1,0 +1,154 @@
+"""Unit tests for the results catalog and replica merging."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultsCatalog,
+    SchedulerConfig,
+    merge_estimates,
+    run_campaign,
+)
+from repro.campaign.store import INDEX_NAME, CatalogError
+from repro.measure import BinnedEstimate
+
+BASE = {
+    "nx": 2, "ny": 2, "dtau": 0.125, "l": 8, "north": 4,
+    "nwarm": 2, "npass": 4,
+}
+
+
+def est(mean, error, n_bins=2, n_samples=4):
+    return BinnedEstimate(
+        mean=np.asarray(mean), error=np.asarray(error),
+        n_bins=n_bins, n_samples=n_samples,
+    )
+
+
+class TestMergeEstimates:
+    def test_single_passthrough(self):
+        merged = merge_estimates([est(1.5, 0.1)])
+        assert float(merged.mean) == pytest.approx(1.5)
+        assert float(merged.error) == pytest.approx(0.1)
+
+    def test_equal_weights(self):
+        """Two equal-sample runs: mean averages, error shrinks ~1/sqrt(2)."""
+        merged = merge_estimates([est(1.0, 0.2), est(3.0, 0.2)])
+        assert float(merged.mean) == pytest.approx(2.0)
+        assert float(merged.error) == pytest.approx(0.2 / np.sqrt(2))
+        assert merged.n_bins == 4
+        assert merged.n_samples == 8
+
+    def test_sample_weighting_matches_concatenation(self):
+        """3x the samples -> 3x the weight, exactly as if the streams
+        had been concatenated."""
+        merged = merge_estimates(
+            [est(1.0, 0.1, n_samples=3), est(5.0, 0.1, n_samples=1)]
+        )
+        assert float(merged.mean) == pytest.approx((3 * 1.0 + 1 * 5.0) / 4)
+
+    def test_array_observables(self):
+        a = est([1.0, 2.0], [0.1, 0.1])
+        b = est([3.0, 4.0], [0.1, 0.1])
+        merged = merge_estimates([a, b])
+        np.testing.assert_allclose(merged.mean, [2.0, 3.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="nothing to merge"):
+            merge_estimates([])
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            merge_estimates([est(1.0, 0.1, n_samples=0)])
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """One real (tiny) campaign shared by the catalog tests: a 2-point
+    U grid with 2 replicas each, run on the thread executor."""
+    cdir = tmp_path_factory.mktemp("store") / "camp"
+    spec = CampaignSpec(
+        name="store",
+        base=dict(BASE),
+        grid={"u": [2.0, 4.0]},
+        replicas=2,
+        base_seed=13,
+        checkpoint_every=0,
+    )
+    summary = run_campaign(
+        spec, cdir, config=SchedulerConfig(executor="thread")
+    )
+    assert summary.all_done
+    return cdir
+
+
+class TestResultsCatalog:
+    def test_load_and_select(self, campaign):
+        catalog = ResultsCatalog.load(campaign)
+        assert len(catalog) == 4
+        u2 = catalog.select(u=2.0)
+        assert len(u2) == 2
+        assert all(r.params["u"] == 2.0 for r in u2)
+        assert all(r.has_results for r in catalog.select())
+
+    def test_select_is_case_insensitive_and_float_aware(self, campaign):
+        catalog = ResultsCatalog.load(campaign)
+        assert len(catalog.select(U=2)) == 2  # int 2 matches float 2.0
+        assert catalog.select(u=99.0) == []
+
+    def test_estimates_and_merged(self, campaign):
+        catalog = ResultsCatalog.load(campaign)
+        singles = catalog.estimates("density", u=4.0)
+        assert len(singles) == 2
+        merged = catalog.merged("density", u=4.0)
+        assert merged.n_samples == sum(e.n_samples for e in singles)
+        lo = min(float(np.min(np.asarray(e.mean))) for e in singles)
+        hi = max(float(np.max(np.asarray(e.mean))) for e in singles)
+        assert lo <= float(np.mean(np.asarray(merged.mean))) <= hi
+
+    def test_merged_no_match_raises(self, campaign):
+        catalog = ResultsCatalog.load(campaign)
+        with pytest.raises(CatalogError, match="no finished job"):
+            catalog.merged("density", u=99.0)
+
+    def test_grid_values(self, campaign):
+        catalog = ResultsCatalog.load(campaign)
+        assert catalog.grid_values("u") == [2.0, 4.0]
+
+    def test_index_written_and_consistent(self, campaign):
+        index = json.loads((campaign / INDEX_NAME).read_text())
+        assert index["name"] == "store"
+        assert len(index["jobs"]) == 4
+        for entry in index["jobs"].values():
+            assert entry["status"] == "done"
+            assert entry["runs"] == 1
+            assert (campaign / entry["results"]).exists()
+
+    def test_load_survives_missing_index(self, campaign):
+        """catalog.json is a cache; the manifest is the source of truth."""
+        (campaign / INDEX_NAME).rename(campaign / "catalog.json.bak")
+        try:
+            catalog = ResultsCatalog.load(campaign)
+            assert len(catalog.select(u=2.0)) == 2
+        finally:
+            (campaign / "catalog.json.bak").rename(campaign / INDEX_NAME)
+
+    def test_replicas_have_distinct_samples(self, campaign):
+        """The two replicas of one grid point are independent streams."""
+        catalog = ResultsCatalog.load(campaign)
+        a, b = catalog.estimates("double_occupancy", u=2.0)
+        assert float(np.asarray(a.mean)) != float(np.asarray(b.mean))
+
+    def test_no_results_record_raises(self, tmp_path):
+        from repro.campaign.store import JobRecord
+
+        rec = JobRecord(
+            job_id="abc", index=0, params={}, status="failed",
+            runs=3, path=None,
+        )
+        assert not rec.has_results
+        with pytest.raises(CatalogError, match="no results"):
+            rec.observables()

@@ -22,16 +22,37 @@ class TestEnsemble:
         assert res.observables["sign"].n_samples == 12  # 3 chains x 4
 
     def test_single_chain_matches_simulation(self):
+        """Chain c's stream is SeedSequence(base_seed).spawn(...)[c] —
+        reproducible directly with a Simulation seeded the same way."""
         from repro import Simulation
 
         res = run_ensemble(
             tiny_model(), n_chains=1, warmup_sweeps=2,
             measurement_sweeps=5, base_seed=9, cluster_size=4,
         )
-        sim = Simulation(tiny_model(), seed=9, cluster_size=4)
+        sim = Simulation(
+            tiny_model(),
+            seed=np.random.SeedSequence(9).spawn(1)[0],
+            cluster_size=4,
+        )
         direct = sim.run(2, 5)
         assert float(res.observables["density"].mean) == pytest.approx(
             direct.observables["density"].scalar
+        )
+
+    def test_seeds_are_spawned_not_offset(self):
+        """base_seed + 1 must NOT reproduce chain 1 of base_seed (the
+        old `base_seed + index` scheme had no independence guarantee)."""
+        two = run_ensemble(
+            tiny_model(), n_chains=2, warmup_sweeps=2,
+            measurement_sweeps=4, base_seed=0, cluster_size=4,
+        )
+        offset = run_ensemble(
+            tiny_model(), n_chains=1, warmup_sweeps=2,
+            measurement_sweeps=4, base_seed=1, cluster_size=4,
+        )
+        assert float(two.per_chain[1]["double_occupancy"].mean) != float(
+            offset.per_chain[0]["double_occupancy"].mean
         )
 
     def test_threaded_equals_serial(self):
@@ -81,6 +102,24 @@ class TestEnsemble:
     def test_validation(self):
         with pytest.raises(ValueError):
             run_ensemble(tiny_model(), n_chains=0)
+        with pytest.raises(ValueError, match="executor"):
+            run_ensemble(tiny_model(), n_chains=1, executor="mpi")
+
+    def test_process_executor_matches_thread(self):
+        """Satellite: process-isolated chains (campaign worker layer)
+        are bit-identical to the default thread executor."""
+        kwargs = dict(
+            n_chains=2, warmup_sweeps=2, measurement_sweeps=3,
+            base_seed=4, cluster_size=4,
+        )
+        thr = run_ensemble(tiny_model(), executor="thread", **kwargs)
+        prc = run_ensemble(tiny_model(), executor="process", **kwargs)
+        for name in ("double_occupancy", "density", "sign"):
+            np.testing.assert_array_equal(
+                np.asarray(thr.observables[name].mean),
+                np.asarray(prc.observables[name].mean),
+            )
+        assert prc.sweep_stats.proposed == thr.sweep_stats.proposed
 
     def test_half_filling_invariants_hold_per_chain(self):
         res = run_ensemble(
