@@ -13,6 +13,7 @@ time rather than deep inside the first sweep.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Callable, Dict, List, Optional, Union
 
 from .base import BackendError, BaseBackend
@@ -30,27 +31,33 @@ __all__ = [
 #: name -> backend class (imported lazily where construction is heavy).
 _REGISTRY: Dict[str, Callable[..., BaseBackend]] = {}
 
+#: guards _REGISTRY: registration is lazy, and the first get_backend()
+#: can happen on several ensemble worker threads at once.
+_REGISTRY_LOCK = threading.Lock()
+
 #: environment variable consulted when no backend is requested explicitly.
 ENV_VAR = "REPRO_BACKEND"
 
 
 def register_backend(name: str, factory: Callable[..., BaseBackend]) -> None:
     """Add (or replace) a backend under ``name``."""
-    _REGISTRY[name] = factory
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = factory
 
 
 def _ensure_builtin_registered() -> None:
-    if _REGISTRY:
-        return
-    from .cupy_backend import CupyBackend
-    from .gpu_sim import SimulatedGPUBackend
-    from .numpy_backend import NumpyBackend
-    from .threaded import ThreadedBackend
+    with _REGISTRY_LOCK:
+        if _REGISTRY:
+            return
+        from .cupy_backend import CupyBackend
+        from .gpu_sim import SimulatedGPUBackend
+        from .numpy_backend import NumpyBackend
+        from .threaded import ThreadedBackend
 
-    register_backend("numpy", NumpyBackend)
-    register_backend("threaded", ThreadedBackend)
-    register_backend("gpu-sim", SimulatedGPUBackend)
-    register_backend("cupy", CupyBackend)
+        _REGISTRY["numpy"] = NumpyBackend
+        _REGISTRY["threaded"] = ThreadedBackend
+        _REGISTRY["gpu-sim"] = SimulatedGPUBackend
+        _REGISTRY["cupy"] = CupyBackend
 
 
 def known_backends() -> List[str]:

@@ -94,7 +94,7 @@ def run_subprocess_task(
     payload_path = workdir / "payload.pkl"
     result_path = workdir / "result.pkl"
     try:
-        with open(payload_path, "wb") as fh:
+        with open(payload_path, "wb") as fh:  # qmclint: disable=QL103 -- transient IPC scratch in a private tempdir, not a durability promise
             pickle.dump(payload, fh)
         proc = subprocess.Popen(
             [

@@ -397,6 +397,30 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     raise AssertionError("unreachable")
 
 
+def _qmclint_summary() -> Optional[str]:
+    """``"2.0.0 (14 rules)"`` — pins the analyzer that blessed a build.
+
+    qmclint lives in ``tools/`` (not installed with the package), so bug
+    reports from a source checkout get the version while installed-only
+    environments simply omit the line.
+    """
+    try:
+        try:
+            import qmclint
+        except ImportError:
+            tools = Path(__file__).resolve().parents[2] / "tools"
+            if not (tools / "qmclint" / "__init__.py").exists():
+                return None
+            sys.path.insert(0, str(tools))
+            try:
+                import qmclint
+            finally:
+                sys.path.remove(str(tools))
+        return f"{qmclint.__version__} ({len(qmclint.ALL_RULES)} rules)"
+    except Exception:
+        return None
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     cfg = load_config(args.input)
     model = cfg.model()
@@ -419,6 +443,9 @@ def cmd_info(args: argparse.Namespace) -> int:
         )
     print(f"cluster cache    ~{mem_mb:.1f} MB ({matrices_cached} matrices)")
     print(f"sweeps           {cfg.nwarm} warmup + {cfg.npass} measurement")
+    lint = _qmclint_summary()
+    if lint is not None:
+        print(f"qmclint          {lint}")
     return 0
 
 

@@ -325,5 +325,5 @@ class GreensFunctionEngine:
         fresh = self.greens_at_slice_direct(sigma, n_wraps - 1)
         # Diagnostic Frobenius norms, not a propagator operation — no
         # backend dispatch wanted here.
-        denom = np.linalg.norm(fresh)  # qmclint: disable=QL007
-        return float(np.linalg.norm(g - fresh) / denom)  # qmclint: disable=QL007
+        denom = np.linalg.norm(fresh)  # qmclint: disable=QL007 -- diagnostic norm, not a propagator op
+        return float(np.linalg.norm(g - fresh) / denom)  # qmclint: disable=QL007 -- diagnostic norm, not a propagator op

@@ -21,6 +21,7 @@ held — so a snapshot is directly JSON-serializable by
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Optional, Sequence
 
 __all__ = ["StreamingHistogram", "MetricsRegistry"]
@@ -38,6 +39,12 @@ class StreamingHistogram:
 
     Values below the first bound land in bucket 0, values at-or-above
     the last bound land in the overflow bucket ``len(bounds)``.
+
+    Thread-safe: observe/merge hold an internal lock, so a histogram fed
+    from ``parallel_for`` bodies or ``executor="thread"`` chains loses no
+    samples. The lock is dropped on pickle and recreated on unpickle
+    (chain registries cross the process boundary under
+    ``executor="process"``).
     """
 
     #: decade edges 1e-16 .. 1e4 (inclusive of sign: negatives underflow)
@@ -55,22 +62,34 @@ class StreamingHistogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks are unpicklable; recreated on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         v = float(value)
-        self.count += 1
-        self.total += v
-        if v < self.min:
-            self.min = v
-        if v > self.max:
-            self.max = v
-        # Linear scan is fine: bucket lists are ~20 entries and observe()
-        # runs at sweep granularity, never inside the site loop.
-        for i, bound in enumerate(self.bounds):
-            if v < bound:
-                self.buckets[i] += 1
-                return
-        self.buckets[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+            # Linear scan is fine: bucket lists are ~20 entries and
+            # observe() runs at sweep granularity, never inside the site
+            # loop.
+            for i, bound in enumerate(self.bounds):
+                if v < bound:
+                    self.buckets[i] += 1
+                    return
+            self.buckets[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -98,12 +117,13 @@ class StreamingHistogram:
     def merge(self, other: "StreamingHistogram") -> None:
         if other.bounds != self.bounds:
             raise ValueError("cannot merge histograms with different bounds")
-        self.count += other.count
-        self.total += other.total
-        self.min = min(self.min, other.min)
-        self.max = max(self.max, other.max)
-        for i, n in enumerate(other.buckets):
-            self.buckets[i] += n
+        with self._lock:
+            self.count += other.count
+            self.total += other.total
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+            for i, n in enumerate(other.buckets):
+                self.buckets[i] += n
 
     def snapshot(self) -> dict:
         """JSON-ready summary (bucket counts omitted when empty)."""
@@ -126,27 +146,47 @@ class MetricsRegistry:
     :class:`~repro.telemetry.core.Telemetry` facade. ``snapshot()`` is
     what the JSONL sink periodically archives; ``merge()`` is how
     ensemble chains are folded into one run-level view.
+
+    Thread-safe: every write path holds one internal lock (read-modify-
+    write on a plain dict is not atomic, and registries are shared by
+    ``executor="thread"`` chains and ``parallel_for`` bodies). The
+    :class:`~repro.telemetry.core.NullTelemetry` fast path never
+    constructs a registry, so disabled-telemetry overhead is unchanged.
+    The lock is dropped on pickle and recreated on unpickle.
     """
 
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, StreamingHistogram] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks are unpicklable; recreated on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # -- writes --------------------------------------------------------------
 
     def inc(self, name: str, delta: float = 1.0) -> None:
-        self.counters[name] = self.counters.get(name, 0.0) + delta
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + delta
 
     def set_gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
 
     def observe(
         self, name: str, value: float, bounds: Optional[Sequence[float]] = None
     ) -> None:
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = StreamingHistogram(bounds)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = StreamingHistogram(bounds)
         hist.observe(value)
 
     # -- reads ---------------------------------------------------------------
@@ -164,13 +204,14 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Plain-dict view of everything, safe to json.dumps."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "histograms": {
-                k: h.snapshot() for k, h in self.histograms.items()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    k: h.snapshot() for k, h in self.histograms.items()
+                },
+            }
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry in: counters add, gauges take the other's
@@ -180,10 +221,8 @@ class MetricsRegistry:
         for k, v in other.gauges.items():
             self.set_gauge(k, v)
         for k, h in other.histograms.items():
-            mine = self.histograms.get(k)
-            if mine is None:
-                clone = StreamingHistogram(h.bounds)
-                clone.merge(h)
-                self.histograms[k] = clone
-            else:
-                mine.merge(h)
+            with self._lock:
+                mine = self.histograms.get(k)
+                if mine is None:
+                    mine = self.histograms[k] = StreamingHistogram(h.bounds)
+            mine.merge(h)

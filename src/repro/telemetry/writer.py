@@ -17,6 +17,8 @@ opened — monotonic, so wall-clock adjustments cannot reorder events) and
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 from pathlib import Path
 from typing import IO, Iterator, List, Optional, Union
@@ -36,6 +38,13 @@ class TelemetryWriter:
         Flush the OS buffer every this-many lines (1 = every line, the
         default — events are sweep-granularity, so the syscall cost is
         irrelevant next to a single N^3 stratification).
+
+    ``close()`` (and context-manager exit) always flushes *and* fsyncs,
+    whatever ``flush_every`` is — a crash after a clean close loses
+    nothing, a SIGKILL mid-run loses at most the lines since the last
+    flush (one, at the default cadence). An internal lock serializes
+    writers shared across scheduler threads; the lock is dropped on
+    pickle and recreated on unpickle.
     """
 
     def __init__(self, path: Union[str, Path], flush_every: int = 1):
@@ -46,6 +55,17 @@ class TelemetryWriter:
         self._fh: Optional[IO[str]] = None
         self._t0 = time.monotonic()
         self.seq = 0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks are unpicklable; recreated on load
+        state["_fh"] = None  # handles never cross a process boundary
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def _handle(self) -> IO[str]:
         if self._fh is None:
@@ -61,18 +81,28 @@ class TelemetryWriter:
             "seq": self.seq,
         }
         record.update(fields)
-        fh = self._handle()
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self.seq += 1
-        if self.seq % self.flush_every == 0:
-            fh.flush()
+        with self._lock:
+            record["seq"] = self.seq
+            fh = self._handle()
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self.seq += 1
+            if self.seq % self.flush_every == 0:
+                fh.flush()
         return record
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
-            self._fh.close()
-            self._fh = None
+        """Flush, fsync and close (idempotent).
+
+        The fsync is unconditional: ``flush_every`` batches the *running*
+        cost, but a closed file must be durable — that is the promise the
+        campaign manifest layer makes about run artifacts.
+        """
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "TelemetryWriter":
         return self

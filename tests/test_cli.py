@@ -42,6 +42,15 @@ class TestInfo:
         assert "conditioning" in out
         assert "N = 4" in out
 
+    def test_reports_qmclint_version(self, input_file, capsys):
+        import re
+
+        assert main(["info", str(input_file)]) == 0
+        out = capsys.readouterr().out
+        # e.g. "qmclint          2.0.0 (14 rules)" — pins the analysis
+        # gate in bug reports from source checkouts
+        assert re.search(r"qmclint\s+\d+\.\d+\.\d+ \(\d+ rules\)", out)
+
     def test_warns_on_unsafe_k(self, tmp_path, capsys):
         p = tmp_path / "hot.in"
         p.write_text(

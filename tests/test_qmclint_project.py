@@ -1,0 +1,1129 @@
+"""Tests for qmclint v2: the whole-program layer (project index, call
+graph, dataflow), the QL1xx concurrency/process-safety rules, pragma
+meta checks (QL901/QL902), SARIF output, autofixes, and the stale-
+baseline workflow.
+
+Fixtures are small multi-file trees written under ``tmp_path`` with a
+``src/repro/...`` layout so the module names land in ``repro.*`` — the
+scope the QL1xx family polices.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sys
+import textwrap
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from qmclint import __version__ as QMCLINT_VERSION  # noqa: E402
+from qmclint.baseline import (  # noqa: E402
+    fingerprint,
+    load_baseline,
+    partition_baseline,
+    save_baseline,
+)
+from qmclint.callgraph import CallGraph  # noqa: E402
+from qmclint.cli import main as qmclint_main  # noqa: E402
+from qmclint.dataflow import (  # noqa: E402
+    ARITHMETIC,
+    DERIVED,
+    LITERAL,
+    NONDERIVED,
+    UNKNOWN,
+    classify_seed_expr,
+    lock_guarded_lines,
+    module_lock_names,
+    unpicklable_members,
+)
+from qmclint.engine import FileContext, LintRunner  # noqa: E402
+from qmclint.fixes import FIXABLE_CODES, apply_fixes  # noqa: E402
+from qmclint.project import Project, module_name_for  # noqa: E402
+from qmclint.rules import ALL_RULES  # noqa: E402
+from qmclint.sarif import (  # noqa: E402
+    SARIF_VERSION,
+    to_sarif,
+    validate_sarif,
+)
+
+
+def write_tree(tmp_path: Path, files: Dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def lint_tree(tmp_path: Path, files: Dict[str, str], **runner_kwargs):
+    """Full whole-program lint over a fixture tree."""
+    root = write_tree(tmp_path, files)
+    runner = LintRunner(ALL_RULES, root=root, **runner_kwargs)
+    return runner.run([root])
+
+
+def build_project(tmp_path: Path, files: Dict[str, str]) -> Project:
+    root = write_tree(tmp_path, files)
+    contexts = []
+    for rel in sorted(files):
+        contexts.append(FileContext.parse(root / rel, root=root))
+    return Project.build(contexts)
+
+
+def codes(violations) -> List[str]:
+    return sorted(v.code for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# project index
+# ---------------------------------------------------------------------------
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/core/greens.py") == "repro.core.greens"
+
+    def test_tools_prefix_stripped(self):
+        assert module_name_for("tools/qmclint/cli.py") == "qmclint.cli"
+
+    def test_nested_prefix_strips_to_last_root(self):
+        # tmp trees in tests nest the fixture under an arbitrary prefix
+        assert module_name_for("fixture/src/repro/x.py") == "repro.x"
+
+    def test_init_collapses_to_package(self):
+        assert module_name_for("src/repro/telemetry/__init__.py") == (
+            "repro.telemetry"
+        )
+
+
+class TestProjectResolution:
+    FILES = {
+        "src/repro/__init__.py": "",
+        "src/repro/telemetry/__init__.py": """
+            from .core import Registry
+        """,
+        "src/repro/telemetry/core.py": """
+            class Registry:
+                def inc(self, name):
+                    pass
+        """,
+        "src/repro/user.py": """
+            from repro.telemetry import Registry
+
+            def use():
+                return Registry()
+        """,
+    }
+
+    def test_reexport_chased_to_defining_module(self, tmp_path):
+        project = build_project(tmp_path, self.FILES)
+        resolved = project.resolve("repro.user", "Registry")
+        assert resolved == "repro.telemetry.core.Registry"
+
+    def test_unknown_names_resolve_to_none(self, tmp_path):
+        project = build_project(tmp_path, self.FILES)
+        assert project.resolve("repro.user", "np.linalg.inv") is None
+
+    def test_methods_indexed_by_name(self, tmp_path):
+        project = build_project(tmp_path, self.FILES)
+        fids = [m.fid for m in project.methods_by_name["inc"]]
+        assert fids == ["repro.telemetry.core.Registry.inc"]
+
+
+class TestCallGraph:
+    FILES = {
+        "src/repro/__init__.py": "",
+        "src/repro/work.py": """
+            from concurrent.futures import ThreadPoolExecutor
+            import threading
+
+            def leaf():
+                return 1
+
+            def task(i):
+                return leaf() + i
+
+            def run_all(items):
+                with ThreadPoolExecutor() as pool:
+                    list(pool.map(task, items))
+                t = threading.Thread(target=leaf)
+                t.start()
+        """,
+    }
+
+    def test_thread_targets_found(self, tmp_path):
+        project = build_project(tmp_path, self.FILES)
+        graph = CallGraph.build(project)
+        assert graph.thread_targets == {
+            "repro.work.task",
+            "repro.work.leaf",
+        }
+
+    def test_reachability_is_transitive(self, tmp_path):
+        project = build_project(tmp_path, self.FILES)
+        graph = CallGraph.build(project)
+        reach = graph.thread_reachable()
+        assert "repro.work.leaf" in reach  # via task -> leaf
+        assert "repro.work.run_all" not in reach
+
+    def test_callers_of(self, tmp_path):
+        project = build_project(tmp_path, self.FILES)
+        graph = CallGraph.build(project)
+        assert graph.callers_of("repro.work.task") == set()
+        assert "repro.work.task" in graph.callers_of("repro.work.leaf")
+
+
+# ---------------------------------------------------------------------------
+# dataflow
+# ---------------------------------------------------------------------------
+
+
+def verdict_of(body: str) -> str:
+    """Classify the expression returned by a fixture function whose
+    parameters model the three provenance classes: ``cfg`` (carrier of
+    ``.seed``), ``seed`` (trusted by name), ``raw`` (unknown)."""
+    src = "def f(cfg, seed, raw):\n" + textwrap.indent(
+        textwrap.dedent(body), "    "
+    )
+    fn = ast.parse(src).body[0]
+    return classify_seed_expr(fn.body[-1].value, fn)
+
+
+class TestSeedProvenance:
+    def test_literal(self):
+        assert verdict_of("return 12345") == LITERAL
+
+    def test_wall_clock_entropy(self):
+        assert verdict_of("return time.time()") == NONDERIVED
+
+    def test_int_wrapper_is_transparent(self):
+        assert verdict_of("return int(time.time())") == NONDERIVED
+
+    def test_seedy_parameter_trusted(self):
+        assert verdict_of("return seed") == DERIVED
+
+    def test_config_attribute_trusted(self):
+        assert verdict_of("return cfg.seed") == DERIVED
+
+    def test_spawn_subscript_flows_through(self):
+        assert verdict_of("return SeedSequence(raw).spawn(4)[2]") == DERIVED
+
+    def test_seed_arithmetic(self):
+        assert verdict_of("return seed + 3") == ARITHMETIC
+
+    def test_unknown_parameter_stays_unknown(self):
+        assert verdict_of("return raw") == UNKNOWN
+
+    def test_local_assignment_chased(self):
+        assert verdict_of("s = 777\nreturn s") == LITERAL
+
+    def test_self_cycle_terminates_as_unknown(self):
+        assert verdict_of("s = s\nreturn s") == UNKNOWN
+
+
+class TestLockRegions:
+    def test_with_lock_lines_guarded(self):
+        src = textwrap.dedent(
+            """
+            def f(self, x):
+                with self._lock:
+                    self.counts[x] = 1
+                self.counts[x] = 2
+            """
+        )
+        fn = ast.parse(src).body[0]
+        guarded = lock_guarded_lines(fn)
+        inside = fn.body[0].body[0].lineno
+        outside = fn.body[1].lineno
+        assert inside in guarded
+        assert outside not in guarded
+
+    def test_module_lock_names(self):
+        tree = ast.parse(
+            "import threading\n_LOCK = threading.Lock()\nOTHER = 3\n"
+        )
+        assigns = {
+            t.targets[0].id: t.value
+            for t in tree.body
+            if isinstance(t, ast.Assign)
+        }
+        assert module_lock_names(assigns) == {"_LOCK"}
+
+
+class TestPicklability:
+    def test_file_handle_member_reported(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "src/repro/holder.py": """
+                    class Holder:
+                        def __init__(self, path):
+                            self._fh = open(path, "a")
+                """,
+            },
+        )
+        members = unpicklable_members(
+            project.classes["repro.holder.Holder"], project
+        )
+        assert members == [("_fh", "an open file handle")]
+
+    def test_getstate_opts_out(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "src/repro/holder.py": """
+                    class Holder:
+                        def __init__(self, path):
+                            self._fh = open(path, "a")
+
+                        def __getstate__(self):
+                            state = dict(self.__dict__)
+                            state.pop("_fh")
+                            return state
+                """,
+            },
+        )
+        members = unpicklable_members(
+            project.classes["repro.holder.Holder"], project
+        )
+        assert members == []
+
+    def test_transitive_through_project_class(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "src/repro/holder.py": """
+                    import threading
+
+                    class Inner:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+
+                    class Outer:
+                        def __init__(self):
+                            self.inner = Inner()
+                """,
+            },
+        )
+        members = unpicklable_members(
+            project.classes["repro.holder.Outer"], project
+        )
+        assert len(members) == 1
+        assert members[0][0] == "inner"
+        assert "threading.Lock" in members[0][1]
+
+
+# ---------------------------------------------------------------------------
+# QL101 — thread-shared mutable state
+# ---------------------------------------------------------------------------
+
+
+class TestQL101SharedState:
+    def test_unlocked_global_mutation_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/work.py": """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    _CACHE = {}
+
+                    def task(i):
+                        _CACHE[i] = i * i
+                        return i
+
+                    def run_all(items):
+                        with ThreadPoolExecutor() as pool:
+                            return list(pool.map(task, items))
+                """,
+            },
+        )
+        assert codes(vs) == ["QL101"]
+        assert "_CACHE" in vs[0].message
+        assert vs[0].severity == "error"
+
+    def test_lock_guarded_mutation_clean(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/work.py": """
+                    import threading
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    _CACHE = {}
+                    _LOCK = threading.Lock()
+
+                    def task(i):
+                        with _LOCK:
+                            _CACHE[i] = i * i
+                        return i
+
+                    def run_all(items):
+                        with ThreadPoolExecutor() as pool:
+                            return list(pool.map(task, items))
+                """,
+            },
+        )
+        assert vs == []
+
+    def test_mutation_off_thread_path_clean(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/work.py": """
+                    _CACHE = {}
+
+                    def warm(i):
+                        _CACHE[i] = i * i
+                """,
+            },
+        )
+        assert vs == []
+
+    def test_captured_object_method_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/reg.py": """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    class Registry:
+                        def __init__(self):
+                            self.counters = {}
+
+                        def inc(self, name):
+                            self.counters[name] = self.counters.get(name, 0) + 1
+
+                    def run(reg, items):
+                        def work(i):
+                            reg.inc("n")
+                            return i
+                        with ThreadPoolExecutor() as pool:
+                            return list(pool.map(work, items))
+                """,
+            },
+        )
+        assert codes(vs) == ["QL101"]
+        assert "Registry.inc" in vs[0].message
+
+    def test_locked_class_clean(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/reg.py": """
+                    import threading
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    class Registry:
+                        def __init__(self):
+                            self.counters = {}
+                            self._lock = threading.Lock()
+
+                        def inc(self, name):
+                            with self._lock:
+                                self.counters[name] = (
+                                    self.counters.get(name, 0) + 1
+                                )
+
+                    def run(reg, items):
+                        def work(i):
+                            reg.inc("n")
+                            return i
+                        with ThreadPoolExecutor() as pool:
+                            return list(pool.map(work, items))
+                """,
+            },
+        )
+        assert vs == []
+
+
+# ---------------------------------------------------------------------------
+# QL102 — pickle boundary
+# ---------------------------------------------------------------------------
+
+
+class TestQL102PickleBoundary:
+    def test_file_handle_member_crossing_dump_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/shipper.py": """
+                    import pickle
+
+                    class Holder:
+                        def __init__(self, path):
+                            self._fh = open(path, "a")
+
+                    def ship(sink, fh_path):
+                        pickle.dump(Holder(fh_path), sink)
+                """,
+            },
+        )
+        assert codes(vs) == ["QL102"]
+        assert "Holder" in vs[0].message and "_fh" in vs[0].message
+
+    def test_run_tasks_payload_one_hop_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/shipper.py": """
+                    from repro.sched import run_tasks
+
+                    class Holder:
+                        def __init__(self, path):
+                            self._fh = open(path, "a")
+
+                    def work(payload):
+                        return payload
+
+                    def dispatch(paths):
+                        payloads = [Holder(p) for p in paths]
+                        return run_tasks(work, payloads)
+                """,
+                "src/repro/sched.py": """
+                    def run_tasks(fn, payloads):
+                        return [fn(p) for p in payloads]
+                """,
+            },
+        )
+        assert "QL102" in codes(vs)
+
+    def test_getstate_optout_clean(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/shipper.py": """
+                    import pickle
+
+                    class Holder:
+                        def __init__(self, path):
+                            self._fh = open(path, "a")
+
+                        def __getstate__(self):
+                            state = dict(self.__dict__)
+                            state.pop("_fh")
+                            return state
+
+                    def ship(sink, fh_path):
+                        pickle.dump(Holder(fh_path), sink)
+                """,
+            },
+        )
+        assert vs == []
+
+
+# ---------------------------------------------------------------------------
+# QL103 — durable writes
+# ---------------------------------------------------------------------------
+
+
+class TestQL103DurableWrite:
+    def test_unfsynced_write_in_scope_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/telemetry/sink.py": """
+                    def write_report(path, lines):
+                        with open(path, "w") as fh:
+                            for line in lines:
+                                fh.write(line)
+                """,
+            },
+        )
+        assert codes(vs) == ["QL103"]
+
+    def test_path_open_method_form_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/campaign/manifest.py": """
+                    def write_manifest(path, payload):
+                        with path.open("w") as fh:
+                            fh.write(payload)
+                """,
+            },
+        )
+        assert codes(vs) == ["QL103"]
+
+    def test_fsync_in_function_clean(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/telemetry/sink.py": """
+                    import os
+
+                    def write_report(path, lines):
+                        with open(path, "w") as fh:
+                            for line in lines:
+                                fh.write(line)
+                            fh.flush()
+                            os.fsync(fh.fileno())
+                """,
+            },
+        )
+        assert vs == []
+
+    def test_os_replace_dance_clean(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/campaign/manifest.py": """
+                    import os
+
+                    def write_manifest(path, tmp, payload):
+                        with open(tmp, "w") as fh:
+                            fh.write(payload)
+                        os.replace(tmp, path)
+                """,
+            },
+        )
+        assert vs == []
+
+    def test_class_held_handle_without_fsync_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/telemetry/sink.py": """
+                    class Sink:
+                        def _ensure(self, path):
+                            self._fh = open(path, "a")
+
+                        def write(self, rec):
+                            self._fh.write(rec)
+                """,
+            },
+        )
+        assert codes(vs) == ["QL103"]
+        assert "Sink" in vs[0].message
+
+    def test_class_with_fsync_on_close_clean(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/telemetry/sink.py": """
+                    import os
+
+                    class Sink:
+                        def _ensure(self, path):
+                            self._fh = open(path, "a")
+
+                        def close(self):
+                            self._fh.flush()
+                            os.fsync(self._fh.fileno())
+                            self._fh.close()
+                """,
+            },
+        )
+        assert vs == []
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/io/results.py": """
+                    def export(path, payload):
+                        with open(path, "w") as fh:
+                            fh.write(payload)
+                """,
+            },
+        )
+        assert vs == []
+
+
+# ---------------------------------------------------------------------------
+# QL104 — seed provenance
+# ---------------------------------------------------------------------------
+
+
+class TestQL104SeedProvenance:
+    def test_literal_seed_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/seeds.py": """
+                    import numpy as np
+
+                    def make_rng():
+                        return np.random.default_rng(12345)
+                """,
+            },
+        )
+        assert codes(vs) == ["QL104"]
+        assert "literal" in vs[0].message
+
+    def test_config_lineage_clean(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/seeds.py": """
+                    import numpy as np
+
+                    def make_rng(cfg):
+                        return np.random.default_rng(cfg.seed)
+                """,
+            },
+        )
+        assert vs == []
+
+    def test_seed_arithmetic_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/seeds.py": """
+                    import numpy as np
+
+                    def chain_rng(base_seed, chain):
+                        return np.random.default_rng(base_seed + chain)
+                """,
+            },
+        )
+        assert codes(vs) == ["QL104"]
+        assert "SeedSequence" in vs[0].message
+
+    def test_spawn_lineage_clean(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/seeds.py": """
+                    import numpy as np
+
+                    def chain_rng(base_seed, chain, n):
+                        streams = np.random.SeedSequence(base_seed).spawn(n)
+                        return np.random.default_rng(streams[chain])
+                """,
+            },
+        )
+        assert vs == []
+
+    def test_caller_hop_finds_literal_at_call_site(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/seeds.py": """
+                    import numpy as np
+
+                    def build(raw):
+                        return np.random.default_rng(raw)
+
+                    def outer():
+                        return build(42)
+                """,
+            },
+        )
+        assert codes(vs) == ["QL104"]
+        assert "call into `build`" in vs[0].message
+
+    def test_benchmarks_excluded(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "benchmarks/bench_seed.py": """
+                    import numpy as np
+
+                    def bench_rng():
+                        return np.random.default_rng(42)
+                """,
+            },
+        )
+        assert "QL104" not in codes(vs)
+
+
+# ---------------------------------------------------------------------------
+# QL105 — ledger reachability
+# ---------------------------------------------------------------------------
+
+
+class TestQL105LedgerReachability:
+    SWEEP = """
+        from repro.linalg import hot
+
+        def do_sweep(a, b):
+            return hot.hot_gemm(a, b)
+    """
+    KERNEL = """
+        def hot_gemm(a, b):
+            return a @ b
+    """
+
+    def test_uncovered_kernel_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/dqmc/__init__.py": "",
+                "src/repro/dqmc/sweep.py": self.SWEEP,
+                "src/repro/linalg/__init__.py": "",
+                "src/repro/linalg/hot.py": self.KERNEL,
+            },
+            select={"QL105"},  # QL004 (per-file) also sees the kernel
+        )
+        assert codes(vs) == ["QL105"]
+        assert "hot_gemm" in vs[0].message
+        assert vs[0].severity == "warning"
+
+    def test_recording_caller_covers_kernel(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/dqmc/__init__.py": "",
+                "src/repro/dqmc/sweep.py": """
+                    from repro.linalg import hot
+                    from repro.linalg import flops
+
+                    def do_sweep(a, b, n):
+                        flops.record(2 * n ** 3)
+                        return hot.hot_gemm(a, b)
+                """,
+                "src/repro/linalg/__init__.py": "",
+                "src/repro/linalg/flops.py": """
+                    def record(count):
+                        pass
+                """,
+                "src/repro/linalg/hot.py": self.KERNEL,
+            },
+            select={"QL105"},
+        )
+        assert "QL105" not in codes(vs)
+
+    def test_unreachable_kernel_not_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/linalg/__init__.py": "",
+                "src/repro/linalg/hot.py": self.KERNEL,
+            },
+            select={"QL105"},
+        )
+        assert vs == []
+
+
+# ---------------------------------------------------------------------------
+# pragma meta checks (QL901/QL902)
+# ---------------------------------------------------------------------------
+
+
+class TestPragmaMeta:
+    def test_pragma_without_reason_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/mod.py": """
+                    import numpy as np
+
+                    def f(a):
+                        return np.linalg.inv(a)  # qmclint: disable=QL001
+                """,
+            },
+        )
+        assert codes(vs) == ["QL901"]
+
+    def test_pragma_with_reason_accepted(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/mod.py": """
+                    import numpy as np
+
+                    def f(a):
+                        return np.linalg.inv(a)  # qmclint: disable=QL001 -- strawman for the ablation
+                """,
+            },
+        )
+        assert vs == []
+
+    def test_unused_pragma_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/mod.py": """
+                    def f(a):
+                        return a  # qmclint: disable=QL001 -- stale
+                """,
+            },
+        )
+        assert codes(vs) == ["QL902"]
+        assert "delete it" in vs[0].message
+
+    def test_unused_not_judged_for_unselected_rules(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/repro/mod.py": textwrap.dedent(
+                    """
+                    def f(a):
+                        return a  # qmclint: disable=QL007 -- scoped out
+                    """
+                ),
+            },
+        )
+        runner = LintRunner(ALL_RULES, select={"QL001"}, root=root)
+        assert runner.run([root]) == []
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    def _violations(self, tmp_path):
+        return lint_tree(
+            tmp_path,
+            {
+                "src/repro/mod.py": """
+                    import numpy as np
+
+                    def f(a):
+                        return np.linalg.inv(a)
+                """,
+            },
+        )
+
+    def test_log_validates_and_carries_findings(self, tmp_path):
+        vs = self._violations(tmp_path)
+        doc = to_sarif(vs, ALL_RULES, QMCLINT_VERSION)
+        assert validate_sarif(doc) == []
+        assert doc["version"] == SARIF_VERSION
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "qmclint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert set(rule_ids) == {r.code for r in ALL_RULES}
+        result = run["results"][0]
+        assert result["ruleId"] == "QL001"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/mod.py"
+        assert loc["region"]["startLine"] >= 1
+
+    def test_fingerprints_recorded(self, tmp_path):
+        vs = self._violations(tmp_path)
+        fp = {id(v): f"fp-{i}" for i, v in enumerate(vs)}
+        doc = to_sarif(vs, ALL_RULES, QMCLINT_VERSION, fingerprints=fp)
+        result = doc["runs"][0]["results"][0]
+        assert result["partialFingerprints"] == {
+            "qmclintFingerprint/v1": "fp-0"
+        }
+
+    def test_empty_run_validates(self):
+        doc = to_sarif([], ALL_RULES, QMCLINT_VERSION)
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"] == []
+
+    def test_validator_catches_breakage(self):
+        doc = to_sarif([], ALL_RULES, QMCLINT_VERSION)
+        doc["version"] = "1.0.0"
+        del doc["runs"][0]["tool"]["driver"]["name"]
+        problems = validate_sarif(doc)
+        assert len(problems) >= 2
+
+    def test_cli_emits_valid_sarif_file(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {
+                "proj/src/repro/mod.py": textwrap.dedent(
+                    """
+                    import numpy as np
+
+                    def f(a):
+                        return np.linalg.inv(a)
+                    """
+                ),
+            },
+        )
+        out = tmp_path / "report.sarif"
+        status = qmclint_main(
+            [
+                str(tmp_path / "proj"),
+                "--format",
+                "sarif",
+                "--output",
+                str(out),
+                "--no-baseline",
+            ]
+        )
+        assert status == 1  # findings present
+        doc = json.loads(out.read_text())
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"][0]["ruleId"] == "QL001"
+        # every emitted result carries a trackable fingerprint
+        assert all(
+            "qmclintFingerprint/v1" in r.get("partialFingerprints", {})
+            for r in doc["runs"][0]["results"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# autofixes
+# ---------------------------------------------------------------------------
+
+
+class TestFixes:
+    def test_fixable_codes(self):
+        assert set(FIXABLE_CODES) == {"QL003", "QL902"}
+
+    def test_cli_fix_rewrites_astype(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "import numpy as np\n"
+            "\n"
+            "def f(a, b):\n"
+            "    return a.astype(int), b.astype(float)\n"
+        )
+        status = qmclint_main([str(tmp_path), "--fix", "--no-baseline"])
+        assert status == 0
+        fixed = path.read_text()
+        assert "a.astype(np.int64)" in fixed
+        assert "b.astype(np.float64)" in fixed
+
+    def test_cli_fix_removes_unused_pragma(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "def f(a):\n"
+            "    return a  # qmclint: disable=QL001 -- stale\n"
+        )
+        status = qmclint_main([str(tmp_path), "--fix", "--no-baseline"])
+        assert status == 0
+        assert "qmclint" not in path.read_text()
+
+    def test_astype_without_numpy_alias_untouched(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "mod.py"
+        path.parent.mkdir(parents=True)
+        source = "def f(a):\n    return a.astype(int)\n"
+        path.write_text(source)
+        runner = LintRunner(ALL_RULES, root=tmp_path)
+        vs = runner.run([tmp_path])
+        _, count = apply_fixes(vs, runner.contexts)
+        assert count == 0
+        assert path.read_text() == source
+
+
+# ---------------------------------------------------------------------------
+# baseline: round-trip, partition, stale reporting
+# ---------------------------------------------------------------------------
+
+
+class TestBaselineWorkflow:
+    def test_partition_separates_fresh_from_stale(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/mod.py": """
+                    import numpy as np
+
+                    def f(a):
+                        return np.linalg.inv(a)
+                """,
+            },
+        )
+        assert len(vs) == 1
+        fp = fingerprint(vs[0], "return np.linalg.inv(a)")
+        baseline = {fp: 1, "dead::QL001::cafecafecafe": 1}
+        fresh, stale = partition_baseline([(vs[0], fp)], baseline)
+        assert fresh == []
+        assert stale == ["dead::QL001::cafecafecafe"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline"
+        fps = ["b::QL002::2222", "a::QL001::1111"]
+        save_baseline(path, fps)
+        assert set(load_baseline(path)) == set(fps)
+
+    def test_cli_reports_stale_entries(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {"proj/src/repro/mod.py": "def f(a):\n    return a\n"},
+        )
+        baseline = tmp_path / "frozen"
+        save_baseline(baseline, ["src/repro/mod.py::QL001::deadbeef0000"])
+        status = qmclint_main(
+            [str(tmp_path / "proj"), "--baseline", str(baseline)]
+        )
+        captured = capsys.readouterr()
+        assert status == 0  # stale entries warn, they do not fail the run
+        assert "stale baseline entry" in captured.err
+
+    def test_baselined_finding_does_not_fail(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {
+                "proj/src/repro/mod.py": textwrap.dedent(
+                    """
+                    import numpy as np
+
+                    def f(a):
+                        return np.linalg.inv(a)
+                    """
+                ),
+            },
+        )
+        baseline = tmp_path / "frozen"
+        status = qmclint_main(
+            [
+                str(tmp_path / "proj"),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        assert status == 0
+        status = qmclint_main(
+            [str(tmp_path / "proj"), "--baseline", str(baseline)]
+        )
+        capsys.readouterr()
+        assert status == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCliSurface:
+    def test_version_flag(self, capsys):
+        assert qmclint_main(["--version"]) == 0
+        out = capsys.readouterr().out
+        assert QMCLINT_VERSION in out
+        assert str(len(ALL_RULES)) in out
+
+    def test_list_rules_shows_severity_and_kind(self, capsys):
+        assert qmclint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("QL001", "QL101", "QL105", "QL901"):
+            assert code in out
+        assert "warning" in out and "error" in out
+
+    def test_repo_tree_is_clean_whole_program(self, capsys):
+        """The shipped tree passes the full v2 pass with no baseline."""
+        status = qmclint_main(
+            [
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "tools"),
+                str(REPO_ROOT / "benchmarks"),
+                "--no-baseline",
+            ]
+        )
+        capsys.readouterr()
+        assert status == 0

@@ -382,3 +382,184 @@ class TestReport:
         tel.close()
         text = render_report(summarize_jsonl(path))
         assert "HEALTH: ok" in text
+
+
+# ---------------------------------------------------------------------------
+# thread-safety and pickle regressions (the QL101/QL102 findings)
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryThreadSafety:
+    """Registries are shared by `executor="thread"` chains and
+    `parallel_for` bodies; a lost increment here silently skews every
+    acceptance-rate and GFLOPS figure in the report."""
+
+    def test_concurrent_increments_are_exact(self):
+        import concurrent.futures as cf
+
+        reg = MetricsRegistry()
+        n_threads, n_incs = 8, 2000
+
+        def work(_):
+            for _ in range(n_incs):
+                reg.inc("hits")
+
+        with cf.ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(work, range(n_threads)))
+        assert reg.counter("hits") == n_threads * n_incs
+
+    def test_concurrent_observes_lose_no_samples(self):
+        import concurrent.futures as cf
+
+        reg = MetricsRegistry()
+        n_threads, n_obs = 8, 1000
+
+        def work(k):
+            for i in range(n_obs):
+                reg.observe("acc", (i % 10) / 10.0, bounds=(0.5, 1.0))
+
+        with cf.ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(work, range(n_threads)))
+        hist = reg.histograms["acc"]
+        assert hist.count == n_threads * n_obs
+        assert sum(hist.buckets) == n_threads * n_obs
+
+    def test_concurrent_merge_is_exact(self):
+        import concurrent.futures as cf
+
+        chain = MetricsRegistry()
+        chain.inc("n", 5.0)
+        chain.observe("x", 1.0)
+        merged = MetricsRegistry()
+
+        def fold(_):
+            merged.merge(chain)
+
+        with cf.ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(fold, range(40)))
+        assert merged.counter("n") == 40 * 5.0
+        assert merged.histograms["x"].count == 40
+
+    def test_registry_pickles_and_lock_is_recreated(self):
+        import pickle
+
+        reg = MetricsRegistry()
+        reg.inc("n", 3.0)
+        reg.observe("x", 0.5)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.counter("n") == 3.0
+        assert clone.histograms["x"].count == 1
+        clone.inc("n")  # the recreated lock must actually work
+        assert clone.counter("n") == 4.0
+
+    def test_histogram_pickles_and_lock_is_recreated(self):
+        import pickle
+
+        hist = StreamingHistogram(bounds=(1.0, 2.0))
+        hist.observe(1.5)
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone.count == 1
+        clone.observe(0.5)
+        assert clone.count == 2
+
+
+class TestWriterDurability:
+    """close() promises flush+fsync whatever flush_every is — the
+    campaign manifest layer treats a closed JSONL as a durable artifact."""
+
+    def test_close_flushes_lines_buffered_by_flush_every(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TelemetryWriter(path, flush_every=100)
+        for i in range(3):
+            w.write("tick", i=i)
+        w.close()
+        assert [e["i"] for e in read_events(path)] == [0, 1, 2]
+
+    def test_context_exit_flushes_buffered_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TelemetryWriter(path, flush_every=50) as w:
+            w.write("tick", i=0)
+            w.write("tick", i=1)
+        assert len(list(read_events(path))) == 2
+
+    def test_close_is_idempotent_after_buffered_writes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = TelemetryWriter(path, flush_every=10)
+        w.write("tick")
+        w.close()
+        w.close()
+        assert len(list(read_events(path))) == 1
+
+    def test_concurrent_writes_get_unique_ordered_seqs(self, tmp_path):
+        import concurrent.futures as cf
+
+        path = tmp_path / "t.jsonl"
+        w = TelemetryWriter(path, flush_every=7)
+        with cf.ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(lambda i: w.write("tick", i=i), range(200)))
+        w.close()
+        seqs = [e["seq"] for e in read_events(path)]
+        assert sorted(seqs) == list(range(200))
+
+    def test_writer_pickles_without_handle(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "t.jsonl"
+        w = TelemetryWriter(path, flush_every=5)
+        w.write("tick")
+        clone = pickle.loads(pickle.dumps(w))
+        assert clone.path == w.path
+        assert clone._fh is None  # handles never cross the boundary
+        w.close()
+
+
+class TestEnsembleThreadDeterminism:
+    """Telemetry instrumentation must not perturb the physics: a seeded
+    threaded ensemble produces bit-identical observables with telemetry
+    on, off, and across repeated runs."""
+
+    KWARGS = dict(
+        n_chains=2,
+        warmup_sweeps=1,
+        measurement_sweeps=2,
+        max_workers=2,
+        cluster_size=4,
+        base_seed=7,
+        executor="thread",
+    )
+
+    @staticmethod
+    def _means(result):
+        return {
+            k: np.asarray(v.mean) for k, v in sorted(result.observables.items())
+        }
+
+    def test_telemetry_does_not_perturb_threaded_observables(self, tmp_path):
+        tel = Telemetry(
+            TelemetryWriter(tmp_path / "t.jsonl"), snapshot_every=0
+        )
+        with_tel = run_ensemble(make_model(), telemetry=tel, **self.KWARGS)
+        tel.close()
+        plain = run_ensemble(make_model(), **self.KWARGS)
+        a, b = self._means(with_tel), self._means(plain)
+        assert list(a) == list(b)
+        for name in a:
+            assert np.array_equal(a[name], b[name]), name
+
+    def test_repeated_threaded_runs_bit_identical(self, tmp_path):
+        tel1 = Telemetry(
+            TelemetryWriter(tmp_path / "a.jsonl"), snapshot_every=0
+        )
+        tel2 = Telemetry(
+            TelemetryWriter(tmp_path / "b.jsonl"), snapshot_every=0
+        )
+        r1 = run_ensemble(make_model(), telemetry=tel1, **self.KWARGS)
+        r2 = run_ensemble(make_model(), telemetry=tel2, **self.KWARGS)
+        tel1.close()
+        tel2.close()
+        a, b = self._means(r1), self._means(r2)
+        for name in a:
+            assert np.array_equal(a[name], b[name]), name
+        assert tel1.registry.counter("sweep.proposed") == tel2.registry.counter(
+            "sweep.proposed"
+        )

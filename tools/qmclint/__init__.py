@@ -6,27 +6,41 @@ results depend on: no naive matrix inversion outside the stable-solve
 module, no unseeded randomness, dtype hygiene, an honest FLOP ledger,
 declared in-place mutation, and no silent exception swallowing.
 
+v2 adds a *whole-program* layer — a module index (``project``), a call
+graph with reachability queries (``callgraph``), and targeted dataflow
+(``dataflow``) — powering the QL1xx concurrency/process-safety family:
+thread-shared mutable state (QL101), pickle-boundary picklability
+(QL102), durable-write discipline (QL103), seed provenance along the
+call graph (QL104), and flop-ledger reachability from the sweep
+(QL105). Findings carry severities, serialize to SARIF 2.1.0
+(``--format sarif``), and the mechanical subset autofixes (``--fix``).
+
 Usage::
 
-    qmclint src/                    # console script
-    python -m qmclint src/          # module form
+    qmclint src/ tools/ benchmarks/   # console script
+    python -m qmclint src/            # module form
 
-Suppress a finding on one line with ``# qmclint: disable=QL001`` (comma
-separated for several codes), or for a whole file with
-``# qmclint: disable-file=QL001``. Pre-existing findings can be frozen
-into a baseline file (``--update-baseline``) so only new violations fail
-the build; the shipped tree keeps an *empty* baseline.
+Suppress a finding on one line with ``# qmclint: disable=QL001 -- why``
+(comma separated for several codes), or for a whole file with
+``# qmclint: disable-file=QL001 -- why``. Every pragma needs a reason —
+inline after ``--``, or implicitly via the docstring when the pragma
+sits on a ``def``/``class`` line (QL901 enforces this); pragmas that no
+longer mask anything are reported as QL902. Pre-existing findings can be
+frozen into a baseline file (``--update-baseline``) so only new
+violations fail the build; stale entries are reported when their finding
+disappears. The shipped tree keeps an *empty* baseline.
 """
 
-from .engine import FileContext, LintRunner, Violation
+from .engine import FileContext, LintRunner, Pragma, Violation
 from .rules import ALL_RULES, Rule
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ALL_RULES",
     "FileContext",
     "LintRunner",
+    "Pragma",
     "Rule",
     "Violation",
     "__version__",

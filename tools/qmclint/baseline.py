@@ -15,7 +15,13 @@ from typing import Dict, Iterable, List, Tuple
 
 from .engine import Violation
 
-__all__ = ["fingerprint", "load_baseline", "save_baseline", "apply_baseline"]
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+    "partition_baseline",
+]
 
 DEFAULT_BASELINE = ".qmclint-baseline"
 
@@ -51,6 +57,20 @@ def apply_baseline(
     violations: List[Tuple[Violation, str]], baseline: Dict[str, int]
 ) -> List[Violation]:
     """Drop violations whose fingerprint has remaining baseline budget."""
+    fresh, _ = partition_baseline(violations, baseline)
+    return fresh
+
+
+def partition_baseline(
+    violations: List[Tuple[Violation, str]], baseline: Dict[str, int]
+) -> Tuple[List[Violation], List[str]]:
+    """Split into (fresh violations, stale baseline fingerprints).
+
+    A *stale* entry still has budget after every current violation was
+    matched — the finding it froze has been fixed (or the line changed),
+    so the entry no longer earns its keep and should be dropped on the
+    next ``--update-baseline``.
+    """
     budget = dict(baseline)
     fresh: List[Violation] = []
     for v, fp in violations:
@@ -58,4 +78,5 @@ def apply_baseline(
             budget[fp] -= 1
         else:
             fresh.append(v)
-    return fresh
+    stale = sorted(fp for fp, left in budget.items() if left > 0)
+    return fresh, stale

@@ -1,0 +1,215 @@
+"""Call-graph construction and reachability queries over a Project.
+
+Edges are built by resolving every ``Call`` inside every project
+function against the module index:
+
+* bare names — local nested functions first, then module symbols and
+  import aliases;
+* ``self.method(...)`` / ``cls.method(...)`` — the enclosing class's
+  method table, following project base classes (so calling an inherited
+  method lands on the base implementation);
+* dotted chains (``mod.sub.fn(...)``) — cross-module resolution through
+  :meth:`qmclint.project.Project.resolve`;
+* ``obj.method(...)`` on an object of unknown type — the *duck-typed
+  fallback*: an edge to every project method of that name. This
+  deliberately over-approximates reachability (a coverage analysis that
+  under-approximates would certify kernels it never saw), and rules
+  that need precision filter on the callee's module.
+
+Thread-entry detection finds the functions handed to concurrency
+primitives — ``ThreadPoolExecutor.submit/map``, ``threading.Thread
+(target=...)``, the repo's ``run_tasks(fn, ...)`` / ``parallel_for(n,
+body)`` — plus everything reachable from them; that set is what QL101
+means by "reachable from a thread-pool entry point".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from .project import ClassInfo, FunctionInfo, Project
+
+__all__ = ["CallGraph"]
+
+#: call-sites whose function-valued argument starts running on a thread
+_THREAD_APIS = {
+    "submit": 0,        # pool.submit(fn, *args)
+    "map": 0,           # pool.map(fn, items)
+    "run_tasks": 0,     # repro.campaign.scheduler.run_tasks(fn, payloads)
+    "parallel_for": 1,  # parallel_for(n, body)
+    "map_reduce": 1,    # pool.map_reduce(n, mapper, reducer)
+}
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _local_defs(fn_node: ast.AST) -> Dict[str, str]:
+    """Names of functions defined directly inside ``fn_node``'s body."""
+    out: Dict[str, str] = {}
+    for child in ast.iter_child_nodes(fn_node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out[child.name] = child.name
+    return out
+
+
+@dataclass
+class CallGraph:
+    """Directed caller → callee edges between project function ids."""
+
+    project: Project
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    #: fids handed directly to a thread API (the spawn points)
+    thread_targets: Set[str] = field(default_factory=set)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls(project=project)
+        for fn in project.functions.values():
+            graph.edges[fn.fid] = set()
+            for callee in graph._callees(fn):
+                graph.edges[fn.fid].add(callee)
+            for target in graph._thread_handoffs(fn):
+                graph.thread_targets.add(target)
+        return graph
+
+    def _class_of(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        if fn.class_name is None:
+            return None
+        return self.project.classes.get(f"{fn.module}.{fn.class_name}")
+
+    def _method_on_class(
+        self, klass: Optional[ClassInfo], name: str, depth: int = 0
+    ) -> Optional[FunctionInfo]:
+        """Look up a method, walking project base classes."""
+        if klass is None or depth > 8:
+            return None
+        if name in klass.methods:
+            return klass.methods[name]
+        for base in klass.bases:
+            resolved = self.project.resolve(klass.module, base)
+            base_cls = self.project.classes.get(resolved) if resolved else None
+            found = self._method_on_class(base_cls, name, depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_callable(
+        self, fn: FunctionInfo, node: ast.AST
+    ) -> List[str]:
+        """Resolve a callable expression to candidate fids."""
+        project = self.project
+        if isinstance(node, ast.Name):
+            # local nested function?
+            if node.id in _local_defs(fn.node):
+                nested_fid = f"{fn.module}.{fn.qualname}.<locals>.{node.id}"
+                info = project.functions.get(nested_fid)
+                if info is not None:
+                    return [info.fid]
+            resolved = project.resolve(fn.module, node.id)
+            return self._ids_for(resolved)
+        if isinstance(node, ast.Attribute):
+            holder = node.value
+            if isinstance(holder, ast.Name) and holder.id in ("self", "cls"):
+                found = self._method_on_class(self._class_of(fn), node.attr)
+                return [found.fid] if found is not None else []
+            dotted = _dotted(node)
+            if dotted:
+                resolved = project.resolve(fn.module, dotted)
+                ids = self._ids_for(resolved)
+                if ids:
+                    return ids
+            # duck-typed fallback: any project method of this name
+            return [
+                m.fid for m in project.methods_by_name.get(node.attr, [])
+            ]
+        return []
+
+    def _ids_for(self, resolved: Optional[str]) -> List[str]:
+        """Function ids for a resolved symbol (function, or class → init)."""
+        if resolved is None:
+            return []
+        project = self.project
+        if resolved in project.functions:
+            return [resolved]
+        if resolved in project.classes:
+            init = project.classes[resolved].methods.get("__init__")
+            return [init.fid] if init is not None else []
+        return []
+
+    def _callees(self, fn: FunctionInfo) -> Iterator[str]:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                for fid in self._resolve_callable(fn, node.func):
+                    if fid != fn.fid:
+                        yield fid
+
+    def _thread_handoffs(self, fn: FunctionInfo) -> Iterator[str]:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else node.func.id
+                if isinstance(node.func, ast.Name)
+                else ""
+            )
+            arg: Optional[ast.AST] = None
+            if name in _THREAD_APIS:
+                idx = _THREAD_APIS[name]
+                if len(node.args) > idx:
+                    arg = node.args[idx]
+            elif name == "Thread":
+                for kw in node.keywords:
+                    if kw.arg == "target":
+                        arg = kw.value
+            if arg is None:
+                continue
+            for fid in self._resolve_callable(fn, arg):
+                yield fid
+
+    # -- queries -------------------------------------------------------------
+
+    def reachable_from(self, roots: Set[str]) -> Set[str]:
+        """Transitive closure of callees, roots included."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.edges]
+        while stack:
+            fid = stack.pop()
+            if fid in seen:
+                continue
+            seen.add(fid)
+            stack.extend(self.edges.get(fid, ()))
+        return seen
+
+    def thread_reachable(self) -> Set[str]:
+        """Everything that may execute on a non-main thread."""
+        return self.reachable_from(set(self.thread_targets))
+
+    def reachable_through(self, roots: Set[str], via: Set[str]) -> Set[str]:
+        """Nodes reachable from ``roots`` on a path through some ``via``.
+
+        Used by QL105: a kernel is ledger-covered when every way the
+        sweep can reach it passes a recording function — equivalently,
+        it is *flagged* when it is reachable but NOT reachable through
+        any recorder.
+        """
+        reach = self.reachable_from(roots)
+        gates = {v for v in via if v in reach}
+        return self.reachable_from(gates)
+
+    def callers_of(self, fid: str) -> Set[str]:
+        return {f for f, callees in self.edges.items() if fid in callees}

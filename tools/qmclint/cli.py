@@ -2,6 +2,10 @@
 
 Exit status: 0 when the tree is clean (after pragmas and baseline),
 1 when violations remain, 2 on usage/parse errors.
+
+v2 surface: ``--format sarif`` (with ``--output``) for CI upload,
+``--fix`` for the mechanical autofix subset, stale-baseline warnings on
+stderr, and the whole-program QL1xx rules running by default.
 """
 
 from __future__ import annotations
@@ -9,16 +13,16 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .baseline import (
     DEFAULT_BASELINE,
-    apply_baseline,
     fingerprint,
     load_baseline,
+    partition_baseline,
     save_baseline,
 )
-from .engine import FileContext, LintRunner, Violation, iter_python_files
+from .engine import LintRunner, Violation
 from .rules import ALL_RULES
 
 __all__ = ["main", "build_parser"]
@@ -54,7 +58,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="report every violation, ignoring any baseline file",
     )
     parser.add_argument(
+        "--format", choices=("text", "sarif"), default="text",
+        help="report format (sarif emits a SARIF 2.1.0 log)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical autofixes (QL003 dtype spellings, QL902 "
+        "unused pragmas), then re-lint",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "--version", action="store_true", help="print version and rule count"
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true",
@@ -69,22 +89,52 @@ def _codes(blob: Optional[str]) -> Optional[set]:
     return {c.strip().upper() for c in blob.split(",") if c.strip()}
 
 
-def _line_text(path: Path, line: int, cache: dict) -> str:
-    if path not in cache:
-        try:
-            cache[path] = path.read_text().splitlines()
-        except OSError:
-            cache[path] = []
-    lines = cache[path]
-    return lines[line - 1] if 1 <= line <= len(lines) else ""
+def _lint(
+    paths: List[Path], select: Optional[set], ignore: Optional[set]
+) -> Tuple[LintRunner, List[Tuple[Violation, str]]]:
+    """Run the whole-program pipeline; tag each violation with its
+    baseline fingerprint using the already-parsed sources."""
+    runner = LintRunner(ALL_RULES, select=select, ignore=ignore or set())
+    violations = runner.run(paths)
+    tagged: List[Tuple[Violation, str]] = []
+    for v in violations:
+        ctx = runner.contexts.get(v.path)
+        text = ""
+        if ctx is not None and 1 <= v.line <= len(ctx.lines):
+            text = ctx.lines[v.line - 1]
+        tagged.append((v, fingerprint(v, text)))
+    return runner, tagged
+
+
+def _emit(report: str, output: Optional[Path]) -> None:
+    if output is None:
+        print(report, end="" if report.endswith("\n") else "\n")
+    else:
+        output.write_text(report if report.endswith("\n") else report + "\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.version:
+        from . import __version__
+
+        print(f"qmclint {__version__} ({len(ALL_RULES)} rules)")
+        return 0
+
     if args.list_rules:
         for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.name:<16} {rule.description}")
+            kind = (
+                "project"
+                if getattr(rule, "project_rule", False)
+                else "meta"
+                if getattr(rule, "meta_rule", False)
+                else "file"
+            )
+            print(
+                f"{rule.code}  {rule.name:<20} [{rule.severity:<7}|{kind:<7}] "
+                f"{rule.description}"
+            )
         return 0
 
     paths = args.paths or [Path("src")]
@@ -108,43 +158,63 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
 
-    runner = LintRunner(ALL_RULES, select=select, ignore=ignore or set())
+    runner, tagged = _lint(paths, select, ignore)
 
-    # Collect per-file so fingerprints can reuse the parsed source.
-    tagged: List[Tuple[Violation, str]] = []
-    for f in iter_python_files(paths):
-        for v in runner.run_file(f):
-            # run_file normalizes the reported path; recover the on-disk
-            # file for fingerprint line lookup.
-            tagged.append((v, f))
-    cache: dict = {}
-    tagged_fp = [
-        (v, fingerprint(v, _line_text(f, v.line, cache))) for v, f in tagged
-    ]
+    if args.fix:
+        from .fixes import apply_fixes
+
+        fixed_sources, n_fixes = apply_fixes(
+            [v for v, _ in tagged], runner.contexts
+        )
+        for rel, source in fixed_sources.items():
+            runner.contexts[rel].path.write_text(source)
+        if not args.quiet:
+            print(
+                f"qmclint: applied {n_fixes} fix(es) in "
+                f"{len(fixed_sources)} file(s)",
+                file=sys.stderr,
+            )
+        if fixed_sources:  # re-lint the post-fix tree
+            runner, tagged = _lint(paths, select, ignore)
 
     baseline_path = args.baseline or Path(DEFAULT_BASELINE)
     if args.update_baseline:
-        save_baseline(baseline_path, (fp for _, fp in tagged_fp))
+        save_baseline(baseline_path, (fp for _, fp in tagged))
         if not args.quiet:
             print(
-                f"qmclint: froze {len(tagged_fp)} violation(s) into "
+                f"qmclint: froze {len(tagged)} violation(s) into "
                 f"{baseline_path}"
             )
         return 0
 
+    stale: List[str] = []
     if args.no_baseline:
-        fresh = [v for v, _ in tagged_fp]
+        fresh = [v for v, _ in tagged]
     else:
-        fresh = apply_baseline(tagged_fp, load_baseline(baseline_path))
+        fresh, stale = partition_baseline(tagged, load_baseline(baseline_path))
 
     for err in runner.errors:
         print(f"qmclint: {err}", file=sys.stderr)
-    if not args.quiet:
-        for v in fresh:
-            print(v.format())
-        n_files = len(list(iter_python_files(paths)))
+    for fp in stale:
+        print(
+            f"qmclint: stale baseline entry (finding fixed — regenerate "
+            f"with --update-baseline): {fp}",
+            file=sys.stderr,
+        )
+
+    if args.format == "sarif":
+        from . import __version__
+        from .sarif import sarif_json
+
+        fp_by_id = {id(v): fp for v, fp in tagged if v in fresh}
+        _emit(sarif_json(fresh, ALL_RULES, __version__, fp_by_id), args.output)
+    elif not args.quiet:
+        lines = [v.format() for v in fresh]
+        n_files = len(runner.contexts)
         status = "clean" if not fresh else f"{len(fresh)} violation(s)"
-        print(f"qmclint: {n_files} file(s) checked: {status}")
+        lines.append(f"qmclint: {n_files} file(s) checked: {status}")
+        _emit("\n".join(lines), args.output)
+
     if runner.errors:
         return 2
     return 1 if fresh else 0

@@ -1,0 +1,338 @@
+"""Lightweight intra-procedural dataflow with cross-call summaries.
+
+Three analyses, each scoped to exactly what the QL1xx rules consume:
+
+**Lock regions** — the line spans covered by ``with <lock>`` statements,
+where a lock is any name/attribute whose spelling contains ``lock`` or
+that resolves to a module-level ``threading.Lock()`` assignment. QL101
+treats a mutation inside such a region as serialized.
+
+**Seed provenance** — a conservative classifier over expressions: is
+this value *derived* from the configured seed (``SimulationConfig.seed``
+/ ``SeedSequence.spawn`` and friends), *definitely not* (a literal, time,
+pid, hash — the classic "works on my machine" seeds), or *unknown*?
+Unknown is trusted: the rule only fires on proof, never on doubt. A
+parameter named like a seed (``seed``, ``base_seed``, ``rng``,
+``entropy``, ``seed_seq``) is a documented trust boundary; for other
+parameters QL104 consults the call graph and classifies what each caller
+actually passes (one summary hop).
+
+**Picklability summaries** — per class: does any method bind an
+attribute to an unpicklable resource (open file handles,
+``threading.Lock``/``RLock``/``Condition``/``Event``, a numpy
+``Generator``), directly or through another project class, and does the
+class opt out via ``__getstate__``/``__reduce__``? QL102 flags such
+classes crossing the campaign pickle boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .project import ClassInfo, FunctionInfo, Project
+
+__all__ = [
+    "lock_guarded_lines",
+    "classify_seed_expr",
+    "SEED_PARAM_HINTS",
+    "unpicklable_members",
+    "DERIVED",
+    "UNKNOWN",
+    "LITERAL",
+    "NONDERIVED",
+    "ARITHMETIC",
+]
+
+# seed-provenance verdicts
+DERIVED = "derived"
+UNKNOWN = "unknown"
+LITERAL = "literal"
+NONDERIVED = "nonderived"
+ARITHMETIC = "arithmetic"
+
+#: parameter-name fragments that mark a documented seed trust boundary
+SEED_PARAM_HINTS = ("seed", "entropy", "rng", "generator", "ss")
+
+#: call names whose result is provenance-preserving
+_SEED_FACTORIES = {"SeedSequence", "default_rng", "Generator", "PCG64", "spawn"}
+
+#: call names whose result must never seed a Generator
+_NONDERIVED_CALLS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "monotonic",
+    "getpid",
+    "urandom",
+    "uuid1",
+    "uuid4",
+    "id",
+    "hash",
+}
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# lock regions
+# ---------------------------------------------------------------------------
+
+
+def _is_lock_expr(node: ast.AST, module_locks: Set[str]) -> bool:
+    dotted = _dotted(node)
+    if not dotted:
+        return False
+    tail = dotted.split(".")[-1].lower()
+    return "lock" in tail or dotted in module_locks
+
+
+def module_lock_names(assigns: Dict[str, ast.expr]) -> Set[str]:
+    """Module-level names bound to ``threading.Lock()``-like objects."""
+    out: Set[str] = set()
+    for name, value in assigns.items():
+        if isinstance(value, ast.Call):
+            callee = _dotted(value.func).split(".")[-1]
+            if callee in ("Lock", "RLock", "Condition", "Semaphore"):
+                out.add(name)
+    return out
+
+
+def lock_guarded_lines(
+    fn_node: ast.AST, module_locks: Optional[Set[str]] = None
+) -> Set[int]:
+    """Line numbers inside ``with <lock>:`` blocks of this function."""
+    locks = module_locks or set()
+    out: Set[int] = set()
+    for node in ast.walk(fn_node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(_is_lock_expr(item.context_expr, locks) for item in node.items):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None:
+            end = max(
+                getattr(n, "lineno", node.lineno) for n in ast.walk(node)
+            )
+        out.update(range(node.lineno, end + 1))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# seed provenance
+# ---------------------------------------------------------------------------
+
+
+def _param_names(fn_node: ast.AST) -> List[str]:
+    a = fn_node.args
+    params = list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+    names = [p.arg for p in params]
+    if a.vararg:
+        names.append(a.vararg.arg)
+    if a.kwarg:
+        names.append(a.kwarg.arg)
+    return names
+
+
+def _seedy_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(h in lowered for h in SEED_PARAM_HINTS)
+
+
+def _local_assignments(fn_node: ast.AST) -> Dict[str, ast.expr]:
+    out: Dict[str, ast.expr] = {}
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    out[tgt.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                out[node.target.id] = node.value
+    return out
+
+
+def classify_seed_expr(
+    expr: ast.AST,
+    fn_node: ast.AST,
+    _visited: Optional[Set[str]] = None,
+) -> str:
+    """Provenance verdict for the expression seeding a ``Generator``.
+
+    Returns one of :data:`DERIVED`, :data:`UNKNOWN`, :data:`LITERAL`,
+    :data:`NONDERIVED`, :data:`ARITHMETIC` (seed arithmetic like
+    ``base_seed + i``, which destroys stream-independence guarantees —
+    the exact bug ``SeedSequence.spawn`` exists to prevent).
+    """
+    visited = _visited if _visited is not None else set()
+    if isinstance(expr, ast.Constant):
+        return LITERAL if isinstance(expr.value, (int, float)) else UNKNOWN
+    if isinstance(expr, ast.Name):
+        if expr.id in visited:
+            return UNKNOWN
+        visited.add(expr.id)
+        if _seedy_name(expr.id):
+            return DERIVED
+        local = _local_assignments(fn_node)
+        if expr.id in local:
+            return classify_seed_expr(local[expr.id], fn_node, visited)
+        if expr.id in _param_names(fn_node):
+            return UNKNOWN  # caller-supplied; QL104 checks the call sites
+        return UNKNOWN
+    if isinstance(expr, ast.Attribute):
+        # config.seed, self._seed, cfg.base_seed ... — a documented field
+        return DERIVED if _seedy_name(expr.attr) else UNKNOWN
+    if isinstance(expr, ast.Subscript):
+        # spawn(n)[i] — provenance flows through indexing
+        return classify_seed_expr(expr.value, fn_node, visited)
+    if isinstance(expr, ast.Call):
+        name = _dotted(expr.func).split(".")[-1] or (
+            expr.func.attr if isinstance(expr.func, ast.Attribute) else ""
+        )
+        if name in _SEED_FACTORIES:
+            return DERIVED
+        if name in _NONDERIVED_CALLS:
+            return NONDERIVED
+        if name in ("int", "abs", "round") and expr.args:
+            # numeric wrappers are provenance-transparent
+            return classify_seed_expr(expr.args[0], fn_node, visited)
+        return UNKNOWN
+    if isinstance(expr, ast.BinOp):
+        left = classify_seed_expr(expr.left, fn_node, visited)
+        right = classify_seed_expr(expr.right, fn_node, visited)
+        if NONDERIVED in (left, right):
+            return NONDERIVED
+        if DERIVED in (left, right):
+            # seed ± offset: deterministic but independence-breaking
+            return ARITHMETIC
+        return UNKNOWN
+    if isinstance(expr, (ast.IfExp,)):
+        body = classify_seed_expr(expr.body, fn_node, visited)
+        orelse = classify_seed_expr(expr.orelse, fn_node, visited)
+        bad = [v for v in (body, orelse) if v in (LITERAL, NONDERIVED, ARITHMETIC)]
+        return bad[0] if bad else (
+            DERIVED if DERIVED in (body, orelse) else UNKNOWN
+        )
+    return UNKNOWN
+
+
+def seed_param_of(expr: ast.AST) -> Optional[str]:
+    """If the expression is a bare parameter reference, its name."""
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def call_argument_for(
+    call: ast.Call, fn_node: ast.AST, param: str
+) -> Optional[ast.AST]:
+    """The expression a call site passes for ``param`` (best effort)."""
+    for kw in call.keywords:
+        if kw.arg == param:
+            return kw.value
+    params = _param_names(fn_node)
+    if param in params:
+        idx = params.index(param)
+        # methods: drop the self/cls slot callers never spell
+        if params and params[0] in ("self", "cls"):
+            idx -= 1
+        if 0 <= idx < len(call.args):
+            return call.args[idx]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# picklability
+# ---------------------------------------------------------------------------
+
+_UNPICKLABLE_CALLS = {
+    "open": "an open file handle",
+    "Lock": "a threading.Lock",
+    "RLock": "a threading.RLock",
+    "Condition": "a threading.Condition",
+    "Event": "a threading.Event",
+    "Semaphore": "a threading.Semaphore",
+    "local": "thread-local storage",
+    "ThreadPoolExecutor": "a thread pool",
+    "Popen": "a subprocess handle",
+}
+
+
+def _attr_value_problem(
+    value: ast.AST, project: Project, module: str, depth: int
+) -> Optional[str]:
+    if not isinstance(value, ast.Call):
+        return None
+    dotted = _dotted(value.func)
+    name = dotted.split(".")[-1]
+    if name in _UNPICKLABLE_CALLS:
+        return _UNPICKLABLE_CALLS[name]
+    # an instance of another project class that is itself unpicklable
+    resolved = project.resolve(module, dotted) if dotted else None
+    if resolved and resolved in project.classes:
+        nested = unpicklable_members(
+            project.classes[resolved], project, _depth=depth + 1
+        )
+        if nested:
+            member, why = nested[0]
+            return f"a {name} holding {why} (via .{member})"
+    return None
+
+
+def unpicklable_members(
+    klass: ClassInfo, project: Project, _depth: int = 0
+) -> List[Tuple[str, str]]:
+    """``(attribute, what-it-holds)`` pairs that break pickling.
+
+    Classes defining ``__getstate__`` or ``__reduce__`` have opted into
+    custom pickling and report clean regardless of their attributes.
+    """
+    if _depth > 4:
+        return []
+    if "__getstate__" in klass.methods or "__reduce__" in klass.methods:
+        return []
+    out: List[Tuple[str, str]] = []
+    for method in klass.methods.values():
+        for node in ast.walk(method.node):
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            for tgt in targets:
+                if (
+                    isinstance(tgt, ast.Attribute)
+                    and isinstance(tgt.value, ast.Name)
+                    and tgt.value.id == "self"
+                ):
+                    why = _attr_value_problem(
+                        value, project, klass.module, _depth
+                    )
+                    if why and all(tgt.attr != m for m, _ in out):
+                        out.append((tgt.attr, why))
+    return out
+
+
+def function_summary_calls(
+    fn: FunctionInfo, names: Set[str]
+) -> List[ast.Call]:
+    """All ``Call`` nodes in ``fn`` whose trailing name is in ``names``."""
+    out: List[ast.Call] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            tail = _dotted(node.func).split(".")[-1] or (
+                node.func.attr if isinstance(node.func, ast.Attribute) else ""
+            )
+            if tail in names:
+                out.append(node)
+    return out

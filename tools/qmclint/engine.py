@@ -5,6 +5,23 @@ A :class:`FileContext` bundles everything a rule may want about one file
 matching). The :class:`LintRunner` walks a set of paths, applies every
 registered rule, and filters the resulting violations through line/file
 pragmas and the optional baseline.
+
+v2 additions
+------------
+* :class:`Violation` carries a ``severity`` (``error``/``warning``/
+  ``note``) that maps onto SARIF result levels; the exit status still
+  fails on *any* non-baselined finding, severity is reporting metadata.
+* Pragmas are parsed into :class:`Pragma` records that carry a *reason*
+  (the free text after the codes, or implicit for ``def``/``class``
+  lines whose docstring justifies the suppression). The runner reports
+  reason-less pragmas (QL901) and pragmas that suppressed nothing
+  (QL902) so suppressions cannot rot silently.
+* :meth:`LintRunner.run` is a whole-program pass: after the per-file
+  rules it builds a :class:`~qmclint.project.Project` index and a
+  :class:`~qmclint.callgraph.CallGraph` over every parsed file and runs
+  the *project rules* (``check_project``) — the QL1xx family — against
+  them. :meth:`LintRunner.run_file` remains the per-file subset (used
+  by tests and editors that lint a single buffer).
 """
 
 from __future__ import annotations
@@ -13,15 +30,26 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Violation", "FileContext", "LintRunner", "iter_python_files"]
+__all__ = [
+    "Violation",
+    "Pragma",
+    "FileContext",
+    "LintRunner",
+    "iter_python_files",
+    "SEVERITIES",
+]
 
+#: recognised severities, in decreasing order of gravity (SARIF levels)
+SEVERITIES = ("error", "warning", "note")
 
-#: ``# qmclint: disable=QL001,QL004`` — suppress on the carrying line.
-_PRAGMA_LINE = re.compile(r"#\s*qmclint:\s*disable=([A-Z0-9,\s]+)")
-#: ``# qmclint: disable-file=QL002`` — suppress for the whole file.
-_PRAGMA_FILE = re.compile(r"#\s*qmclint:\s*disable-file=([A-Z0-9,\s]+)")
+#: ``# qmclint: disable=QL001,QL004 -- reason`` — suppress on the line.
+_PRAGMA_LINE = re.compile(r"#\s*qmclint:\s*disable=([A-Z0-9,\s]+)(.*)$")
+#: ``# qmclint: disable-file=QL002 -- reason`` — suppress for the file.
+_PRAGMA_FILE = re.compile(r"#\s*qmclint:\s*disable-file=([A-Z0-9,\s]+)(.*)$")
+#: a def/class line carries its justification in the docstring
+_DEF_LINE = re.compile(r"^\s*(async\s+def|def|class)\s")
 
 
 @dataclass(frozen=True)
@@ -33,13 +61,39 @@ class Violation:
     col: int
     code: str
     message: str
+    severity: str = "error"
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    codes: frozenset
+    file_level: bool
+    #: free text after the codes (stripped of ``--``/dash separators)
+    reason: str
+    #: True when the carrying line is a ``def``/``class`` statement whose
+    #: docstring is the house-style place for the justification
+    on_def_line: bool
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason) or self.on_def_line
 
 
 def _parse_codes(blob: str) -> set:
     return {c.strip() for c in blob.split(",") if c.strip()}
+
+
+def _parse_reason(blob: str) -> str:
+    return blob.strip().lstrip("-—–").strip()
 
 
 @dataclass
@@ -52,6 +106,7 @@ class FileContext:
     #: normalized forward-slash path used for scope matching and output
     rel: str
     lines: List[str] = field(default_factory=list)
+    _pragmas: Optional[List[Pragma]] = field(default=None, repr=False)
 
     @classmethod
     def parse(cls, path: Path, root: Optional[Path] = None) -> "FileContext":
@@ -71,37 +126,88 @@ class FileContext:
 
     # -- pragma handling -----------------------------------------------------
 
+    def pragmas(self) -> List[Pragma]:
+        """All suppression pragmas in the file, parsed once."""
+        if self._pragmas is None:
+            out: List[Pragma] = []
+            for lineno, text in enumerate(self.lines, start=1):
+                m = _PRAGMA_FILE.search(text)
+                file_level = m is not None
+                if m is None:
+                    m = _PRAGMA_LINE.search(text)
+                if m is None:
+                    continue
+                # A backtick right before the hash means documentation
+                # *quoting* the pragma syntax, not a live suppression.
+                if m.start() > 0 and text[m.start() - 1] == "`":
+                    continue
+                out.append(
+                    Pragma(
+                        line=lineno,
+                        codes=frozenset(_parse_codes(m.group(1))),
+                        file_level=file_level,
+                        reason=_parse_reason(m.group(2)),
+                        on_def_line=bool(_DEF_LINE.match(text)),
+                    )
+                )
+            self._pragmas = out
+        return self._pragmas
+
     def line_pragmas(self, line: int) -> set:
         """Codes disabled on the given 1-based line."""
-        if not 1 <= line <= len(self.lines):
-            return set()
-        m = _PRAGMA_LINE.search(self.lines[line - 1])
-        return _parse_codes(m.group(1)) if m else set()
+        out: set = set()
+        for p in self.pragmas():
+            if not p.file_level and p.line == line:
+                out |= p.codes
+        return out
 
     def file_pragmas(self) -> set:
         """Codes disabled for the whole file."""
         out: set = set()
-        for text in self.lines:
-            m = _PRAGMA_FILE.search(text)
-            if m:
-                out |= _parse_codes(m.group(1))
+        for p in self.pragmas():
+            if p.file_level:
+                out |= p.codes
         return out
 
+    def matching_pragmas(self, v: Violation) -> List[Pragma]:
+        """Pragmas that suppress the given violation (may be several)."""
+        return [
+            p
+            for p in self.pragmas()
+            if v.code in p.codes and (p.file_level or p.line == v.line)
+        ]
+
     def is_suppressed(self, v: Violation) -> bool:
-        return v.code in self.line_pragmas(v.line) or v.code in self.file_pragmas()
+        return bool(self.matching_pragmas(v))
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
     """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: Set[Path] = set()
     for p in paths:
         if p.is_dir():
-            yield from sorted(p.rglob("*.py"))
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
         elif p.suffix == ".py":
-            yield p
+            candidates = [p]
+        else:
+            candidates = []
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                yield c
 
 
 class LintRunner:
-    """Applies a rule set over files, honouring pragmas and select/ignore."""
+    """Applies a rule set over files, honouring pragmas and select/ignore.
+
+    After :meth:`run`, ``self.contexts`` maps each reported relative path
+    to its :class:`FileContext` (the CLI uses it for baseline
+    fingerprints without re-reading files).
+    """
+
+    #: engine-emitted meta codes (described by MetaRule entries in rules.py)
+    PRAGMA_NO_REASON = "QL901"
+    PRAGMA_UNUSED = "QL902"
 
     def __init__(
         self,
@@ -115,30 +221,150 @@ class LintRunner:
         self.ignore = ignore or set()
         self.root = root
         self.errors: List[str] = []
+        self.contexts: Dict[str, FileContext] = {}
 
     def _active(self, code: str) -> bool:
         if self.select is not None and code not in self.select:
             return False
         return code not in self.ignore
 
-    def run_file(self, path: Path) -> List[Violation]:
+    def _file_rules(self):
+        return [
+            r
+            for r in self.rules
+            if not getattr(r, "project_rule", False)
+            and not getattr(r, "meta_rule", False)
+        ]
+
+    def _project_rules(self):
+        return [r for r in self.rules if getattr(r, "project_rule", False)]
+
+    def _severity(self, code: str) -> str:
+        for rule in self.rules:
+            if rule.code == code:
+                return getattr(rule, "severity", "error")
+        return "warning"
+
+    # -- per-file pass -------------------------------------------------------
+
+    def _parse(self, path: Path) -> Optional[FileContext]:
         try:
             ctx = FileContext.parse(path, root=self.root)
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             self.errors.append(f"{path}: unparseable: {exc}")
-            return []
+            return None
+        self.contexts[ctx.rel] = ctx
+        return ctx
+
+    def _check_file(
+        self, ctx: FileContext, used: Set[Tuple[str, Pragma]]
+    ) -> List[Violation]:
         out: List[Violation] = []
-        for rule in self.rules:
+        for rule in self._file_rules():
             if not self._active(rule.code):
                 continue
             for v in rule.check(ctx):
-                if not ctx.is_suppressed(v):
+                matches = ctx.matching_pragmas(v)
+                if matches:
+                    for p in matches:
+                        used.add((ctx.rel, p))
+                else:
                     out.append(v)
+        return out
+
+    def run_file(self, path: Path) -> List[Violation]:
+        """Per-file rules only (no project pass, no pragma meta checks)."""
+        ctx = self._parse(path)
+        if ctx is None:
+            return []
+        out = self._check_file(ctx, used=set())
         out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
         return out
 
+    # -- whole-program pass --------------------------------------------------
+
     def run(self, paths: Sequence[Path]) -> List[Violation]:
+        """Full pipeline: file rules, project rules, pragma meta checks."""
+        used: Set[Tuple[str, Pragma]] = set()
         out: List[Violation] = []
+        contexts: List[FileContext] = []
         for f in iter_python_files(paths):
-            out.extend(self.run_file(f))
+            ctx = self._parse(f)
+            if ctx is None:
+                continue
+            contexts.append(ctx)
+            out.extend(self._check_file(ctx, used))
+
+        project_rules = [
+            r for r in self._project_rules() if self._active(r.code)
+        ]
+        if project_rules and contexts:
+            # Imported here so the per-file engine stays importable alone.
+            from .callgraph import CallGraph
+            from .project import Project
+
+            project = Project.build(contexts)
+            graph = CallGraph.build(project)
+            by_rel = {ctx.rel: ctx for ctx in contexts}
+            for rule in project_rules:
+                for v in rule.check_project(project, graph):
+                    ctx = by_rel.get(v.path)
+                    matches = ctx.matching_pragmas(v) if ctx else []
+                    if matches:
+                        for p in matches:
+                            used.add((v.path, p))
+                    else:
+                        out.append(v)
+
+        out.extend(self._pragma_meta(contexts, used))
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return out
+
+    def _pragma_meta(
+        self,
+        contexts: Sequence[FileContext],
+        used: Set[Tuple[str, Pragma]],
+    ) -> List[Violation]:
+        """QL901 (pragma without reason) / QL902 (unused pragma)."""
+        active = {r.code for r in self.rules if self._active(r.code)}
+        out: List[Violation] = []
+        for ctx in contexts:
+            for p in ctx.pragmas():
+                if self._active(self.PRAGMA_NO_REASON) and not p.has_reason:
+                    out.append(
+                        Violation(
+                            path=ctx.rel,
+                            line=p.line,
+                            col=1,
+                            code=self.PRAGMA_NO_REASON,
+                            message=(
+                                "suppression pragma without a reason: add "
+                                "`-- why` after the codes (or move the "
+                                "pragma to the def/class line and justify "
+                                "in the docstring)"
+                            ),
+                            severity=self._severity(self.PRAGMA_NO_REASON),
+                        )
+                    )
+                # Only judge usefulness against rules that actually ran;
+                # a QL007 pragma is not "unused" under --select QL001.
+                if (
+                    self._active(self.PRAGMA_UNUSED)
+                    and p.codes & active
+                    and (ctx.rel, p) not in used
+                ):
+                    codes = ",".join(sorted(p.codes & active))
+                    out.append(
+                        Violation(
+                            path=ctx.rel,
+                            line=p.line,
+                            col=1,
+                            code=self.PRAGMA_UNUSED,
+                            message=(
+                                f"unused suppression pragma ({codes}): it "
+                                "no longer masks any finding — delete it"
+                            ),
+                            severity=self._severity(self.PRAGMA_UNUSED),
+                        )
+                    )
         return out

@@ -1,0 +1,106 @@
+"""Autofixes for the mechanical subset of findings (``--fix``).
+
+Only transformations with exactly one correct spelling are automated;
+anything needing judgement (locks, seed plumbing, fsync placement)
+stays a human edit. Current fixers:
+
+* **QL003** — ``astype(int)`` → ``astype(np.int64)`` and
+  ``astype(float)`` → ``astype(np.float64)``, applied only when the file
+  already imports numpy as ``np`` (the fix must not introduce imports);
+* **QL902** — delete an unused suppression pragma (the comment only; a
+  line left empty is removed entirely).
+
+Fixes are computed per file from the violation list, applied
+line-locally, and re-verified by the caller (the CLI re-lints after
+fixing so the exit status reflects the post-fix tree).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Tuple
+
+from .engine import FileContext, Violation
+
+__all__ = ["apply_fixes", "FIXABLE_CODES"]
+
+FIXABLE_CODES = ("QL003", "QL902")
+
+_ASTYPE_FIX = {
+    re.compile(r"\.astype\(\s*int\s*\)"): ".astype(np.int64)",
+    re.compile(r"\.astype\(\s*float\s*\)"): ".astype(np.float64)",
+}
+
+_PRAGMA_COMMENT = re.compile(
+    r"\s*#\s*qmclint:\s*disable(?:-file)?=[A-Z0-9,\s]+.*$"
+)
+
+
+def _imports_np(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" and (alias.asname or "numpy") == "np":
+                    return True
+    return False
+
+
+def _fix_astype(line: str) -> Tuple[str, bool]:
+    changed = False
+    for pattern, repl in _ASTYPE_FIX.items():
+        new = pattern.sub(repl, line)
+        if new != line:
+            line, changed = new, True
+    return line, changed
+
+
+def _fix_pragma(line: str) -> Tuple[str, bool]:
+    new = _PRAGMA_COMMENT.sub("", line)
+    return new, new != line
+
+
+def apply_fixes(
+    violations: Iterable[Violation], contexts: Dict[str, FileContext]
+) -> Tuple[Dict[str, str], int]:
+    """Compute fixed sources. Returns ``(rel → new_source, fix_count)``.
+
+    Only files with at least one applied fix appear in the mapping.
+    """
+    by_file: Dict[str, List[Violation]] = {}
+    for v in violations:
+        if v.code in FIXABLE_CODES:
+            by_file.setdefault(v.path, []).append(v)
+
+    out: Dict[str, str] = {}
+    applied = 0
+    for rel, found in by_file.items():
+        ctx = contexts.get(rel)
+        if ctx is None:
+            continue
+        lines = list(ctx.lines)
+        allow_astype = _imports_np(ctx.tree)
+        drop: List[int] = []
+        changed_file = False
+        for v in found:
+            idx = v.line - 1
+            if not (0 <= idx < len(lines)):
+                continue
+            if v.code == "QL003" and allow_astype:
+                lines[idx], changed = _fix_astype(lines[idx])
+            elif v.code == "QL902":
+                lines[idx], changed = _fix_pragma(lines[idx])
+                if changed and not lines[idx].strip():
+                    drop.append(idx)
+            else:
+                changed = False
+            if changed:
+                applied += 1
+                changed_file = True
+        if not changed_file:
+            continue
+        for idx in sorted(set(drop), reverse=True):
+            del lines[idx]
+        trailing_nl = "\n" if ctx.source.endswith("\n") else ""
+        out[rel] = "\n".join(lines) + trailing_nl
+    return out, applied

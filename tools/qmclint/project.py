@@ -1,0 +1,307 @@
+"""Whole-program module index: imports, symbol tables, name resolution.
+
+The per-file rules (QL001–QL007) see one AST at a time; the QL1xx
+concurrency/process-safety family needs to answer questions that span
+module boundaries ("is this function reachable from a thread-pool entry
+point?", "does the seed argument at this call site derive from
+``SimulationConfig.seed``?"). This module builds the substrate those
+questions stand on:
+
+* a :class:`ModuleInfo` per parsed file — dotted module name derived
+  from the path, the import alias table, every function/method with its
+  qualified name, every class with its methods, and the module-level
+  assignments (the globals QL101 watches);
+* a :class:`Project` that resolves dotted names *across* modules,
+  following import aliases and one level of package re-exports (the
+  ``repro.telemetry.Telemetry`` → ``repro.telemetry.core.Telemetry``
+  indirection every ``__init__`` in this repo uses).
+
+Everything is stdlib ``ast``; resolution is best-effort and returns
+``None`` rather than guessing when a name cannot be pinned to a project
+symbol — the rules built on top treat unresolved as "outside the
+program" and stay silent, trading recall for zero false positives from
+misresolution.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .engine import FileContext
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "Project"]
+
+#: path roots stripped when deriving dotted module names
+_SOURCE_ROOTS = ("src", "tools")
+
+
+def module_name_for(rel: str) -> str:
+    """``src/repro/core/greens.py`` → ``repro.core.greens``.
+
+    Any path prefix up to the last ``src``/``tools`` component is
+    dropped, so the dotted name is stable whether the linter was invoked
+    from the repo root, a parent directory, or a tmp tree in tests.
+    """
+    parts = list(rel.split("/"))
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] in _SOURCE_ROOTS:
+            parts = parts[i + 1 :]
+            break
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    module: str
+    qualname: str  #: e.g. ``MetricsRegistry.observe`` or ``run_ensemble``
+    node: ast.AST  #: FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def fid(self) -> str:
+        """Project-unique id, ``module.qualname``."""
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its method table."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: List[str] = field(default_factory=list)
+
+    @property
+    def cid(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table and import aliases of one parsed module."""
+
+    name: str
+    ctx: FileContext
+    #: local alias → fully dotted target ("np" → "numpy",
+    #: "Telemetry" → "repro.telemetry.Telemetry")
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level ``NAME = <expr>`` assignments (last one wins)
+    assigns: Dict[str, ast.expr] = field(default_factory=dict)
+
+
+def _walk_functions(
+    body: Sequence[ast.stmt], prefix: str, class_name: Optional[str]
+) -> Iterator[Tuple[str, ast.AST, Optional[str]]]:
+    """Yield (qualname, node, class_name) for defs, including nested."""
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{prefix}{node.name}"
+            yield qual, node, class_name
+            yield from _walk_functions(
+                node.body, f"{qual}.<locals>.", class_name
+            )
+        elif isinstance(node, ast.ClassDef):
+            # handled separately for the method table; still index the
+            # methods here so every def has a FunctionInfo
+            continue
+
+
+class Project:
+    """Cross-module index over a set of parsed files."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: fid → FunctionInfo over every module
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: cid → ClassInfo
+        self.classes: Dict[str, ClassInfo] = {}
+        #: method name → [FunctionInfo] (the duck-typed fallback)
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: Sequence[FileContext]) -> "Project":
+        project = cls()
+        for ctx in contexts:
+            project._index_module(ctx)
+        return project
+
+    def _index_module(self, ctx: FileContext) -> None:
+        name = module_name_for(ctx.rel)
+        if not name:
+            return
+        mod = ModuleInfo(name=name, ctx=ctx)
+        self.modules[name] = mod
+        self._index_imports(mod)
+        self._index_defs(mod)
+        for fn in mod.functions.values():
+            self.functions[fn.fid] = fn
+            if fn.class_name is not None:
+                self.methods_by_name.setdefault(fn.name, []).append(fn)
+        for klass in mod.classes.values():
+            self.classes[klass.cid] = klass
+
+    def _index_imports(self, mod: ModuleInfo) -> None:
+        pkg_parts = mod.name.split(".")
+        # the package a relative import is resolved against: the module's
+        # parent for plain modules, the module itself for __init__ files
+        is_pkg = mod.ctx.rel.endswith("__init__.py")
+        base_pkg = pkg_parts if is_pkg else pkg_parts[:-1]
+        for node in ast.walk(mod.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    mod.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    up = node.level - 1
+                    anchor = base_pkg[: len(base_pkg) - up] if up else base_pkg
+                    head = ".".join(anchor + ([node.module] if node.module else []))
+                else:
+                    head = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports[local] = f"{head}.{alias.name}" if head else alias.name
+
+    def _index_defs(self, mod: ModuleInfo) -> None:
+        def add_fn(qual: str, node: ast.AST, class_name: Optional[str]):
+            mod.functions[qual] = FunctionInfo(
+                module=mod.name, qualname=qual, node=node, class_name=class_name
+            )
+
+        for stmt in mod.ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_fn(stmt.name, stmt, None)
+                for q, n, c in _walk_functions(
+                    stmt.body, f"{stmt.name}.<locals>.", None
+                ):
+                    add_fn(q, n, c)
+            elif isinstance(stmt, ast.ClassDef):
+                klass = ClassInfo(
+                    module=mod.name,
+                    name=stmt.name,
+                    node=stmt,
+                    bases=[_dotted(b) for b in stmt.bases],
+                )
+                mod.classes[stmt.name] = klass
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qual = f"{stmt.name}.{sub.name}"
+                        add_fn(qual, sub, stmt.name)
+                        klass.methods[sub.name] = mod.functions[qual]
+                        for q, n, c in _walk_functions(
+                            sub.body, f"{qual}.<locals>.", stmt.name
+                        ):
+                            add_fn(q, n, c)
+            elif isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        mod.assigns[tgt.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    mod.assigns[stmt.target.id] = stmt.value
+
+    # -- name resolution -----------------------------------------------------
+
+    def resolve(self, module: str, dotted: str) -> Optional[str]:
+        """Resolve a dotted use in ``module`` to a project symbol id.
+
+        Returns the fully qualified target ("repro.telemetry.core.
+        Telemetry") when it lands on a project module/class/function,
+        else ``None``. Follows import aliases and package re-exports
+        (bounded, cycle-safe).
+        """
+        mod = self.modules.get(module)
+        if mod is None or not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in mod.imports:
+            target = mod.imports[head] + (f".{rest}" if rest else "")
+        elif head in mod.functions or head in mod.classes or head in mod.assigns:
+            target = f"{module}.{dotted}"
+        else:
+            return None
+        return self._canonical(target)
+
+    def _canonical(self, target: str, depth: int = 0) -> Optional[str]:
+        """Chase package re-exports until the name lands on a symbol."""
+        if depth > 8:
+            return None
+        if target in self.functions or target in self.classes:
+            return target
+        if target in self.modules:
+            return target
+        # Longest module prefix owning the remainder?
+        parts = target.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            mod = self.modules.get(prefix)
+            if mod is None:
+                continue
+            remainder = parts[cut:]
+            name = remainder[0]
+            if name in mod.functions or name in mod.classes:
+                return f"{prefix}.{'.'.join(remainder)}"
+            if name in mod.imports:
+                rewritten = mod.imports[name] + (
+                    "." + ".".join(remainder[1:]) if remainder[1:] else ""
+                )
+                return self._canonical(rewritten, depth + 1)
+            return None
+        return None
+
+    # -- convenience ---------------------------------------------------------
+
+    def function(self, fid: str) -> Optional[FunctionInfo]:
+        fn = self.functions.get(fid)
+        if fn is not None:
+            return fn
+        # a resolved class id + method ("mod.Class.meth")
+        canon = self._canonical(fid)
+        return self.functions.get(canon) if canon else None
+
+    def class_of(self, cid: str) -> Optional[ClassInfo]:
+        klass = self.classes.get(cid)
+        if klass is not None:
+            return klass
+        canon = self._canonical(cid)
+        return self.classes.get(canon) if canon else None
+
+    def functions_in(self, module_prefix: str) -> List[FunctionInfo]:
+        return [
+            fn
+            for fn in self.functions.values()
+            if fn.module == module_prefix
+            or fn.module.startswith(module_prefix + ".")
+        ]
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -69,6 +69,9 @@ class Rule:
     code = "QL000"
     name = "base"
     description = ""
+    #: SARIF result level: "error" | "warning" | "note". Reporting
+    #: metadata only — the exit status fails on any non-baselined finding.
+    severity = "error"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         raise NotImplementedError
@@ -82,6 +85,7 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             code=self.code,
             message=message,
+            severity=self.severity,
         )
 
 
@@ -369,6 +373,7 @@ class InPlaceParamRule(Rule):
 
     code = "QL005"
     name = "inplace-param"
+    severity = "warning"
     description = "undeclared in-place mutation of an ndarray parameter"
 
     _DECLARING_WORDS = ("in place", "in-place", "inplace", "mutat", "overwrit")
@@ -484,6 +489,7 @@ class SilentExceptRule(Rule):
 
     code = "QL006"
     name = "silent-except"
+    severity = "warning"
     description = "bare except or silently swallowed exception"
 
     _BROAD = {"Exception", "BaseException"}
@@ -610,6 +616,46 @@ class BackendBypassRule(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# QL9xx — meta rules (engine-emitted; descriptors only)
+# ---------------------------------------------------------------------------
+
+
+class MetaRule(Rule):
+    """Descriptor for a finding the *engine* emits.
+
+    The engine owns the pragma bookkeeping, so these rules never run a
+    check themselves — they exist so ``--list-rules``, ``--select``, and
+    the SARIF rule metadata can see the codes.
+    """
+
+    meta_rule = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+
+class PragmaReasonMeta(MetaRule):
+    """A suppression must say why, or it rots into folklore."""
+
+    code = "QL901"
+    name = "pragma-no-reason"
+    severity = "warning"
+    description = "suppression pragma without a reason"
+
+
+class PragmaUnusedMeta(MetaRule):
+    """A pragma that masks nothing is a trap for the next edit."""
+
+    code = "QL902"
+    name = "pragma-unused"
+    severity = "warning"
+    description = "suppression pragma that no longer masks any finding"
+
+
+# Imported late: rules_concurrency subclasses Rule from this module.
+from .rules_concurrency import CONCURRENCY_RULES  # noqa: E402
+
 ALL_RULES = (
     RawInverseRule(),
     UnseededRNGRule(),
@@ -618,4 +664,7 @@ ALL_RULES = (
     InPlaceParamRule(),
     SilentExceptRule(),
     BackendBypassRule(),
+) + CONCURRENCY_RULES + (
+    PragmaReasonMeta(),
+    PragmaUnusedMeta(),
 )

@@ -1,0 +1,848 @@
+"""QL1xx — concurrency / process-safety rules over the whole program.
+
+These rules consume the :mod:`qmclint.project` index and the
+:mod:`qmclint.callgraph` reachability queries (``project_rule = True``;
+the engine hands them the built project instead of one file at a time).
+They are scoped to ``repro.*`` modules — the simulation package whose
+thread/process boundaries (threaded backends, ``run_ensemble``
+executors, subprocess campaign workers) they police. QL103 is the one
+per-file member of the family: write-durability is a local property.
+
+Rationale per rule lives in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph
+from .dataflow import (
+    ARITHMETIC,
+    LITERAL,
+    NONDERIVED,
+    UNKNOWN,
+    call_argument_for,
+    classify_seed_expr,
+    lock_guarded_lines,
+    module_lock_names,
+    unpicklable_members,
+)
+from .engine import FileContext, Violation
+from .project import ClassInfo, FunctionInfo, ModuleInfo, Project
+
+__all__ = ["CONCURRENCY_RULES"]
+
+
+# Local copies of the tiny AST helpers from rules.py: this module must
+# not import rules (rules imports this one to assemble ALL_RULES).
+
+
+def dotted_name(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _iter_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+#: methods that mutate their receiver in place
+_MUTATING_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "setdefault",
+    "pop",
+    "popitem",
+    "popleft",
+    "clear",
+    "remove",
+    "discard",
+}
+
+#: constructors whose result is a mutable container
+_MUTABLE_FACTORIES = {
+    "dict",
+    "list",
+    "set",
+    "defaultdict",
+    "deque",
+    "OrderedDict",
+    "Counter",
+}
+
+#: methods every thread may call without synchronisation
+_SAFE_FACTORY_TAILS = {"local", "Lock", "RLock", "Condition", "Semaphore", "Event"}
+
+
+def _in_repro(module: str) -> bool:
+    return module == "repro" or module.startswith("repro.")
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    """Leftmost ``Name`` of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _local_names(fn_node: ast.AST) -> Set[str]:
+    """Parameters plus every name bound inside the function."""
+    a = fn_node.args
+    out = {p.arg for p in list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)}
+    if a.vararg:
+        out.add(a.vararg.arg)
+    if a.kwarg:
+        out.add(a.kwarg.arg)
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    out.add(tgt.id)
+                elif isinstance(tgt, (ast.Tuple, ast.List)):
+                    for elt in tgt.elts:
+                        if isinstance(elt, ast.Name):
+                            out.add(elt.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                out.add(node.target.id)
+            elif isinstance(node.target, (ast.Tuple, ast.List)):
+                for elt in node.target.elts:
+                    if isinstance(elt, ast.Name):
+                        out.add(elt.id)
+        elif isinstance(node, ast.comprehension):
+            if isinstance(node.target, ast.Name):
+                out.add(node.target.id)
+            elif isinstance(node.target, (ast.Tuple, ast.List)):
+                for elt in node.target.elts:
+                    if isinstance(elt, ast.Name):
+                        out.add(elt.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    out.add(item.optional_vars.id)
+    return out
+
+
+class _RuleBase:
+    """Structural stand-in for :class:`qmclint.rules.Rule`.
+
+    Duplicated (not imported) so this module stays import-safe from
+    either direction; the engine duck-types rules, it never isinstance
+    checks.
+    """
+
+    code = "QL100"
+    name = "base"
+    description = ""
+    severity = "error"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class ProjectRule(_RuleBase):
+    """Base for rules that see the whole program at once."""
+
+    project_rule = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def at(self, rel: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            severity=getattr(self, "severity", "error"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# QL101 — shared mutable state reachable from thread entry points
+# ---------------------------------------------------------------------------
+
+
+class SharedStateRule(ProjectRule):
+    """Unlocked mutation of state that threads share.
+
+    Two shapes:
+
+    * a **module-level** mutable container (or ``global`` rebind) mutated
+      outside a lock region by a function reachable from a thread-pool
+      entry point — the pattern ``linalg/flops.py`` solves with
+      ``threading.local`` and ``parallel/pool.py`` with a module Lock;
+    * a method that mutates instance state without a lock, invoked from a
+      thread-*target* function on an object the target did not create
+      (a closure capture or global — shared across the workers by
+      construction, the way ``parallel_for`` bodies share their
+      enclosing backend and its telemetry registry).
+    """
+
+    code = "QL101"
+    name = "shared-state"
+    severity = "error"
+    description = "unlocked mutation of thread-shared mutable state"
+
+    #: dunder methods that run before an instance can be shared
+    _PRE_SHARE = {"__init__", "__post_init__", "__new__", "__setstate__"}
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        thread_reach = graph.thread_reachable()
+        for mod in project.modules.values():
+            if not _in_repro(mod.name):
+                continue
+            yield from self._check_globals(mod, thread_reach)
+        yield from self._check_captured(project, graph)
+
+    # -- module-level globals ------------------------------------------------
+
+    def _mutable_global(self, value: ast.expr) -> bool:
+        if isinstance(
+            value,
+            (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(value, ast.Call):
+            tail = call_name(value)
+            if tail in _SAFE_FACTORY_TAILS:
+                return False
+            return tail in _MUTABLE_FACTORIES
+        return False
+
+    def _check_globals(
+        self, mod: ModuleInfo, thread_reach: Set[str]
+    ) -> Iterator[Violation]:
+        candidates = {
+            name for name, v in mod.assigns.items() if self._mutable_global(v)
+        }
+        rebindable = set(mod.assigns)  # `global NAME` rebinds count too
+        if not candidates and not rebindable:
+            return
+        locks = module_lock_names(mod.assigns)
+        for fn in mod.functions.values():
+            if fn.fid not in thread_reach:
+                continue
+            declared_global: Set[str] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+            locals_ = _local_names(fn.node) - declared_global
+            guarded = lock_guarded_lines(fn.node, locks)
+            for node, name in self._mutations(
+                fn.node, candidates, rebindable, declared_global, locals_
+            ):
+                if node.lineno in guarded:
+                    continue
+                yield self.at(
+                    mod.ctx.rel,
+                    node,
+                    f"`{fn.qualname}` mutates module-level `{name}` and is "
+                    "reachable from a thread-pool entry point with no lock "
+                    "held: guard with a module Lock or use threading.local "
+                    "(see repro/linalg/flops.py)",
+                )
+
+    def _mutations(
+        self,
+        fn_node: ast.AST,
+        containers: Set[str],
+        rebindable: Set[str],
+        declared_global: Set[str],
+        locals_: Set[str],
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        def container_target(target: ast.AST) -> Optional[str]:
+            if isinstance(target, ast.Subscript):
+                base = _base_name(target)
+                if base in containers and base not in locals_:
+                    return base
+            return None
+
+        for node in ast.walk(fn_node):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    name = container_target(tgt)
+                    if name:
+                        yield node, name
+                    elif (
+                        isinstance(tgt, ast.Name)
+                        and tgt.id in declared_global
+                        and tgt.id in rebindable
+                    ):
+                        yield node, tgt.id
+            elif isinstance(node, ast.AugAssign):
+                name = container_target(node.target)
+                if name:
+                    yield node, name
+                elif (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id in declared_global
+                ):
+                    yield node, node.target.id
+            elif isinstance(node, ast.Delete):
+                for tgt in node.targets:
+                    name = container_target(tgt)
+                    if name:
+                        yield node, name
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _MUTATING_METHODS:
+                    base = _base_name(node.func.value)
+                    if base in containers and base not in locals_:
+                        yield node, base
+
+    # -- captured objects mutated from thread targets ------------------------
+
+    def _unlocked_self_mutations(self, method: FunctionInfo) -> List[ast.AST]:
+        guarded = lock_guarded_lines(method.node)
+        out: List[ast.AST] = []
+
+        def is_self_state(target: ast.AST) -> bool:
+            return (
+                _base_name(target) == "self"
+                and isinstance(target, (ast.Attribute, ast.Subscript))
+            )
+
+        for node in ast.walk(method.node):
+            hit: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                if any(
+                    is_self_state(t) and not isinstance(t, ast.Attribute)
+                    for t in node.targets
+                ):
+                    # only subscript stores: plain `self.x = v` rebinds are
+                    # atomic enough not to corrupt containers
+                    hit = node
+            elif isinstance(node, ast.AugAssign) and is_self_state(node.target):
+                hit = node
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if (
+                    node.func.attr in _MUTATING_METHODS
+                    and _base_name(node.func.value) == "self"
+                ):
+                    hit = node
+            if hit is not None and hit.lineno not in guarded:
+                out.append(hit)
+        return out
+
+    def _class_has_lock(self, klass: ClassInfo) -> bool:
+        for method in klass.methods.values():
+            for node in ast.walk(method.node):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        if (
+                            isinstance(tgt, ast.Attribute)
+                            and "lock" in tgt.attr.lower()
+                        ):
+                            return True
+        return False
+
+    def _check_captured(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        reported: Set[str] = set()
+        for target_fid in sorted(graph.thread_targets):
+            fn = project.functions.get(target_fid)
+            if fn is None or not _in_repro(fn.module):
+                continue
+            mod = project.modules.get(fn.module)
+            locals_ = _local_names(fn.node)
+            for node in ast.walk(fn.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                base = _base_name(node.func.value)
+                if base is None or base in locals_:
+                    continue
+                if mod is not None and base in mod.imports:
+                    continue  # call into another module, not a shared object
+                for method in project.methods_by_name.get(node.func.attr, []):
+                    if not _in_repro(method.module):
+                        continue
+                    if method.name in self._PRE_SHARE:
+                        continue
+                    klass = project.classes.get(
+                        f"{method.module}.{method.class_name}"
+                    )
+                    if klass is None or self._class_has_lock(klass):
+                        continue
+                    mutations = self._unlocked_self_mutations(method)
+                    key = f"{method.fid}"
+                    if not mutations or key in reported:
+                        continue
+                    reported.add(key)
+                    method_mod = project.modules.get(method.module)
+                    rel = method_mod.ctx.rel if method_mod else method.module
+                    yield self.at(
+                        rel,
+                        mutations[0],
+                        f"`{method.qualname}` mutates instance state with no "
+                        f"lock, and thread target `{fn.qualname}` "
+                        f"({fn.module}) calls `.{node.func.attr}()` on a "
+                        f"shared (captured) object: add an internal "
+                        "threading.Lock around the mutation",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# QL102 — unpicklable members crossing the process boundary
+# ---------------------------------------------------------------------------
+
+
+class PickleBoundaryRule(ProjectRule):
+    """Objects shipped to worker processes must survive pickling.
+
+    ``run_ensemble(executor="process")`` and the campaign's subprocess
+    workers round-trip task payloads through ``pickle``; an object whose
+    class binds a file handle, lock, or thread pool to ``self`` (without
+    ``__getstate__``/``__reduce__``) fails at dispatch time — or worse,
+    at the first checkpoint, hours in.
+    """
+
+    code = "QL102"
+    name = "pickle-boundary"
+    severity = "error"
+    description = "unpicklable members cross a process/pickle boundary"
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        for fn in project.functions.values():
+            if not _in_repro(fn.module):
+                continue
+            mod = project.modules.get(fn.module)
+            if mod is None:
+                continue
+            local = self._local_assigns(fn.node)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                payload = self._payload_expr(node)
+                if payload is None:
+                    continue
+                # chase one local-assignment hop: run_tasks(fn, payloads)
+                if isinstance(payload, ast.Name) and payload.id in local:
+                    payload = local[payload.id]
+                yield from self._scan_payload(project, mod, fn, payload)
+
+    def _payload_expr(self, call: ast.Call) -> Optional[ast.AST]:
+        name = call_name(call)
+        dotted = dotted_name(call.func)
+        if name in ("dump", "dumps") and dotted.startswith("pickle."):
+            return call.args[0] if call.args else None
+        if name == "run_tasks":
+            return call.args[1] if len(call.args) > 1 else None
+        if name == "run_subprocess_task":
+            return call.args[0] if call.args else None
+        return None
+
+    def _local_assigns(self, fn_node: ast.AST) -> Dict[str, ast.expr]:
+        out: Dict[str, ast.expr] = {}
+        for node in ast.walk(fn_node):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        out[tgt.id] = node.value
+        return out
+
+    def _scan_payload(
+        self,
+        project: Project,
+        mod: ModuleInfo,
+        fn: FunctionInfo,
+        payload: ast.AST,
+    ) -> Iterator[Violation]:
+        for node in ast.walk(payload):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if not dotted:
+                continue
+            resolved = project.resolve(mod.name, dotted)
+            klass = project.classes.get(resolved) if resolved else None
+            if klass is None:
+                continue
+            problems = unpicklable_members(klass, project)
+            if not problems:
+                continue
+            member, why = problems[0]
+            yield self.at(
+                mod.ctx.rel,
+                node,
+                f"`{klass.name}` instance crosses a pickle boundary in "
+                f"`{fn.qualname}` but `.{member}` holds {why}: drop it in "
+                "__getstate__ and rebuild in __setstate__",
+            )
+
+
+# ---------------------------------------------------------------------------
+# QL103 — durable-write discipline in persistence modules (per-file)
+# ---------------------------------------------------------------------------
+
+
+class DurableWriteRule(_RuleBase):
+    """Journal/manifest/checkpoint writes must flush+fsync or os.replace.
+
+    The campaign layers promise that a SIGKILL loses at most the record
+    being written. That promise is only as good as every write site:
+    a ``with open(...,"w")`` that neither fsyncs nor goes through the
+    tmp-file + ``os.replace`` dance leaves torn files after a crash.
+    """
+
+    code = "QL103"
+    name = "durable-write"
+    severity = "error"
+    description = "persistence write without flush+fsync or os.replace"
+
+    _SCOPE_TOKENS = ("campaign", "telemetry", "checkpoint", "manifest", "journal")
+    _WRITE_MODES = ("w", "a", "x")
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        parts = ctx.rel.split("/")
+        if "tests" in parts:
+            return False
+        return any(tok in part for part in parts for tok in self._SCOPE_TOKENS)
+
+    def _write_mode_open(self, node: ast.AST) -> bool:
+        if not (isinstance(node, ast.Call) and call_name(node) == "open"):
+            return False
+        # builtin open(path, mode) vs Path.open(mode): the mode argument
+        # sits one slot earlier on the method form
+        mode_slot = 0 if isinstance(node.func, ast.Attribute) else 1
+        mode: Optional[ast.AST] = (
+            node.args[mode_slot] if len(node.args) > mode_slot else None
+        )
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+            return False  # default mode is read
+        return any(mode.value.startswith(m) for m in self._WRITE_MODES)
+
+    def _durable(self, scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "fsync":
+                return True
+            if name == "replace":
+                holder = dotted_name(node.func)
+                if holder.startswith("os.") or holder == "replace":
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not self._in_scope(ctx):
+            return
+        for fn in _functions(ctx.tree):
+            durable = self._durable(fn)
+            for node in _iter_scope(fn.body):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if self._write_mode_open(item.context_expr) and not durable:
+                            yield self.violation(
+                                ctx,
+                                item.context_expr,
+                                f"`{fn.name}` writes a persistence file with "
+                                "neither flush+fsync nor tmp+os.replace: a "
+                                "crash here leaves a torn file",
+                            )
+        # lazily-opened handles: self._fh = open(...) — the class must
+        # fsync somewhere (close()/flush path) to honour the promise
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if self._durable(node):
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                if not self._write_mode_open(sub.value):
+                    continue
+                if any(
+                    isinstance(t, ast.Attribute) and _base_name(t) == "self"
+                    for t in sub.targets
+                ):
+                    yield self.violation(
+                        ctx,
+                        sub,
+                        f"class `{node.name}` holds a write-mode file handle "
+                        "but never fsyncs: close()/flush must flush+fsync "
+                        "so a crash loses at most the current line",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# QL104 — seed provenance along the call graph
+# ---------------------------------------------------------------------------
+
+
+class SeedProvenanceRule(ProjectRule):
+    """Every Generator must be seeded from SimulationConfig lineage.
+
+    A literal seed, wall-clock/pid entropy, or seed *arithmetic*
+    (``base_seed + chain``) silently detaches worker streams from the
+    configured seed — the class of bug ``SeedSequence.spawn`` exists to
+    prevent. The classifier only fires on provable breaks; unknown
+    provenance is trusted, and bare parameters are checked one hop up
+    the call graph at each call site.
+    """
+
+    code = "QL104"
+    name = "seed-provenance"
+    severity = "error"
+    description = "Generator seeded outside SimulationConfig lineage"
+
+    _MESSAGES = {
+        LITERAL: (
+            "Generator seeded with a literal: derive the seed from "
+            "SimulationConfig.seed via SeedSequence.spawn"
+        ),
+        NONDERIVED: (
+            "Generator seeded from ambient entropy (time/pid/hash): "
+            "runs become unreproducible — derive from "
+            "SimulationConfig.seed"
+        ),
+        ARITHMETIC: (
+            "seed arithmetic (seed ± offset) breaks stream "
+            "independence: use SeedSequence(seed).spawn(n) instead"
+        ),
+    }
+
+    def _allowed(self, rel: str) -> bool:
+        parts = rel.split("/")
+        return (
+            "tests" in parts
+            or "benchmarks" in parts
+            or "examples" in parts
+            or parts[-1] in ("cli.py", "conftest.py")
+        )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        for fn in project.functions.values():
+            if not _in_repro(fn.module):
+                continue
+            mod = project.modules.get(fn.module)
+            if mod is None or self._allowed(mod.ctx.rel):
+                continue
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if call_name(node) != "default_rng":
+                    continue
+                seed_expr = node.args[0] if node.args else None
+                for kw in node.keywords:
+                    if kw.arg == "seed":
+                        seed_expr = kw.value
+                if seed_expr is None:
+                    continue  # unseeded: QL002's finding
+                verdict = classify_seed_expr(seed_expr, fn.node)
+                if verdict in self._MESSAGES:
+                    yield self.at(mod.ctx.rel, node, self._MESSAGES[verdict])
+                elif verdict == UNKNOWN and isinstance(seed_expr, ast.Name):
+                    yield from self._check_callers(
+                        project, graph, fn, node, seed_expr.id
+                    )
+
+    def _check_callers(
+        self,
+        project: Project,
+        graph: CallGraph,
+        fn: FunctionInfo,
+        rng_call: ast.Call,
+        param: str,
+    ) -> Iterator[Violation]:
+        for caller_fid in sorted(graph.callers_of(fn.fid)):
+            caller = project.functions.get(caller_fid)
+            if caller is None:
+                continue
+            caller_mod = project.modules.get(caller.module)
+            if caller_mod is None or self._allowed(caller_mod.ctx.rel):
+                continue
+            for node in ast.walk(caller.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if call_name(node) != fn.name:
+                    continue
+                arg = call_argument_for(node, fn.node, param)
+                if arg is None:
+                    continue
+                verdict = classify_seed_expr(arg, caller.node)
+                if verdict in self._MESSAGES:
+                    yield self.at(
+                        caller_mod.ctx.rel,
+                        node,
+                        f"call into `{fn.qualname}` seeds its Generator "
+                        f"here: {self._MESSAGES[verdict]}",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# QL105 — flop-ledger reachability from the sweep
+# ---------------------------------------------------------------------------
+
+
+class LedgerReachabilityRule(ProjectRule):
+    """Kernels the sweep can reach must sit under a recording path.
+
+    QL004 checks each kernel file locally; this closes the gap it cannot
+    see — a heavy-linalg function *reachable from the sweep* where no
+    function on any path (itself included) calls ``flops.record``. Such
+    a kernel contributes wall-clock but no nominal flops, silently
+    deflating every GFLOPS figure downstream.
+    """
+
+    code = "QL105"
+    name = "ledger-reachability"
+    severity = "warning"
+    description = "sweep-reachable kernel with no flops.record on any path"
+
+    _KERNEL_DIRS = {"linalg", "core", "gpu", "backends"}
+    _HEAVY_CALLS = {"qr", "solve", "lu_factor", "lu_solve", "svd"}
+
+    def _is_heavy(self, fn: FunctionInfo) -> bool:
+        for node in _iter_scope(
+            fn.node.body if hasattr(fn.node, "body") else []
+        ):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                return True
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.MatMult
+            ):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and call_name(node) in self._HEAVY_CALLS
+            ):
+                return True
+        return False
+
+    def _records(self, fn: FunctionInfo) -> bool:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr == "record" and dotted_name(func.value).endswith(
+                    "flops"
+                ):
+                    return True
+                if func.attr.startswith("_record"):
+                    return True
+            elif isinstance(func, ast.Name) and func.id == "record":
+                return True
+        return False
+
+    def _in_kernel_dir(self, module: str) -> bool:
+        parts = module.split(".")
+        return (
+            _in_repro(module)
+            and bool(self._KERNEL_DIRS.intersection(parts))
+            and parts[-1] != "flops"
+        )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        roots = {
+            fn.fid
+            for fn in project.functions.values()
+            if fn.module.startswith("repro.dqmc.sweep")
+        }
+        if not roots:
+            return
+        reach = graph.reachable_from(roots)
+        gates = {
+            fid
+            for fid in reach
+            if fid in project.functions and self._records(project.functions[fid])
+        }
+        covered = gates | graph.reachable_from(gates)
+        for fid in sorted(reach - covered):
+            fn = project.functions.get(fid)
+            if fn is None or not self._in_kernel_dir(fn.module):
+                continue
+            if not self._is_heavy(fn):
+                continue
+            mod = project.modules.get(fn.module)
+            if mod is None:
+                continue
+            yield self.at(
+                mod.ctx.rel,
+                fn.node,
+                f"`{fn.qualname}` does heavy linalg, is reachable from the "
+                "sweep, and no call path through it records flops: the "
+                "GFLOPS ledger undercounts (add flops.record or record in "
+                "a caller)",
+            )
+
+
+CONCURRENCY_RULES = (
+    SharedStateRule(),
+    PickleBoundaryRule(),
+    DurableWriteRule(),
+    SeedProvenanceRule(),
+    LedgerReachabilityRule(),
+)

@@ -1,0 +1,172 @@
+"""SARIF 2.1.0 serialization for qmclint findings.
+
+One run, one tool driver, one result per violation. The output targets
+the GitHub code-scanning ingestion path (rule metadata on the driver,
+``partialFingerprints`` carrying the baseline fingerprint so findings
+track across line drift) but is plain spec-conformant SARIF any viewer
+can load.
+
+``validate_sarif`` is a structural self-check used by the test suite —
+it asserts the invariants the 2.1.0 schema requires of the subset we
+emit (no network, no external schema file).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .engine import Violation
+
+__all__ = ["to_sarif", "sarif_json", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: qmclint severity → SARIF result level (identical by design)
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _rule_metadata(rules: Sequence) -> List[Dict]:
+    out = []
+    for rule in rules:
+        out.append(
+            {
+                "id": rule.code,
+                "name": getattr(rule, "name", rule.code),
+                "shortDescription": {
+                    "text": getattr(rule, "description", "") or rule.code
+                },
+                "defaultConfiguration": {
+                    "level": _LEVELS.get(
+                        getattr(rule, "severity", "error"), "warning"
+                    )
+                },
+                "helpUri": (
+                    "https://example.invalid/qmclint/rules#"
+                    + rule.code.lower()
+                ),
+            }
+        )
+    return out
+
+
+def to_sarif(
+    violations: Iterable[Violation],
+    rules: Sequence,
+    version: str,
+    fingerprints: Optional[Dict[int, str]] = None,
+) -> Dict:
+    """Build the SARIF log object (a plain dict, json.dump-ready).
+
+    ``fingerprints`` optionally maps ``id(violation)`` to the baseline
+    fingerprint, recorded under ``partialFingerprints`` so code-scanning
+    backends can track a finding across commits.
+    """
+    rule_meta = _rule_metadata(rules)
+    rule_index = {r["id"]: i for i, r in enumerate(rule_meta)}
+    results = []
+    for v in violations:
+        result: Dict = {
+            "ruleId": v.code,
+            "level": _LEVELS.get(v.severity, "warning"),
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": max(v.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if v.code in rule_index:
+            result["ruleIndex"] = rule_index[v.code]
+        if fingerprints and id(v) in fingerprints:
+            result["partialFingerprints"] = {
+                "qmclintFingerprint/v1": fingerprints[id(v)]
+            }
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "qmclint",
+                        "version": version,
+                        "informationUri": "https://example.invalid/qmclint",
+                        "rules": rule_meta,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(
+    violations: Iterable[Violation],
+    rules: Sequence,
+    version: str,
+    fingerprints: Optional[Dict[int, str]] = None,
+) -> str:
+    return json.dumps(
+        to_sarif(violations, rules, version, fingerprints), indent=2
+    )
+
+
+def validate_sarif(doc: Dict) -> List[str]:
+    """Structural 2.1.0 conformance check; returns problems (empty = ok)."""
+    problems: List[str] = []
+    if doc.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs must be a non-empty array")
+        return problems
+    for i, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            problems.append(f"runs[{i}].tool.driver.name missing")
+        rule_ids = set()
+        for j, rule in enumerate(driver.get("rules", [])):
+            if not rule.get("id"):
+                problems.append(f"runs[{i}] rules[{j}] missing id")
+            rule_ids.add(rule.get("id"))
+        for j, result in enumerate(run.get("results", [])):
+            where = f"runs[{i}].results[{j}]"
+            if "message" not in result or "text" not in result["message"]:
+                problems.append(f"{where}.message.text missing")
+            if result.get("level") not in ("error", "warning", "note", None):
+                problems.append(f"{where}.level invalid")
+            if result.get("ruleId") not in rule_ids:
+                problems.append(f"{where}.ruleId not in driver rules")
+            ri = result.get("ruleIndex")
+            if ri is not None and not (
+                isinstance(ri, int) and 0 <= ri < len(rule_ids)
+            ):
+                problems.append(f"{where}.ruleIndex out of range")
+            for loc in result.get("locations", []):
+                phys = loc.get("physicalLocation", {})
+                art = phys.get("artifactLocation", {})
+                if not art.get("uri"):
+                    problems.append(f"{where} location missing uri")
+                region = phys.get("region", {})
+                line = region.get("startLine")
+                if line is not None and (
+                    not isinstance(line, int) or line < 1
+                ):
+                    problems.append(f"{where} startLine must be >= 1")
+    return problems
