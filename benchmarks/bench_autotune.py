@@ -1,0 +1,202 @@
+"""Autotuner benchmark: tuned parameters vs the hardcoded defaults.
+
+Tunes the paper-scale 8x8, beta = 4 workload (L = 32 at dtau = 0.125)
+with the warmup autotuner, then runs the *same seeded workload* twice
+from scratch — once with the hardcoded defaults (cluster 8, delay 32),
+once with the tuned parameters — and emits
+``benchmarks/results/BENCH_autotune.json`` (and a tracked copy at the
+repo root) with:
+
+* wall-clock seconds and nominal GFlops for both runs,
+* the tuned-vs-default margin in percent (the defaults are themselves
+  candidate #0 of the search, so the tuner can never lock something it
+  measured slower — the margin is >= 0 up to run-to-run noise),
+* the full trial-by-trial decision trace, and
+* the tuned configuration's wrap drift against the health tolerance
+  (a fast-but-drifting configuration must never win).
+
+Standalone on purpose (not a pytest-benchmark case): CI runs it directly
+to publish the JSON artifact. ``--quick`` shrinks to a 4x4 smoke scale.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ROOT_COPY = Path(__file__).parents[1] / "BENCH_autotune.json"
+
+#: run-to-run wall-clock noise allowance for the no-slower check; the
+#: tuned and default runs execute the identical Markov chain when the
+#: tuner keeps the defaults, so anything past this is a real regression.
+NOISE_PCT = 5.0
+
+
+def _simulation(size, n_slices, cluster, delay, seed):
+    from repro import HubbardModel, Simulation, SquareLattice
+
+    model = HubbardModel(
+        SquareLattice(size, size), u=4.0, beta=n_slices * 0.125,
+        n_slices=n_slices,
+    )
+    return Simulation(
+        model, seed=seed, cluster_size=cluster, max_delay=delay,
+        measure_arrays=False,
+    )
+
+
+def timed_run(size, n_slices, params, seed, warmup, sweeps, drift_tol) -> dict:
+    """One fresh, seeded run at the given parameters, with a final
+    wrap-drift audit of the configuration that just ran."""
+    from repro.linalg import flops
+    from repro.telemetry import NumericalHealthWatchdog, WatchdogConfig
+
+    sim = _simulation(
+        size, n_slices, params["cluster_size"], params["max_delay"], seed
+    )
+    t0 = time.perf_counter()
+    with flops.tally() as tally:
+        sim.warmup(warmup)
+        sim.measure_sweeps(sweeps)
+    wall = time.perf_counter() - t0
+    report = NumericalHealthWatchdog(
+        sim.engine, WatchdogConfig(check_every=1, drift_tol=drift_tol)
+    ).check(sim._sweep_index)
+    result = sim.result(n_warmup=warmup, n_measurement=sweeps)
+    return {
+        "params": dict(params),
+        "wall_seconds": wall,
+        "gflops": tally.gflops_rate(wall),
+        "total_gflop": tally.total_flops / 1e9,
+        "wrap_drift": report.wrap_drift,
+        "healthy": report.healthy,
+        "density": result.observables["density"].scalar,
+        "mean_sign": result.mean_sign,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale workload (4x4, few sweeps) instead of bench scale",
+    )
+    parser.add_argument(
+        "--drift-tol", type=float, default=1e-6,
+        help="wrap-drift tolerance for the health gate (default 1e-6)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_DIR / "BENCH_autotune.json",
+    )
+    parser.add_argument(
+        "--no-root-copy", action="store_true",
+        help="skip refreshing the tracked copy at the repo root",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.autotune import WarmupAutotuner
+
+    if args.quick:
+        size, n_slices, warmup, sweeps, trial_sweeps = 4, 16, 4, 6, 1
+    else:
+        size, n_slices, warmup, sweeps, trial_sweeps = 8, 32, 10, 20, 2
+    seed = 11
+    defaults = {"cluster_size": 8, "max_delay": 32}
+
+    print(
+        f"tuning {size}x{size}, L = {n_slices} "
+        f"(defaults: k = {defaults['cluster_size']}, "
+        f"delay = {defaults['max_delay']}) ..."
+    )
+    tune_sim = _simulation(
+        size, n_slices, defaults["cluster_size"], defaults["max_delay"], seed
+    )
+    tuned = WarmupAutotuner(
+        tune_sim, sweeps_per_candidate=trial_sweeps,
+        drift_tol=args.drift_tol,
+    ).run()
+    print(tuned.describe())
+
+    print("default run ...")
+    default_run = timed_run(
+        size, n_slices, defaults, seed, warmup, sweeps, args.drift_tol
+    )
+    print(
+        f"  {default_run['wall_seconds']:.3f} s, "
+        f"{default_run['gflops']:.2f} GFlops"
+    )
+    print("tuned run ...")
+    tuned_run = timed_run(
+        size, n_slices,
+        {
+            "cluster_size": tuned.chosen.cluster_size,
+            "max_delay": tuned.chosen.max_delay,
+        },
+        seed, warmup, sweeps, args.drift_tol,
+    )
+    print(
+        f"  {tuned_run['wall_seconds']:.3f} s, "
+        f"{tuned_run['gflops']:.2f} GFlops"
+    )
+
+    margin_pct = 100.0 * (
+        default_run["wall_seconds"] - tuned_run["wall_seconds"]
+    ) / default_run["wall_seconds"]
+    tuned_no_slower = (
+        tuned_run["wall_seconds"]
+        <= default_run["wall_seconds"] * (1.0 + NOISE_PCT / 100.0)
+    )
+    drift_ok = tuned_run["wrap_drift"] <= args.drift_tol
+    print(
+        f"margin: {margin_pct:+.1f}% vs defaults "
+        f"(wrap drift {tuned_run['wrap_drift']:.2e}, "
+        f"tol {args.drift_tol:g})"
+    )
+    if not tuned_no_slower:
+        print("WARNING: tuned run measurably slower than defaults",
+              file=sys.stderr)
+    if not drift_ok:
+        print("WARNING: tuned configuration exceeds the drift tolerance",
+              file=sys.stderr)
+
+    doc = {
+        "quick": args.quick,
+        "workload": {
+            "lattice": f"{size}x{size}",
+            "n_slices": n_slices,
+            "beta": n_slices * 0.125,
+            "u": 4.0,
+            "seed": seed,
+            "warmup_sweeps": warmup,
+            "measurement_sweeps": sweeps,
+        },
+        "defaults": defaults,
+        "autotune": tuned.to_dict(),
+        "default_run": default_run,
+        "tuned_run": tuned_run,
+        "margin_pct": margin_pct,
+        "noise_pct": NOISE_PCT,
+        "tuned_no_slower": tuned_no_slower,
+        "drift_tol": args.drift_tol,
+        "drift_within_tolerance": drift_ok,
+    }
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    if not args.no_root_copy:
+        shutil.copyfile(args.output, ROOT_COPY)
+        print(f"wrote {ROOT_COPY}")
+    return 0 if (tuned_no_slower and drift_ok) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,14 @@ Quickstart::
     print(result.summary())
 """
 
+from .autotune import (
+    AutotuneResult,
+    TuningCache,
+    TuningParameters,
+    WarmupAutotuner,
+    profile_key,
+    tune_simulation,
+)
 from .backends import (
     available_backends,
     get_backend,
@@ -52,6 +60,7 @@ from .telemetry import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AutotuneResult",
     "BMatrixFactory",
     "BrillouinZone",
     "HSField",
@@ -67,8 +76,13 @@ __all__ = [
     "SquareLattice",
     "Telemetry",
     "TelemetryWriter",
+    "TuningCache",
+    "TuningParameters",
+    "WarmupAutotuner",
     "WatchdogConfig",
     "load_config",
+    "profile_key",
+    "tune_simulation",
     "__version__",
     "available_backends",
     "get_backend",

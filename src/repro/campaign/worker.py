@@ -39,6 +39,7 @@ __all__ = ["FaultPlan", "run_campaign_job", "WorkerCrash"]
 RESULTS_NAME = "results.npz"
 CHECKPOINT_NAME = "checkpoint.npz"
 SUMMARY_NAME = "summary.json"
+TUNING_NAME = "tuning.json"
 
 
 class WorkerCrash(RuntimeError):
@@ -121,6 +122,36 @@ def _write_json_atomic(path: Path, payload: dict) -> None:
         tmp.unlink(missing_ok=True)
 
 
+def _apply_cached_tuning(sim, cfg, job_dir: Path, cache_path: str):
+    """Apply this job's tuning profile; returns a summary dict or None.
+
+    Workers only ever *read* the shared cache (the scheduler pre-tunes
+    each workload shape once) — a worker that tuned for itself would
+    make retries depend on wall-clock timings. The applied profile is
+    additionally pinned into the job directory, so a retry or a resume
+    after the shared cache changed still replays the identical engine
+    configuration; bit-exact restarts are the campaign contract.
+    """
+    from ..autotune import TuningCache, TuningParameters, profile_key
+
+    pin = job_dir / TUNING_NAME
+    if pin.exists():
+        entry = json.loads(pin.read_text())
+        params = TuningParameters.from_dict(entry["params"])
+        source = "pinned"
+    else:
+        key = profile_key(
+            sim.model, backend=sim.engine.backend.name, method=cfg.method
+        )
+        params = TuningCache(cache_path).lookup(key)
+        if params is None:
+            return None
+        _write_json_atomic(pin, {"key": key, "params": params.to_dict()})
+        source = "cache"
+    sim.apply_tuning(params)
+    return {"params": params.to_dict(), "source": source}
+
+
 def run_campaign_job(payload: dict) -> dict:
     """Execute one job attempt; returns the summary dict it also writes.
 
@@ -133,7 +164,9 @@ def run_campaign_job(payload: dict) -> dict:
       (0 = checkpoint only implicitly via the final results),
     * ``fault``: optional :class:`FaultPlan` dict,
     * ``isolated``: whether this runs in its own process (enables the
-      ``kill`` fault mode).
+      ``kill`` fault mode),
+    * ``tune_cache``: optional tuning-profile cache path; applied
+      read-only when the job's config sets ``autotune``.
     """
     # Imports live here, not at module top: the spawn entry pickles this
     # function by reference and the child pays the import cost once.
@@ -152,6 +185,12 @@ def run_campaign_job(payload: dict) -> dict:
     job_dir.mkdir(parents=True, exist_ok=True)
     cfg = job.config()
     sim = cfg.simulation(seed=job.seed_sequence())
+
+    # Tuning must be applied before any sweep (and before a checkpoint
+    # load) so every attempt of this job runs the same engine shape.
+    tuning = None
+    if cfg.autotune and payload.get("tune_cache"):
+        tuning = _apply_cached_tuning(sim, cfg, job_dir, payload["tune_cache"])
 
     checkpoint = job_dir / CHECKPOINT_NAME
     measured = 0
@@ -196,6 +235,7 @@ def run_campaign_job(payload: dict) -> dict:
         "mean_sign": result.mean_sign,
         "backend": sim.engine.backend.name,
         "elapsed_s": round(time.monotonic() - t0, 3),
+        "tuning": tuning,
     }
     _write_json_atomic(job_dir / SUMMARY_NAME, summary)
     return summary

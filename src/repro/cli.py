@@ -9,10 +9,17 @@ archive out — with checkpoint/resume for long runs:
     optionally archive a JSONL telemetry stream (``--telemetry``) with a
     numerical-health watchdog (``--watchdog-every``).
 
+``tune``
+    Search (cluster size, wrap interval, delay block) for an input
+    file's workload on this machine and persist the winner in the
+    tuning-profile cache; later ``run --autotune`` / campaign jobs
+    reuse it (see ``docs/performance.md``).
+
 ``info``
     Parse an input file and report the derived quantities a user wants
-    before committing hours: beta, nu, matrix sizes, memory estimate and
-    the conditioning-based safe cluster size.
+    before committing hours: beta, nu, matrix sizes, memory estimate,
+    the conditioning-based safe cluster size and the tuning-cache
+    status for this workload.
 
 ``telemetry-report``
     Summarize a JSONL telemetry archive from a previous (or still
@@ -108,9 +115,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--watchdog-range-tol", type=float, default=1e14, metavar="TOL",
         help="graded dynamic-range alert threshold (default 1e14)",
     )
+    p_run.add_argument(
+        "--autotune", action="store_true",
+        help="pick (cluster size, delay block) from the tuning cache, "
+        "tuning during warmup on a cache miss (equivalent to "
+        "'autotune = 1' in the input file)",
+    )
+    p_run.add_argument(
+        "--tune-cache", type=Path, default=None, metavar="PATH",
+        help="tuning-profile cache file (default: $REPRO_TUNE_CACHE, "
+        "else ~/.cache/repro/tuning.json)",
+    )
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="autotune engine parameters for an input file's workload",
+    )
+    p_tune.add_argument("input", type=Path, help="QUEST-style input file")
+    p_tune.add_argument(
+        "--tune-cache", type=Path, default=None, metavar="PATH",
+        help="tuning-profile cache file (default: $REPRO_TUNE_CACHE, "
+        "else ~/.cache/repro/tuning.json)",
+    )
+    p_tune.add_argument(
+        "--trial-sweeps", type=int, default=3, metavar="N",
+        help="warmup sweeps timed per candidate (default 3)",
+    )
+    p_tune.add_argument(
+        "--drift-tol", type=float, default=1e-6, metavar="TOL",
+        help="reject candidates whose wrap drift exceeds this (default 1e-6)",
+    )
+    p_tune.add_argument(
+        "--range-tol", type=float, default=1e14, metavar="TOL",
+        help="reject candidates past this dynamic range (default 1e14)",
+    )
+    p_tune.add_argument(
+        "--force", action="store_true",
+        help="re-tune even if the cache already has a profile",
+    )
+    p_tune.add_argument(
+        "--backend", type=str, default=None, metavar="NAME",
+        help="execution backend to tune for (profiles are per-backend)",
+    )
+    p_tune.add_argument("--quiet", action="store_true")
 
     p_info = sub.add_parser("info", help="analyze an input file without running")
     p_info.add_argument("input", type=Path)
+    p_info.add_argument(
+        "--tune-cache", type=Path, default=None, metavar="PATH",
+        help="tuning-profile cache to report on (default: the same "
+        "resolution as 'repro tune')",
+    )
 
     p_report = sub.add_parser(
         "telemetry-report",
@@ -266,10 +321,33 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _autotune_setup(args, cfg, sim):
+    """(cache, key) when autotuning is requested, else None."""
+    if not (getattr(args, "autotune", False) or cfg.autotune):
+        return None
+    from .autotune import TuningCache, profile_key
+
+    cache = TuningCache(getattr(args, "tune_cache", None))
+    key = profile_key(
+        sim.model, backend=sim.engine.backend.name, method=cfg.method
+    )
+    return cache, key
+
+
 def _run_stages(args, cfg, sim, telemetry):
     """Warmup (or resume), checkpointed measurement loop, reduction."""
     measured = 0
+    tune = _autotune_setup(args, cfg, sim)
     if args.checkpoint and args.checkpoint.exists():
+        if tune is not None:
+            # A resume must replay the engine shape the original run
+            # locked, so only a cache hit applies — never a live tune,
+            # whose timings would differ from the first attempt's.
+            cache, key = tune
+            hit = cache.lookup(key)
+            if hit is not None:
+                sim.apply_tuning(hit)
+                _emit(args.quiet, f"autotune: cache hit -> {hit}")
         load_checkpoint(args.checkpoint, sim)
         measured = sim.collector.n_measurements // cfg.nmeas
         _emit(
@@ -289,7 +367,19 @@ def _run_stages(args, cfg, sim, telemetry):
             f"warmup: {cfg.nwarm} sweeps on {sim.model.lattice} "
             f"(U = {cfg.u}, beta = {cfg.beta:g}, L = {cfg.l})",
         )
-        sim.warmup(cfg.nwarm)
+        if tune is not None:
+            from .autotune import tune_simulation
+
+            cache, key = tune
+            result = tune_simulation(
+                sim, cache=cache, key=key, telemetry=telemetry
+            )
+            _emit(args.quiet, result.describe())
+            # Tuning trials are real thermalization sweeps: only the
+            # remainder of the warmup budget is still owed.
+            sim.warmup(max(0, cfg.nwarm - result.sweeps_used))
+        else:
+            sim.warmup(cfg.nwarm)
 
     step = max(1, args.checkpoint_every)
     while measured < cfg.npass:
@@ -307,6 +397,52 @@ def _run_stages(args, cfg, sim, telemetry):
         _emit(args.quiet, f"measured {measured}/{cfg.npass} sweeps")
 
     return sim.result(n_warmup=cfg.nwarm, n_measurement=cfg.npass)
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from .autotune import TuningCache, profile_key, tune_simulation
+
+    cfg = load_config(args.input)
+    if args.backend is not None:
+        from .backends import validate_backend_method
+
+        try:
+            validate_backend_method(args.backend, cfg.method)
+        except Exception as exc:
+            print(f"--backend {args.backend}: {exc}", file=sys.stderr)
+            return 2
+    sim = cfg.simulation(backend=args.backend)
+    cache = TuningCache(args.tune_cache)
+    key = profile_key(
+        sim.model, backend=sim.engine.backend.name, method=cfg.method
+    )
+    _emit(
+        args.quiet,
+        f"tuning {sim.model.lattice} (U = {cfg.u}, beta = {cfg.beta:g}, "
+        f"L = {cfg.l}) on backend {sim.engine.backend.name}",
+    )
+    result = tune_simulation(
+        sim,
+        cache=cache,
+        key=key,
+        force=args.force,
+        sweeps_per_candidate=args.trial_sweeps,
+        drift_tol=args.drift_tol,
+        range_tol=args.range_tol,
+    )
+    if not args.quiet:
+        for t in result.trials:
+            mark = "ok " if t.accepted else "REJ"
+            line = (
+                f"  {mark} {t.params}  "
+                f"{t.sweep_seconds:.4f} s/sweep  drift {t.wrap_drift:.2e}"
+            )
+            if t.reason:
+                line += f"  ({t.reason})"
+            print(line)
+    _emit(args.quiet, result.describe())
+    _emit(args.quiet, f"profile     -> {cache.path}")
+    return 0
 
 
 def cmd_telemetry_report(args: argparse.Namespace) -> int:
@@ -443,6 +579,25 @@ def cmd_info(args: argparse.Namespace) -> int:
         )
     print(f"cluster cache    ~{mem_mb:.1f} MB ({matrices_cached} matrices)")
     print(f"sweeps           {cfg.nwarm} warmup + {cfg.npass} measurement")
+    from .autotune import TuningCache, profile_key
+
+    cache = TuningCache(args.tune_cache)
+    profiles = cache.entries()
+    stats = cache.stats()
+    print(
+        f"tuning cache     {cache.path} ({len(profiles)} profiles, "
+        f"{stats['hits']} hits / {stats['misses']} misses)"
+    )
+    profile = profiles.get(
+        profile_key(model, backend=cfg.backend, method=cfg.method)
+    )
+    if profile is not None:
+        print(
+            f"tuned profile    k = {profile['cluster_size']}, "
+            f"delay = {profile['max_delay']}"
+        )
+    else:
+        print("tuned profile    none for this workload (run 'repro tune')")
     lint = _qmclint_summary()
     if lint is not None:
         print(f"qmclint          {lint}")
@@ -458,6 +613,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_info(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "tune":
+        return cmd_tune(args)
     if args.command == "telemetry-report":
         return cmd_telemetry_report(args)
     if args.command == "campaign":

@@ -10,7 +10,7 @@
 """
 
 from .clustering import build_clusters, cluster_product, cluster_slices
-from .delayed_update import DelayedUpdater
+from .delayed_update import DelayedUpdater, delay_ladder
 from .displaced import (
     displaced_greens,
     displaced_greens_reverse,
@@ -41,6 +41,7 @@ __all__ = [
     "build_clusters",
     "cluster_product",
     "cluster_slices",
+    "delay_ladder",
     "displaced_greens",
     "displaced_greens_reverse",
     "displaced_greens_series",

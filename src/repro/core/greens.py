@@ -159,6 +159,21 @@ class GreensFunctionEngine:
     def invalidate_all(self) -> None:
         self.cache.invalidate_all()
 
+    def repartition(self, cluster_size: int) -> None:
+        """Adopt a new cluster size (= wrap interval) on the live engine.
+
+        Everything downstream of the tiling is derived state: the
+        cluster cache re-tiles itself (dropping its products) and the
+        next ``boundary_greens`` stratifies the new chain from scratch,
+        so a repartitioned engine is indistinguishable from one
+        constructed with the new size over the same field. Safe between
+        sweeps only — a sweep iterates the tiling it started with.
+        """
+        if cluster_size == self.cluster_size:
+            return
+        self.cache.repartition(cluster_size)
+        self.telemetry.counter("engine.repartitions")
+
     # -- fresh evaluation ----------------------------------------------------
 
     def boundary_greens(self, sigma: int, start_cluster: int = 0) -> np.ndarray:

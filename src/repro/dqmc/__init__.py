@@ -4,15 +4,22 @@ from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .config import SimulationConfig, load_config, parse_config
 from .ensemble import EnsembleResult, run_ensemble
 from .global_moves import GlobalMoveStats, global_site_flips
-from .tuning import MuCalibration, calibrate_mu
+from .tuning import (
+    CalibrationError,
+    MuCalibration,
+    SignProblemError,
+    calibrate_mu,
+)
 from .simulation import Simulation, SimulationResult
 from .sweep import SweepStats, sweep
 
 __all__ = [
+    "CalibrationError",
     "CheckpointError",
     "EnsembleResult",
     "GlobalMoveStats",
     "MuCalibration",
+    "SignProblemError",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",

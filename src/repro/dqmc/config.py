@@ -58,6 +58,10 @@ class SimulationConfig:
     altdir: int = 0
     #: execution backend name; "auto" defers to $REPRO_BACKEND / "numpy"
     backend: str = "auto"
+    #: 1 = pick (cluster size, delay) from the tuning cache / a warmup
+    #: autotune pass instead of trusting north/ndelay (see
+    #: docs/performance.md); 0 = run exactly what the file says
+    autotune: int = 0
 
     @property
     def beta(self) -> float:

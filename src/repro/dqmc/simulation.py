@@ -220,6 +220,10 @@ class Simulation:
         )
         if measurements_per_sweep < 1:
             raise ValueError("measurements_per_sweep must be >= 1")
+        # Remember the *requested* cadence: re-partitioning the engine
+        # (autotune) changes the cluster count, and the effective cadence
+        # must be re-capped against the new tiling, not the original one.
+        self._measurements_requested = measurements_per_sweep
         self.measurements_per_sweep = min(
             measurements_per_sweep, self.engine.n_clusters
         )
@@ -229,6 +233,36 @@ class Simulation:
         self._sweep_index = 0
         self._sign = self.engine.configuration_sign()
         self.total_stats = SweepStats()
+
+    def apply_tuning(self, params) -> None:
+        """Adopt tuned engine parameters on the live simulation.
+
+        ``params`` is a :class:`~repro.autotune.TuningParameters` (or
+        anything exposing ``cluster_size``, ``wrap_interval`` and
+        ``max_delay``). The engine is re-partitioned in place, the
+        delayed-update block size replaces the constructor's value for
+        every subsequent sweep, and the measurement cadence is re-capped
+        against the new cluster count. Physics-invariant by
+        construction — these are execution knobs, not model parameters —
+        but the Markov chain's floating-point trajectory does change
+        with the tiling, exactly as constructing the simulation with the
+        new values would. Call between sweeps only.
+        """
+        cluster_size = int(params.cluster_size)
+        wrap_interval = int(getattr(params, "wrap_interval", cluster_size))
+        if wrap_interval != cluster_size:
+            raise ValueError(
+                "wrap_interval must equal cluster_size: the engine "
+                "re-stratifies at cluster boundaries"
+            )
+        max_delay = int(params.max_delay)
+        if max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+        self.engine.repartition(cluster_size)
+        self.max_delay = max_delay
+        self.measurements_per_sweep = min(
+            self._measurements_requested, self.engine.n_clusters
+        )
 
     def _measure_dynamic_sample(self) -> None:
         """One sign-weighted sample of G(k, tau) / G_loc(tau) over the

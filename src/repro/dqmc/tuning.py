@@ -8,20 +8,33 @@ non-negative), so a bracketing search over short calibration runs
 converges in ~log2(range/tol) runs.
 
 Away from mu = 0 the model has a sign problem; the calibration runs use
-the sign-weighted density (valid as long as <sign> stays away from 0,
-which the result reports so the caller can judge).
+the sign-weighted density <rho * s> / <s>, which is only defined while
+<sign> stays away from 0. A collapsed sign is a hard error
+(:class:`SignProblemError`) — the uncorrected sign-weighted density is a
+*different observable*, and bisecting on it silently converges to the
+wrong mu.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..hamiltonian import HubbardModel, free_greens_function
 from ..measure import total_density
 from .simulation import Simulation
 
-__all__ = ["MuCalibration", "calibrate_mu"]
+__all__ = [
+    "MuCalibration",
+    "CalibrationError",
+    "SignProblemError",
+    "calibrate_mu",
+]
+
+#: |<sign>| at or below this is treated as a collapsed sign: the
+#: sign-corrected density <rho s>/<s> amplifies its Monte Carlo noise by
+#: 1/<s> past any usable precision.
+SIGN_FLOOR = 1e-3
 
 
 @dataclass
@@ -43,6 +56,64 @@ class MuCalibration:
         )
 
 
+class SignProblemError(RuntimeError):
+    """The average sign collapsed below :data:`SIGN_FLOOR` during a
+    calibration run, so no unbiased density estimate exists there.
+
+    Attributes
+    ----------
+    mu:
+        The chemical potential of the offending run.
+    mean_sign:
+        The collapsed ``<sign>`` that triggered the error.
+    history:
+        ``(mu, density, sign)`` triples of every calibration run so far
+        (attached by :func:`calibrate_mu`; empty when raised directly).
+    """
+
+    def __init__(self, mu: float, mean_sign: float):
+        self.mu = mu
+        self.mean_sign = mean_sign
+        self.history: List[tuple] = []
+        super().__init__(
+            f"sign problem at mu = {mu:.4f}: |<sign>| = "
+            f"{abs(mean_sign):.2e} <= {SIGN_FLOOR:g}; the sign-corrected "
+            "density <rho s>/<s> is undefined here — shrink mu_range, "
+            "raise the temperature, or increase sweeps"
+        )
+
+
+class CalibrationError(RuntimeError):
+    """Bisection exhausted ``max_runs`` without meeting the tolerance.
+
+    Carries everything needed to *resume* instead of restarting:
+
+    Attributes
+    ----------
+    history:
+        ``(mu, density, sign)`` triples of every run performed.
+    bracket:
+        The final ``(lo, hi)`` mu interval — pass it as ``mu_range`` to
+        a follow-up :func:`calibrate_mu` call to continue the search.
+    best:
+        Best-so-far :class:`MuCalibration` (the run whose density landed
+        closest to the target), usable directly when its miss is
+        tolerable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        history: List[tuple],
+        bracket: Tuple[float, float],
+        best: Optional[MuCalibration],
+    ):
+        self.history = history
+        self.bracket = bracket
+        self.best = best
+        super().__init__(message)
+
+
 def _density_at(model: HubbardModel, mu: float, sweeps: int, seed: int):
     m = model.with_(mu=mu)
     if m.u == 0.0:
@@ -56,17 +127,34 @@ def _density_at(model: HubbardModel, mu: float, sweeps: int, seed: int):
     )
     dens = res.observables["density"].scalar
     sign = res.mean_sign
-    # sign-corrected density <rho * s> / <s>
-    if abs(sign) > 1e-3:
-        dens = dens / sign
-    return dens, sign
+    # sign-corrected density <rho * s> / <s>; a collapsed <s> means no
+    # unbiased estimate exists — refuse loudly rather than bisect on the
+    # (biased) sign-weighted density.
+    if abs(sign) <= SIGN_FLOOR:
+        raise SignProblemError(mu=mu, mean_sign=sign)
+    return dens / sign, sign
 
 
 def _cluster_for(model: HubbardModel) -> int:
-    k = 10
-    while model.n_slices % k:
-        k -= 1
-    return k
+    """Cluster size for a calibration run: the divisor of ``n_slices``
+    nearest the conditioning-safe target.
+
+    The old walk-down-from-10 hit k = 1 for prime slice counts —
+    re-stratification every slice, an order of magnitude slower per
+    calibration run. ``divisor_near`` instead picks the closest divisor
+    to the safe target (preferring divisors inside the safe window, and
+    the smaller choice on ties); only a prime L yields an over-budget
+    k = L, which is still far cheaper than k = 1 and fine at
+    calibration accuracy.
+    """
+    from ..autotune.params import divisor_near
+    from ..linalg.condition import max_safe_cluster_size
+
+    import numpy as np
+
+    w = np.linalg.eigvalsh(model.kinetic_matrix())
+    safe = max_safe_cluster_size(model.nu, model.dtau, float(w[-1] - w[0]))
+    return divisor_near(model.n_slices, target=min(10, safe), cap=safe)
 
 
 def calibrate_mu(
@@ -93,8 +181,20 @@ def calibrate_mu(
     sweeps:
         Measurement sweeps per calibration run (short on purpose).
     max_runs:
-        Hard cap on calibration runs (raises if exceeded — usually means
-        tol is below the Monte Carlo noise of ``sweeps``).
+        Hard cap on calibration runs. Exceeding it raises
+        :class:`CalibrationError` carrying the history, the final
+        bracket and the best-so-far result, so the search can be
+        *resumed* (``mu_range=exc.bracket``) instead of restarted —
+        usually it means tol is below the Monte Carlo noise of
+        ``sweeps``.
+
+    Raises
+    ------
+    SignProblemError
+        When any calibration run's ``|<sign>|`` collapses below
+        :data:`SIGN_FLOOR` (history attached).
+    CalibrationError
+        On non-convergence within ``max_runs``.
     """
     if not 0.0 < target_density < 2.0:
         raise ValueError("target density must lie in (0, 2)")
@@ -108,9 +208,24 @@ def calibrate_mu(
     def rho(mu: float):
         nonlocal runs
         runs += 1
-        d, s = _density_at(model, mu, sweeps, seed + runs)
+        try:
+            d, s = _density_at(model, mu, sweeps, seed + runs)
+        except SignProblemError as exc:
+            exc.history = list(history)
+            raise
         history.append((mu, d, s))
         return d, s
+
+    def best_so_far() -> Optional[MuCalibration]:
+        if not history:
+            return None
+        mu_b, d_b, s_b = min(
+            history, key=lambda h: abs(h[1] - target_density)
+        )
+        return MuCalibration(
+            mu=mu_b, density=d_b, target=target_density,
+            n_runs=runs, mean_sign=s_b, history=list(history),
+        )
 
     d_lo, _ = rho(lo)
     d_hi, _ = rho(hi)
@@ -120,7 +235,7 @@ def calibrate_mu(
             f"rho({hi}) = {d_hi:.3f}, target {target_density}"
         )
 
-    mu_mid, d_mid, s_mid = lo, d_lo, 1.0
+    mu_mid, d_mid = lo, d_lo
     while runs < max_runs:
         mu_mid = 0.5 * (lo + hi)
         d_mid, s_mid = rho(mu_mid)
@@ -133,8 +248,12 @@ def calibrate_mu(
             lo = mu_mid
         else:
             hi = mu_mid
-    raise RuntimeError(
+    raise CalibrationError(
         f"calibration did not converge in {max_runs} runs "
-        f"(last: mu = {mu_mid:.4f}, rho = {d_mid:.4f}); "
-        "raise sweeps or tol"
+        f"(last: mu = {mu_mid:.4f}, rho = {d_mid:.4f}, "
+        f"bracket [{lo:.4f}, {hi:.4f}]); resume with mu_range=exc.bracket "
+        "or raise sweeps/tol",
+        history=history,
+        bracket=(lo, hi),
+        best=best_so_far(),
     )

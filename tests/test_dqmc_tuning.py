@@ -1,10 +1,13 @@
 """Unit tests for chemical-potential calibration."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
 from repro import HubbardModel, SquareLattice
-from repro.dqmc import calibrate_mu
+from repro.dqmc import CalibrationError, SignProblemError, calibrate_mu
+from repro.dqmc import tuning as tuning_mod
 from repro.hamiltonian import free_greens_function
 from repro.measure import total_density
 
@@ -45,6 +48,89 @@ class TestFreeCalibration:
     def test_bad_bracket_detected(self):
         with pytest.raises(ValueError, match="bracket"):
             calibrate_mu(free_model(), 1.8, mu_range=(-0.5, 0.5))
+
+
+class TestSignGuard:
+    """A collapsed <sign> must be a loud error, not a silent bias."""
+
+    def test_density_at_raises_on_collapsed_sign(self, monkeypatch):
+        class _CollapsedSim:
+            def __init__(self, model, **kwargs):
+                pass
+
+            def run(self, warmup_sweeps, measurement_sweeps):
+                return SimpleNamespace(
+                    observables={"density": SimpleNamespace(scalar=0.42)},
+                    mean_sign=1e-5,
+                )
+
+        monkeypatch.setattr(tuning_mod, "Simulation", _CollapsedSim)
+        model = HubbardModel(SquareLattice(2, 2), u=4.0, beta=1.5, n_slices=12)
+        with pytest.raises(SignProblemError, match="sign problem") as ei:
+            tuning_mod._density_at(model, mu=-3.0, sweeps=10, seed=0)
+        assert ei.value.mu == pytest.approx(-3.0)
+        assert ei.value.mean_sign == pytest.approx(1e-5)
+
+    def test_calibrate_mu_attaches_history(self, monkeypatch):
+        def fake_density_at(model, mu, sweeps, seed):
+            if mu > 1.0:
+                raise SignProblemError(mu=mu, mean_sign=4e-4)
+            return 1.0 + 0.3 * mu, 0.9
+
+        monkeypatch.setattr(tuning_mod, "_density_at", fake_density_at)
+        with pytest.raises(SignProblemError) as ei:
+            calibrate_mu(free_model(), 0.8, mu_range=(-2.0, 2.0))
+        # the run at the lower bracket edge completed before the crash
+        # at the upper edge, and rides along on the exception
+        assert ei.value.mu == pytest.approx(2.0)
+        assert len(ei.value.history) == 1
+        mu0, d0, s0 = ei.value.history[0]
+        assert mu0 == pytest.approx(-2.0)
+        assert d0 == pytest.approx(0.4)
+
+
+class TestClusterChoice:
+    """_cluster_for must never degrade to k = 1 on awkward slice counts."""
+
+    def test_prime_slice_count_uses_whole_chain(self):
+        model = HubbardModel(SquareLattice(2, 2), u=2.0, beta=1.3, n_slices=13)
+        assert tuning_mod._cluster_for(model) == 13  # not 1
+
+    def test_composite_counts_pick_divisor_near_target(self):
+        m12 = HubbardModel(SquareLattice(2, 2), u=4.0, beta=1.5, n_slices=12)
+        assert tuning_mod._cluster_for(m12) == 6
+        m32 = free_model()
+        assert tuning_mod._cluster_for(m32) == 8
+
+    def test_never_one_when_alternatives_exist(self):
+        for n_slices in (6, 10, 14, 16, 20, 24, 40):
+            model = HubbardModel(
+                SquareLattice(2, 2), u=2.0, beta=n_slices * 0.1,
+                n_slices=n_slices,
+            )
+            assert tuning_mod._cluster_for(model) > 1
+
+
+class TestNonConvergence:
+    def test_calibration_error_carries_state(self):
+        with pytest.raises(CalibrationError) as ei:
+            calibrate_mu(free_model(), 0.7, tol=1e-12, max_runs=4)
+        exc = ei.value
+        assert len(exc.history) == 4
+        lo, hi = exc.bracket
+        assert -6.0 <= lo < hi <= 6.0
+        assert exc.best is not None
+        # best really is the closest-to-target run performed
+        best_miss = min(abs(d - 0.7) for _, d, _ in exc.history)
+        assert abs(exc.best.density - 0.7) == pytest.approx(best_miss)
+
+    def test_resume_from_bracket_converges(self):
+        with pytest.raises(CalibrationError) as ei:
+            calibrate_mu(free_model(), 0.7, tol=1e-12, max_runs=4)
+        cal = calibrate_mu(
+            free_model(), 0.7, mu_range=ei.value.bracket, tol=0.01
+        )
+        assert cal.density == pytest.approx(0.7, abs=0.01)
 
 
 class TestInteractingCalibration:
