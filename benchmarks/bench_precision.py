@@ -1,0 +1,225 @@
+"""Precision-policy benchmark: full64 vs mixed on the simulated C2050.
+
+Runs the paper-scale 8x8, beta = 4 workload (L = 32 at dtau = 0.125)
+through the ``gpu-sim`` backend twice from the same seed — once under
+``full64``, once under ``mixed`` — and emits
+``benchmarks/results/BENCH_precision.json`` (and a tracked copy at the
+repo root) with:
+
+* simulated device seconds for both runs and the model-time speedup
+  (the acceptance bar is >= 1.2x; the C2050's 2:1 SP:DP GEMM peak plus
+  halved transfer/scale bytes typically lands near 1.8x),
+* host wall seconds and nominal GFlops (informational — the host
+  executes both policies with the same numpy kernels),
+* the scalar-observable deviation between the policies. Over a long
+  run the float32 Metropolis ratios eventually round one accept
+  decision differently and the same-seed chains decorrelate, so at
+  bench scale the policies agree only statistically (the bound here is
+  a physics-sanity check); the strict same-trajectory 1e-5 agreement
+  is pinned at test scale by ``tests/test_precision.py``, and
+* a hostile leg: the same mixed workload under an impossibly tight
+  wrap-drift tolerance, demonstrating automatic watchdog promotion to
+  ``full64`` mid-run.
+
+Standalone on purpose (not a pytest-benchmark case): CI runs it directly
+to publish the JSON artifact. ``--quick`` shrinks to a 4x4 smoke scale.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_precision.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ROOT_COPY = Path(__file__).parents[1] / "BENCH_precision.json"
+
+#: ISSUE acceptance: mixed must save at least this factor of simulated
+#: device time over full64 on the gpu-sim workload.
+MIN_SPEEDUP = 1.2
+
+#: Physics-sanity bound on the cross-policy observable deviation. The
+#: chains share a seed but decorrelate once a float32 Metropolis ratio
+#: rounds an accept decision the other way, so past that point the
+#: deviation is few-sweep statistical noise (~1e-3 here), not rounding;
+#: anything beyond this bound means genuinely corrupted physics. The
+#: strict 1e-5 same-trajectory agreement is asserted at 4x4, beta = 2
+#: scale in tests/test_precision.py.
+OBS_TOL = 5e-2
+
+
+def _simulation(size, n_slices, seed, precision, watchdog=None):
+    from repro import HubbardModel, Simulation, SquareLattice
+
+    model = HubbardModel(
+        SquareLattice(size, size), u=4.0, beta=n_slices * 0.125,
+        n_slices=n_slices,
+    )
+    return Simulation(
+        model, seed=seed, cluster_size=8, measure_arrays=False,
+        backend="gpu-sim", precision=precision, watchdog=watchdog,
+    )
+
+
+def policy_run(size, n_slices, seed, precision, warmup, sweeps) -> dict:
+    """One fresh, seeded gpu-sim run under the given policy."""
+    from repro.linalg import flops
+
+    sim = _simulation(size, n_slices, seed, precision)
+    t0 = time.perf_counter()
+    with flops.tally() as tally:
+        sim.warmup(warmup)
+        sim.measure_sweeps(sweeps)
+    wall = time.perf_counter() - t0
+    device = sim.engine.device
+    result = sim.result(n_warmup=warmup, n_measurement=sweeps)
+    return {
+        "precision": sim.precision,
+        "wall_seconds": wall,
+        "device_model_seconds": device.elapsed,
+        "kernel_launches": device.kernel_launches,
+        "h2d_bytes": device.h2d_bytes,
+        "peak_device_bytes": device.peak_bytes,
+        "gflops": tally.gflops_rate(wall),
+        "density": result.observables["density"].scalar,
+        "double_occupancy": result.observables["double_occupancy"].scalar,
+        "mean_sign": result.mean_sign,
+    }
+
+
+def hostile_run(size, n_slices, seed, warmup) -> dict:
+    """Mixed-precision run under an un-meetable drift tolerance.
+
+    The watchdog (checking every sweep) alerts immediately, promotes
+    the engine to ``full64`` in place and forces a refresh — the run
+    finishes on the safer rung instead of measuring drifted physics.
+    """
+    from repro.telemetry import WatchdogConfig
+
+    sim = _simulation(
+        size, n_slices, seed, "mixed",
+        watchdog=WatchdogConfig(check_every=1, drift_tol=1e-300),
+    )
+    sim.warmup(warmup)
+    wd = sim.watchdog
+    promoted = [r.promoted_to for r in wd.reports if r.promoted_to]
+    return {
+        "configured_precision": "mixed",
+        "final_precision": sim.precision,
+        "promotions": wd.promotions,
+        "promoted_to": promoted,
+        "alerts": wd.alerts,
+        "forced_refreshes": wd.forced_refreshes,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale workload (4x4, few sweeps) instead of bench scale",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_DIR / "BENCH_precision.json",
+    )
+    parser.add_argument(
+        "--no-root-copy", action="store_true",
+        help="skip refreshing the tracked copy at the repo root",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        size, n_slices, warmup, sweeps = 4, 16, 3, 5
+    else:
+        size, n_slices, warmup, sweeps = 8, 32, 5, 10
+    seed = 11
+
+    runs = {}
+    for precision in ("full64", "mixed"):
+        print(f"{precision} run ({size}x{size}, L = {n_slices}) ...")
+        runs[precision] = policy_run(
+            size, n_slices, seed, precision, warmup, sweeps
+        )
+        r = runs[precision]
+        print(
+            f"  {r['device_model_seconds']:.3f} model s on the simulated "
+            f"C2050, {r['wall_seconds']:.3f} host s, "
+            f"density {r['density']:.8f}"
+        )
+
+    speedup = (
+        runs["full64"]["device_model_seconds"]
+        / runs["mixed"]["device_model_seconds"]
+    )
+    obs_dev = max(
+        abs(runs["full64"][name] - runs["mixed"][name])
+        for name in ("density", "double_occupancy")
+    )
+    speedup_ok = speedup >= MIN_SPEEDUP
+    obs_ok = obs_dev <= OBS_TOL
+    print(
+        f"mixed speedup: {speedup:.2f}x model time "
+        f"(bar {MIN_SPEEDUP}x); observable deviation {obs_dev:.2e} "
+        f"(tol {OBS_TOL:g})"
+    )
+    if not speedup_ok:
+        print("WARNING: mixed speedup below the acceptance bar",
+              file=sys.stderr)
+    if not obs_ok:
+        print("WARNING: policies disagree beyond tolerance",
+              file=sys.stderr)
+
+    print("hostile run (tight drift tolerance, expect promotion) ...")
+    hostile = hostile_run(size, n_slices, seed, warmup=2)
+    promotion_ok = (
+        hostile["final_precision"] == "full64" and hostile["promotions"] >= 1
+    )
+    print(
+        f"  configured {hostile['configured_precision']}, finished "
+        f"{hostile['final_precision']} after {hostile['promotions']} "
+        f"promotion(s)"
+    )
+    if not promotion_ok:
+        print("WARNING: hostile run did not promote to full64",
+              file=sys.stderr)
+
+    doc = {
+        "quick": args.quick,
+        "workload": {
+            "lattice": f"{size}x{size}",
+            "n_slices": n_slices,
+            "beta": n_slices * 0.125,
+            "u": 4.0,
+            "seed": seed,
+            "warmup_sweeps": warmup,
+            "measurement_sweeps": sweeps,
+            "backend": "gpu-sim",
+        },
+        "runs": runs,
+        "model_time_speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "speedup_ok": speedup_ok,
+        "observable_deviation": obs_dev,
+        "observable_tolerance": OBS_TOL,
+        "observables_ok": obs_ok,
+        "hostile": hostile,
+        "promotion_ok": promotion_ok,
+    }
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    if not args.no_root_copy:
+        shutil.copyfile(args.output, ROOT_COPY)
+        print(f"wrote {ROOT_COPY}")
+    return 0 if (speedup_ok and obs_ok and promotion_ok) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

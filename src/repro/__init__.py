@@ -48,6 +48,12 @@ from .lattice import (
     symmetry_path,
 )
 from .dqmc import Simulation, SimulationConfig, SimulationResult, load_config
+from .precision import (
+    POLICIES,
+    PrecisionError,
+    PrecisionPolicy,
+    resolve_policy,
+)
 from .profiling import PhaseProfiler
 from .telemetry import (
     MetricsRegistry,
@@ -70,6 +76,9 @@ __all__ = [
     "MultilayerLattice",
     "NumericalHealthWatchdog",
     "PhaseProfiler",
+    "POLICIES",
+    "PrecisionError",
+    "PrecisionPolicy",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
@@ -82,6 +91,7 @@ __all__ = [
     "WatchdogConfig",
     "load_config",
     "profile_key",
+    "resolve_policy",
     "tune_simulation",
     "__version__",
     "available_backends",

@@ -43,6 +43,9 @@ class TuningParameters:
     cluster_size: int
     wrap_interval: int
     max_delay: int
+    #: precision-policy name to run under, or None to keep whatever the
+    #: simulation already uses (the historical three-knob profile).
+    precision: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cluster_size < 1:
@@ -54,22 +57,37 @@ class TuningParameters:
             )
         if self.max_delay < 1:
             raise ValueError("max_delay must be >= 1")
+        if self.precision is not None:
+            from ..precision import resolve_policy
+
+            resolve_policy(self.precision)  # raises on unknown names
 
     @classmethod
-    def make(cls, cluster_size: int, max_delay: int) -> "TuningParameters":
+    def make(
+        cls,
+        cluster_size: int,
+        max_delay: int,
+        precision: Optional[str] = None,
+    ) -> "TuningParameters":
         """The canonical constructor with the wrap interval tied to k."""
         return cls(
             cluster_size=int(cluster_size),
             wrap_interval=int(cluster_size),
             max_delay=int(max_delay),
+            precision=precision,
         )
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "cluster_size": self.cluster_size,
             "wrap_interval": self.wrap_interval,
             "max_delay": self.max_delay,
         }
+        # Only when set — keeps cached three-knob profiles byte-stable
+        # and lets old caches round-trip without a precision key.
+        if self.precision is not None:
+            d["precision"] = self.precision
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "TuningParameters":
@@ -77,13 +95,17 @@ class TuningParameters:
             cluster_size=int(d["cluster_size"]),
             wrap_interval=int(d.get("wrap_interval", d["cluster_size"])),
             max_delay=int(d["max_delay"]),
+            precision=d.get("precision"),
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (
+        text = (
             f"k={self.cluster_size}, l={self.wrap_interval}, "
             f"delay={self.max_delay}"
         )
+        if self.precision is not None:
+            text += f", precision={self.precision}"
+        return text
 
 
 def divisors(n: int) -> List[int]:
@@ -148,14 +170,18 @@ def candidate_grid(
     cluster_cap: Optional[int] = None,
     delays: Optional[Sequence[int]] = None,
     max_candidates: int = 12,
+    precisions: Optional[Sequence[Optional[str]]] = None,
 ) -> List[TuningParameters]:
     """The deterministic candidate list a warmup tune searches.
 
     The baseline (the run's configured parameters) is always first, so
     the tuner can never choose something slower than the defaults *as
     measured* — the defaults are themselves a candidate. The rest is the
-    cartesian product of cluster sizes near the target and the delay
-    ladder, in sorted order, truncated to ``max_candidates`` total.
+    cartesian product of cluster sizes near the target, the delay
+    ladder and (when ``precisions`` is given) the precision-policy axis,
+    in sorted order, truncated to ``max_candidates`` total. The policy
+    axis defaults to "keep the run's current precision" only — tuning
+    never silently narrows a pipeline the user asked for in float64.
     """
     from ..core.delayed_update import delay_ladder
 
@@ -169,13 +195,19 @@ def candidate_grid(
     delay_list = sorted(set(delays)) if delays else delay_ladder(n_sites)
     if baseline.max_delay not in delay_list:
         delay_list = sorted(set(delay_list) | {baseline.max_delay})
+    precision_list: List[Optional[str]] = (
+        list(precisions) if precisions else [baseline.precision]
+    )
+    if baseline.precision not in precision_list:
+        precision_list.insert(0, baseline.precision)
 
     grid = [baseline]
-    for k in clusters:
-        for m in delay_list:
-            cand = TuningParameters.make(k, m)
-            if cand != baseline:
-                grid.append(cand)
-            if len(grid) >= max_candidates:
-                return grid
+    for p in precision_list:
+        for k in clusters:
+            for m in delay_list:
+                cand = TuningParameters.make(k, m, precision=p)
+                if cand != baseline:
+                    grid.append(cand)
+                if len(grid) >= max_candidates:
+                    return grid
     return grid

@@ -159,6 +159,11 @@ class WarmupAutotuner:
         costs the delta across its sweeps. Defaults to the simulation
         profiler's accounted phase time (Table-I phase data). Tests
         inject a scripted source to pin determinism.
+    precisions:
+        Optional precision-policy axis for the default grid (e.g.
+        ``["mixed"]`` to also try the narrowed pipeline). Omitted, the
+        search keeps the run's configured policy — tuning never narrows
+        precision unless explicitly asked to.
     """
 
     def __init__(
@@ -171,6 +176,7 @@ class WarmupAutotuner:
         telemetry: Optional[Telemetry] = None,
         timing_source: Optional[Callable[[], float]] = None,
         key: str = "",
+        precisions: Optional[Sequence[str]] = None,
     ):
         if sweeps_per_candidate < 1:
             raise ValueError("sweeps_per_candidate must be >= 1")
@@ -178,6 +184,10 @@ class WarmupAutotuner:
         self.baseline = TuningParameters.make(
             sim.engine.cluster_size, sim.max_delay
         )
+        # Candidates with precision=None mean "the run's configured
+        # policy", pinned here so a trial that narrowed the engine can
+        # never leak its policy into later None-precision trials.
+        self._initial_precision = getattr(sim, "precision", None)
         if candidates is None:
             from ..linalg.condition import max_safe_cluster_size
 
@@ -191,6 +201,12 @@ class WarmupAutotuner:
                 self.baseline,
                 target_cluster=min(10, max(1, cap)),
                 cluster_cap=cap,
+                precisions=precisions,
+            )
+        elif precisions is not None:
+            raise ValueError(
+                "pass either an explicit candidate list or a precisions "
+                "axis, not both"
             )
         self.candidates = list(candidates)
         self.sweeps_per_candidate = sweeps_per_candidate
@@ -205,12 +221,16 @@ class WarmupAutotuner:
             else lambda: sim.profiler.accounted
         )
         self.key = key
+        # promote=False: trials probe possibly-unhealthy candidates on
+        # purpose; the gate rejects them instead of letting the sampling
+        # watchdog promote the engine's precision mid-search.
         self._watchdog = NumericalHealthWatchdog(
             sim.engine,
             WatchdogConfig(
                 check_every=1, drift_tol=drift_tol, range_tol=range_tol
             ),
             self.telemetry,
+            promote=False,
         )
 
     # -- trial machinery -----------------------------------------------------
@@ -220,6 +240,8 @@ class WarmupAutotuner:
     ) -> TuningTrial:
         sim = self.sim
         try:
+            if params.precision is None and self._initial_precision is not None:
+                sim.set_precision(self._initial_precision)
             sim.apply_tuning(params)
         except ValueError as exc:
             return TuningTrial(
@@ -305,6 +327,8 @@ class WarmupAutotuner:
             chosen, fallback = winner.params, False
         else:
             chosen, fallback = self.baseline, True
+        if chosen.precision is None and self._initial_precision is not None:
+            self.sim.set_precision(self._initial_precision)
         self.sim.apply_tuning(chosen)
         result = AutotuneResult(
             chosen=chosen,

@@ -50,6 +50,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..linalg import flops
+from ..precision import PrecisionPolicy, resolve_policy
 
 __all__ = ["BackendError", "BackendUnavailableError", "PropagatorBackend", "BaseBackend"]
 
@@ -121,15 +122,21 @@ class BaseBackend(PropagatorBackend):
     """Dispatch counting, option validation, and batched-op defaults."""
 
     def __init__(self, **options):
+        # Precision is a protocol-level option: every backend carries a
+        # PrecisionPolicy, and bind() realizes the exponentials in its
+        # compute dtype. Popped here so subclasses never have to.
+        precision = options.pop("precision", None)
         if options:
             bad = ", ".join(sorted(options))
             raise BackendError(
                 f"backend {self.name!r} got unknown option(s): {bad} — "
                 "options that would be silently ignored are rejected"
             )
+        self.policy: PrecisionPolicy = resolve_policy(precision)
         self.op_counts: Dict[str, int] = {}
         self.expk: Optional[np.ndarray] = None
         self.inv_expk: Optional[np.ndarray] = None
+        self.bound_factory = None
         self.n: int = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -138,12 +145,35 @@ class BaseBackend(PropagatorBackend):
         """Attach the model's kinetic exponentials (resident state).
 
         On the simulated GPU this is the one-time H2D upload of
-        ``exp(-+dtau K)`` (paper Sec. VI-A); on host backends it just
-        pins references. Idempotent for the same factory; returns self.
+        ``exp(-+dtau K)`` (paper Sec. VI-A); on host backends it pins
+        references realized in the policy's compute dtype (a no-op
+        passthrough under ``full64`` — the float64 masters are shared,
+        not copied). Idempotent for the same factory; returns self.
         """
-        self.expk = factory.expk
-        self.inv_expk = factory.inv_expk
+        exponentials = getattr(factory, "exponentials", None)
+        if exponentials is not None:
+            # Factory-side cache: repeated binds (and promotions back to
+            # a previously used policy) reuse one realized pair.
+            self.expk, self.inv_expk = exponentials(self.policy.compute_dtype)
+        else:
+            self.expk = self.policy.compute(factory.expk)
+            self.inv_expk = self.policy.compute(factory.inv_expk)
+        self.bound_factory = factory
         self.n = self.expk.shape[0]
+        return self
+
+    def set_policy(self, policy) -> "BaseBackend":
+        """Switch the precision policy in place (watchdog promotion path).
+
+        Re-binds the exponentials in the new compute dtype when already
+        bound; the caller owns invalidating any state it derived under
+        the old policy (cluster caches, the live Green's function).
+        """
+        policy = resolve_policy(policy)
+        if policy is not self.policy:
+            self.policy = policy
+            if self.bound_factory is not None:
+                self.bind(self.bound_factory)
         return self
 
     def _require_bound(self) -> None:

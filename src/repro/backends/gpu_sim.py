@@ -53,9 +53,16 @@ class SimulatedGPUBackend(NumpyBackend):
         from ..gpu.ops import GPUPropagatorOps
 
         super().bind(factory)
-        if self.ops is None or self.ops.d_expk.shape != factory.expk.shape:
+        # self.expk is the policy-realized exponential (compute dtype);
+        # re-upload when either the model shape or the dtype changed —
+        # a precision promotion must not keep stale-width device state.
+        if (
+            self.ops is None
+            or self.ops.d_expk.shape != self.expk.shape
+            or self.ops.d_expk.dtype != self.expk.dtype
+        ):
             self.ops = GPUPropagatorOps(
-                self.device, factory.expk, factory.inv_expk, fused=self.fused
+                self.device, self.expk, self.inv_expk, fused=self.fused
             )
         return self
 

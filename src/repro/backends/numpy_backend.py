@@ -86,20 +86,21 @@ class NumpyBackend(BaseBackend):
         if len(v_diagonals) == 0:
             raise ValueError("empty cluster")
         n = self.n
+        compute = self.policy.compute
         self._record_scale("clustering", n, n)
-        out = self.expk * np.asarray(v_diagonals[0], dtype=np.float64)[:, None]
+        out = self.expk * compute(v_diagonals[0])[:, None]
         for v in v_diagonals[1:]:
             self._record_gemm("clustering", n, n, n)
             self._record_scale("clustering", n, n)
             out = self.expk @ out
-            out *= np.asarray(v, dtype=np.float64)[:, None]
+            out *= compute(v)[:, None]
         return out
 
     def cluster_product_batched(self, v_stack):
         """Stacked Algorithm 4/5 over the sector axis (one call per GEMM)."""
         self._count("cluster_product_batched")
         self._require_bound()
-        vs = np.asarray(v_stack, dtype=np.float64)
+        vs = self.policy.compute(v_stack)
         s, k, n = vs.shape
         self._record_scale("clustering", n, n, passes=s)
         out = self.expk[None] * vs[:, 0, :, None]
@@ -118,6 +119,8 @@ class NumpyBackend(BaseBackend):
         """``diag(v) (expK @ g @ invexpK) diag(v)^{-1}``."""
         self._count("wrap")
         self._require_bound()
+        g = self.policy.compute(g)
+        v = self.policy.compute(v)
         t = self.gemm(self.expk, g, category="wrapping")
         t = self.gemm(t, self.inv_expk, category="wrapping")
         return self.scale_two_sided(t, v, out=t, category="wrapping")
@@ -126,6 +129,8 @@ class NumpyBackend(BaseBackend):
         """Exact inverse composition of :meth:`wrap`."""
         self._count("unwrap")
         self._require_bound()
+        g = self.policy.compute(g)
+        v = self.policy.compute(v)
         vinv = 1.0 / v
         t = self.scale_two_sided(g, vinv, col_v=v, category="wrapping")
         t = self.gemm(self.inv_expk, t, category="wrapping")
@@ -135,8 +140,8 @@ class NumpyBackend(BaseBackend):
         """Both spin sectors through one stacked-GEMM wrap."""
         self._count("wrap_batched")
         self._require_bound()
-        gs = np.asarray(gs, dtype=np.float64)
-        vs = np.asarray(vs, dtype=np.float64)
+        gs = self.policy.compute(gs)
+        vs = self.policy.compute(vs)
         s, n = vs.shape
         flops.record(
             "wrapping",
@@ -151,8 +156,8 @@ class NumpyBackend(BaseBackend):
     def unwrap_batched(self, gs, vs):
         self._count("unwrap_batched")
         self._require_bound()
-        gs = np.asarray(gs, dtype=np.float64)
-        vs = np.asarray(vs, dtype=np.float64)
+        gs = self.policy.compute(gs)
+        vs = self.policy.compute(vs)
         s, n = vs.shape
         flops.record(
             "wrapping",

@@ -61,16 +61,13 @@ class ThreadedBackend(NumpyBackend):
         self._require_bound()
         if len(v_diagonals) == 0:
             raise ValueError("empty cluster")
+        compute = self.policy.compute
         out = self.scale_rows(
-            self.expk,
-            np.asarray(v_diagonals[0], dtype=np.float64),
-            category="clustering",
+            self.expk, compute(v_diagonals[0]), category="clustering"
         )
         for v in v_diagonals[1:]:
             t = self.gemm(self.expk, out, category="clustering")
-            out = self.scale_rows(
-                t, np.asarray(v, dtype=np.float64), out=t, category="clustering"
-            )
+            out = self.scale_rows(t, compute(v), out=t, category="clustering")
         return out
 
     # wrap/unwrap inherit the numpy composition, which routes the

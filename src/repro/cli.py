@@ -92,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
         "else numpy); physics is backend-independent",
     )
     p_run.add_argument(
+        "--precision", type=str, default=None, metavar="POLICY",
+        help="precision policy: full64, mixed or fast32 (default: the "
+        "input file's 'precision' key, else $REPRO_PRECISION, else "
+        "full64); narrowed policies trade float32 compute speed for "
+        "watchdog-guarded accuracy (see docs/performance.md)",
+    )
+    p_run.add_argument(
         "--telemetry", type=Path, default=None, metavar="JSONL",
         help="archive metrics snapshots and structured events to this "
         "JSONL file (inspectable mid-run; see docs/observability.md)",
@@ -156,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument(
         "--backend", type=str, default=None, metavar="NAME",
         help="execution backend to tune for (profiles are per-backend)",
+    )
+    p_tune.add_argument(
+        "--precisions", type=str, default=None, metavar="P1,P2",
+        help="comma-separated precision policies to add to the search "
+        "grid (e.g. 'mixed'); default: only the run's configured policy",
     )
     p_tune.add_argument("--quiet", action="store_true")
 
@@ -281,14 +293,26 @@ def cmd_run(args: argparse.Namespace) -> int:
         except Exception as exc:
             print(f"--backend {args.backend}: {exc}", file=sys.stderr)
             return 2
+    if args.precision is not None:
+        from .precision import PrecisionError, resolve_policy
+
+        try:
+            resolve_policy(args.precision)
+        except PrecisionError as exc:
+            print(f"--precision {args.precision}: {exc}", file=sys.stderr)
+            return 2
     telemetry = _build_telemetry(args)
     sim = cfg.simulation(
         telemetry=telemetry,
         watchdog=_build_watchdog(args),
         backend=args.backend,
+        precision=args.precision,
     )
     output = args.output if args.output else args.input.with_suffix(".npz")
-    _emit(args.quiet, f"backend: {sim.engine.backend.name}")
+    _emit(
+        args.quiet,
+        f"backend: {sim.engine.backend.name}  precision: {sim.precision}",
+    )
     try:
         with flops.tally() as flop_tally:
             if telemetry is not None:
@@ -421,6 +445,17 @@ def cmd_tune(args: argparse.Namespace) -> int:
         f"tuning {sim.model.lattice} (U = {cfg.u}, beta = {cfg.beta:g}, "
         f"L = {cfg.l}) on backend {sim.engine.backend.name}",
     )
+    precisions = None
+    if args.precisions:
+        from .precision import PrecisionError, resolve_policy
+
+        precisions = [p.strip() for p in args.precisions.split(",") if p.strip()]
+        try:
+            for p in precisions:
+                resolve_policy(p)
+        except PrecisionError as exc:
+            print(f"--precisions {args.precisions}: {exc}", file=sys.stderr)
+            return 2
     result = tune_simulation(
         sim,
         cache=cache,
@@ -429,6 +464,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
         sweeps_per_candidate=args.trial_sweeps,
         drift_tol=args.drift_tol,
         range_tol=args.range_tol,
+        precisions=precisions,
     )
     if not args.quiet:
         for t in result.trials:
@@ -571,6 +607,10 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"HS coupling nu   {model.nu:.6f}")
     print(f"method           {cfg.method}, k = {cfg.north}, delay = {cfg.ndelay}")
     print(f"backend          {cfg.backend}")
+    from .precision import resolve_policy
+
+    policy = resolve_policy(None if cfg.precision == "auto" else cfg.precision)
+    print(f"precision        {policy.name} ({policy.description})")
     print(f"conditioning     {report.describe()}")
     if cfg.north > report.suggested_cluster_size:
         print(

@@ -41,6 +41,35 @@ ENV_VAR = "REPRO_CONTRACTS"
 
 _FALSY = ("", "0", "false", "off", "no")
 
+def _declared_compute_dtype(arguments: Dict[str, object]):
+    """The compute dtype declared by a policy-carrying argument.
+
+    Policy-aware contracts (``dtype="compute"``) assert the dtype the
+    active :class:`~repro.precision.PrecisionPolicy` *declares*, not a
+    hard-coded float64. The policy rides on the backend argument
+    (``backend.policy``); duck-typed so this module stays import-light.
+    Returns None when no carrier is present in the call.
+    """
+    for value in arguments.values():
+        policy = getattr(value, "policy", None)
+        compute = getattr(policy, "compute_dtype", None)
+        if compute is not None:
+            return np.dtype(compute)
+    return None
+
+
+def _ambient_compute_dtype() -> np.dtype:
+    """Compute dtype of the ambient (environment-default) policy.
+
+    The contract floor when no call argument carries a policy: resolves
+    exactly like an unconfigured simulation would ($REPRO_PRECISION,
+    else full64), so with nothing configured anywhere the historical
+    exact-float64 check is preserved bit for bit.
+    """
+    from .precision import resolve_policy
+
+    return resolve_policy(None).compute_dtype
+
 
 def contracts_enabled() -> bool:
     """Whether contract validation is compiled into decorated functions."""
@@ -117,11 +146,19 @@ def _check_array(
                         f"size {size}, but symbol `{dim}` is already "
                         f"bound to {bound}"
                     )
-    if dtype is not None and value.dtype != np.dtype(dtype):
-        raise ContractViolation(
-            f"{qualname}: argument `{name}` has dtype {value.dtype}, "
-            f"expected {np.dtype(dtype)}"
-        )
+    if dtype is not None:
+        if isinstance(dtype, tuple):
+            if value.dtype not in dtype:
+                raise ContractViolation(
+                    f"{qualname}: argument `{name}` has dtype "
+                    f"{value.dtype}, expected one of "
+                    f"{', '.join(str(d) for d in dtype)}"
+                )
+        elif value.dtype != np.dtype(dtype):
+            raise ContractViolation(
+                f"{qualname}: argument `{name}` has dtype {value.dtype}, "
+                f"expected {np.dtype(dtype)}"
+            )
     if finite and not np.all(np.isfinite(value)):
         raise ContractViolation(
             f"{qualname}: argument `{name}` contains non-finite entries "
@@ -143,7 +180,14 @@ def shape_contract(
         Shape specs bound in order to the ndarray-annotated parameters,
         e.g. ``"(n,n)", "(n,)"``. Symbols are shared across one call.
     dtype:
-        Exact dtype every checked array must have (None: skip).
+        Exact dtype every checked array must have (None: skip). The
+        string ``"compute"`` makes the contract precision-policy aware:
+        when a call argument carries a policy (``backend.policy``), the
+        arrays must match that policy's *declared* compute dtype
+        exactly; with no carrier in the call, the ambient
+        ($REPRO_PRECISION-resolved, default full64) policy's compute
+        dtype applies. Accidental float16/object/complex arrays are
+        rejected either way.
     finite:
         Also require every checked entry to be finite.
     where:
@@ -176,11 +220,24 @@ def shape_contract(
         def wrapper(*args, **kwargs):
             bound = sig.bind(*args, **kwargs)
             env: Dict[str, int] = {}
+            if dtype == "compute":
+                eff_dtype = (
+                    _declared_compute_dtype(bound.arguments)
+                    or _ambient_compute_dtype()
+                )
+            else:
+                eff_dtype = dtype
             for name, dims in targets.items():
                 value = bound.arguments.get(name)
                 if isinstance(value, np.ndarray):
                     _check_array(
-                        fn.__qualname__, name, value, dims, env, dtype, finite
+                        fn.__qualname__,
+                        name,
+                        value,
+                        dims,
+                        env,
+                        eff_dtype,
+                        finite,
                     )
             return fn(*args, **kwargs)
 

@@ -66,8 +66,11 @@ class DelayedUpdater:
         self.n = n
         self.max_delay = max_delay
         self.backend = backend
-        self._u = np.empty((n, max_delay))
-        self._w = np.empty((max_delay, n))
+        # Buffers follow G's dtype: under a narrowed precision policy
+        # the rank-1 blocks accumulate in the compute dtype and the
+        # rank-m flush GEMM runs at single-precision GEMM rates.
+        self._u = np.empty((n, max_delay), dtype=g.dtype)
+        self._w = np.empty((max_delay, n), dtype=g.dtype)
         # The effective diagonal is maintained incrementally (one
         # vectorized axpy per accepted flip) so each *proposal* — the
         # overwhelmingly common operation — reads it in O(1). This is the

@@ -70,6 +70,13 @@ class GreensFunctionEngine:
         ``$REPRO_BACKEND`` (default: the serial numpy backend).
         ``threaded_norms=True`` is the deprecated spelling of
         ``backend="threaded"``.
+    precision:
+        Precision policy (name or
+        :class:`~repro.precision.PrecisionPolicy`) applied to the
+        backend: compute dtype for cluster products / wrapping / the
+        running G, spine dtype for stratification. ``None`` keeps the
+        backend's own policy (constructor option, ``$REPRO_PRECISION``,
+        default ``full64``).
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class GreensFunctionEngine:
         threaded_norms: bool = False,
         telemetry: Optional[Telemetry] = None,
         backend=None,
+        precision=None,
     ):
         from ..backends import resolve_backend, validate_backend_method
         from .stratification import _resolve_backend
@@ -92,11 +100,15 @@ class GreensFunctionEngine:
         if backend is None and not threaded_norms:
             # The engine is the user-facing entry point, so (unlike the
             # library-level chain functions) its default is env-aware.
-            self.backend = resolve_backend(None).bind(factory)
+            self.backend = resolve_backend(None)
         else:
-            self.backend = _resolve_backend(backend, threaded_norms).bind(
-                factory
-            )
+            self.backend = _resolve_backend(backend, threaded_norms)
+        if precision is not None:
+            # An explicit policy overrides whatever the backend carries
+            # (constructor option or $REPRO_PRECISION); None keeps it —
+            # a passed-in backend instance arrives policy-complete.
+            self.backend.set_policy(precision)
+        self.backend.bind(factory)
         validate_backend_method(self.backend, method)
         self.threaded_norms = self.backend.name == "threaded"
         self.profiler = ensure_profiler(profiler)
@@ -139,6 +151,12 @@ class GreensFunctionEngine:
         return device
 
     @property
+    def policy(self):
+        """The active :class:`~repro.precision.PrecisionPolicy` (carried
+        by the backend — the protocol owns the dtype decisions)."""
+        return self.backend.policy
+
+    @property
     def n(self) -> int:
         return self.factory.n
 
@@ -174,6 +192,28 @@ class GreensFunctionEngine:
         self.cache.repartition(cluster_size)
         self.telemetry.counter("engine.repartitions")
 
+    def set_precision(self, policy) -> bool:
+        """Adopt a new precision policy on the live engine, in place.
+
+        The watchdog's promotion path (and checkpoint resume). The
+        backend re-realizes the kinetic exponentials in the new compute
+        dtype and every cached cluster product is dropped — the products
+        are compute-dtype state, so the next ``boundary_greens`` rebuilds
+        and re-stratifies under the new policy, leaving the engine
+        indistinguishable from one constructed with it. Safe between
+        sweeps only (same contract as :meth:`repartition`). Returns True
+        when the policy actually changed.
+        """
+        from ..precision import resolve_policy
+
+        policy = resolve_policy(policy)
+        if policy is self.backend.policy:
+            return False
+        self.backend.set_policy(policy)
+        self.invalidate_all()
+        self.telemetry.counter("engine.precision_switches")
+        return True
+
     # -- fresh evaluation ----------------------------------------------------
 
     def boundary_greens(self, sigma: int, start_cluster: int = 0) -> np.ndarray:
@@ -195,7 +235,10 @@ class GreensFunctionEngine:
             )
             self.last_stats = stats
         self.telemetry.counter("engine.stratifications")
-        return g
+        # The refresh is computed on the float64 spine; the running G
+        # that wraps and delayed updates consume lives in the policy's
+        # compute dtype (no-op passthrough under full64).
+        return self.backend.policy.compute(g)
 
     def greens_at_slice(self, sigma: int, l: int) -> np.ndarray:
         """G_l (leftmost factor B_l) built fresh: boundary G + wraps.

@@ -51,7 +51,9 @@ class ClusterCache:
         self.ranges = cluster_slices(field.n_slices, cluster_size)
         self._product_fn = product_fn
         self.backend = backend
-        if backend is not None and getattr(backend, "expk", None) is not factory.expk:
+        # Bound-factory identity, not exponential identity: a narrowed
+        # precision policy realizes expk as a compute-dtype copy.
+        if backend is not None and getattr(backend, "bound_factory", None) is not factory:
             backend.bind(factory)
         # (sigma, cluster_index) -> dense product, or absent if stale.
         self._cache: Dict[Tuple[int, int], np.ndarray] = {}

@@ -207,9 +207,15 @@ def stratified_decomposition(
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
     backend = _resolve_backend(backend, threaded_norms)
 
+    # The stabilization spine runs in the policy's spine dtype — float64
+    # under full64 *and* mixed (compute-dtype cluster factors are
+    # promoted here, before anything graded is formed), float32 only
+    # under fast32.
+    spine = backend.policy.spine
+
     it = iter(factors)
     try:
-        first = np.asarray(next(it), dtype=np.float64)
+        first = spine(next(it))
     except StopIteration:
         raise ValueError("empty factor chain") from None
     n = first.shape[0]
@@ -220,7 +226,7 @@ def stratified_decomposition(
     # (paper Algorithm 3 keeps QRP there); svd/nopivot use themselves.
     first_method = "qrp" if method in ("qrp", "prepivot") else method
     q, d, tf, piv, sync = _step_factorize(first_method, first, backend=backend)
-    t = np.empty((n, n))
+    t = np.empty((n, n), dtype=tf.dtype)
     t[:, piv] = tf  # T = (graded factor) P^T: scatter columns back
 
     n_factors = 1
@@ -229,7 +235,7 @@ def stratified_decomposition(
 
     # Step 3: fold in the remaining factors left-to-right.
     for f in it:
-        f = np.asarray(f, dtype=np.float64)
+        f = spine(f)
         if f.shape != (n, n):
             raise ValueError("factors must all be square of the same size")
         # 3a: C = (F @ Q) * D  — GEMM first, diagonal column scaling after,
@@ -305,7 +311,7 @@ class IncrementalStratifier:
 
     def push(self, factor: np.ndarray) -> None:
         """Fold one more (leftmost) factor into the chain."""
-        f = np.asarray(factor, dtype=np.float64)
+        f = self.backend.policy.spine(factor)
         n = f.shape[0]
         if f.shape != (n, n):
             raise ValueError("factors must be square")
@@ -316,7 +322,7 @@ class IncrementalStratifier:
             q, d, tf, piv, _ = _step_factorize(
                 first_method, f, backend=self.backend
             )
-            t = np.empty((n, n))
+            t = np.empty((n, n), dtype=tf.dtype)
             t[:, piv] = tf
             self._q, self._d, self._t = q, d, t
             self._n_factors = 1

@@ -39,12 +39,15 @@ def _bound_backend(factory: BMatrixFactory, backend):
         from ..backends import NumpyBackend
 
         return NumpyBackend().bind(factory)
-    if getattr(backend, "expk", None) is not factory.expk:
+    # Identity is tracked on the *factory*, not the exponentials: under
+    # a narrowed precision policy the bound expk is a realized copy, not
+    # the factory's float64 master.
+    if getattr(backend, "bound_factory", None) is not factory:
         backend.bind(factory)
     return backend
 
 
-@shape_contract("(n,n)", dtype=np.float64, finite=True)
+@shape_contract("(n,n)", dtype="compute", finite=True)
 def wrap_forward(
     factory: BMatrixFactory,
     field: HSField,
@@ -63,7 +66,7 @@ def wrap_forward(
     return _bound_backend(factory, backend).wrap(g, v)
 
 
-@shape_contract("(n,n)", dtype=np.float64, finite=True)
+@shape_contract("(n,n)", dtype="compute", finite=True)
 def wrap_backward(
     factory: BMatrixFactory,
     field: HSField,

@@ -104,6 +104,10 @@ def save_checkpoint(path: Union[str, Path], sim: Simulation) -> None:
             "n_slices": sim.model.n_slices,
             "n_sites": sim.model.n_sites,
         },
+        # Active precision-policy name. The watchdog may have *promoted*
+        # the engine mid-run, so this is live engine state, not config:
+        # resuming must continue on the promoted rung to stay bit-exact.
+        "precision": sim.precision,
     }
     dest = Path(path)
     # Same directory as the destination so os.replace is a same-filesystem
@@ -163,6 +167,13 @@ def load_checkpoint(path: Union[str, Path], sim: Simulation) -> Simulation:
         HSField(field)  # validates +-1 entries
         sim.field.h[...] = field
         sim.engine.invalidate_all()
+
+        # Optional key (older checkpoints predate precision policies):
+        # re-apply the policy that was live at save time, which may be a
+        # promoted rung rather than whatever the config requested.
+        saved_precision = header.get("precision")
+        if saved_precision is not None:
+            sim.set_precision(saved_precision)
 
         sim.rng.bit_generator.state = _rng_state_from_json(header["rng"])
         sim._sign = float(header["sign"])

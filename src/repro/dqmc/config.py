@@ -58,6 +58,9 @@ class SimulationConfig:
     altdir: int = 0
     #: execution backend name; "auto" defers to $REPRO_BACKEND / "numpy"
     backend: str = "auto"
+    #: precision policy name (full64 / mixed / fast32); "auto" defers to
+    #: $REPRO_PRECISION / "full64"
+    precision: str = "auto"
     #: 1 = pick (cluster size, delay) from the tuning cache / a warmup
     #: autotune pass instead of trusting north/ndelay (see
     #: docs/performance.md); 0 = run exactly what the file says
@@ -107,10 +110,25 @@ class SimulationConfig:
                 validate_backend_method(self.backend, self.method)
             except Exception as exc:
                 raise ValueError(f"backend = {self.backend!r}: {exc}") from exc
+        if self.precision != "auto":
+            # Same contract as backend names: a typo'd policy is a
+            # configuration error at parse/spec time, not a silent
+            # full64 run discovered after the fact.
+            from ..precision import PrecisionError, resolve_policy
+
+            try:
+                resolve_policy(self.precision)
+            except PrecisionError as exc:
+                raise ValueError(f"precision = {self.precision!r}: {exc}") from exc
         return self
 
     def simulation(
-        self, telemetry=None, watchdog=None, backend=None, seed=None
+        self,
+        telemetry=None,
+        watchdog=None,
+        backend=None,
+        seed=None,
+        precision=None,
     ) -> Simulation:
         """Build the configured :class:`Simulation`.
 
@@ -124,8 +142,13 @@ class SimulationConfig:
         overrides the file's integer seed and may be anything
         ``np.random.default_rng`` accepts — the campaign layer passes a
         spawned ``SeedSequence`` here so jobs get independent streams.
+        ``precision`` (e.g. from ``repro run --precision``) overrides
+        the file's ``precision`` key the same way ``backend`` does —
+        unlike a backend swap it *does* change the floating-point
+        trajectory, which is exactly the point of the policy ladder.
         """
         chosen = backend if backend is not None else self.backend
+        chosen_precision = precision if precision is not None else self.precision
         return Simulation(
             self.model(),
             seed=self.seed if seed is None else seed,
@@ -137,6 +160,7 @@ class SimulationConfig:
             telemetry=telemetry,
             watchdog=watchdog,
             backend=None if chosen == "auto" else chosen,
+            precision=None if chosen_precision == "auto" else chosen_precision,
         )
 
     def dumps(self) -> str:

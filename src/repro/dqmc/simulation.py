@@ -162,7 +162,18 @@ class Simulation:
         :class:`~repro.telemetry.NumericalHealthWatchdog` samples wrap
         drift and graded conditioning every ``check_every`` sweeps and —
         past tolerance — emits a ``health_alert`` then forces a full
-        cache invalidation + fresh re-stratification.
+        cache invalidation + fresh re-stratification. Under a narrowed
+        precision policy an alert additionally *promotes* the engine to
+        the next-safer policy in place (``fast32`` -> ``mixed`` ->
+        ``full64``) before the refresh.
+    precision:
+        Precision policy name (``"full64"``, ``"mixed"``, ``"fast32"``)
+        or a :class:`~repro.precision.PrecisionPolicy`. ``None`` defers
+        to the backend's own policy (``$REPRO_PRECISION``, default
+        ``full64``). Narrowed policies change the Markov chain's
+        floating-point trajectory; observables agree to the compute
+        dtype's accuracy, and measurement accumulators always stay
+        float64.
     """
 
     def __init__(
@@ -182,6 +193,7 @@ class Simulation:
         telemetry: Optional[Telemetry] = None,
         watchdog: Optional[WatchdogConfig] = None,
         backend=None,
+        precision=None,
     ):
         self.model = model
         self.rng = np.random.default_rng(seed)
@@ -202,6 +214,7 @@ class Simulation:
             profiler=self.profiler,
             telemetry=telemetry,
             backend=backend,
+            precision=precision,
         )
         self.watchdog = (
             NumericalHealthWatchdog(self.engine, watchdog, self.telemetry)
@@ -263,6 +276,25 @@ class Simulation:
         self.measurements_per_sweep = min(
             self._measurements_requested, self.engine.n_clusters
         )
+        precision = getattr(params, "precision", None)
+        if precision is not None:
+            self.set_precision(precision)
+
+    @property
+    def precision(self) -> str:
+        """Name of the engine's active precision policy."""
+        return self.engine.policy.name
+
+    def set_precision(self, policy) -> bool:
+        """Switch the precision policy on the live run (between sweeps).
+
+        Delegates to :meth:`GreensFunctionEngine.set_precision`; used by
+        the autotuner's precision axis and by checkpoint resume (the
+        saved policy — possibly a watchdog-promoted one — is reapplied
+        so the continuation is bit-exact). Returns True when the policy
+        actually changed.
+        """
+        return self.engine.set_precision(policy)
 
     def _measure_dynamic_sample(self) -> None:
         """One sign-weighted sample of G(k, tau) / G_loc(tau) over the

@@ -93,4 +93,5 @@ class Cublas:
         self.device.kernel_launches += 1
         self.device.gemm_count += 1
         flops.record("gpu_gemm", flops.gemm_flops(m, n, k))
-        self.device.tick(self.device.model.time_gemm(m, n, k))
+        # Operand width picks the DGEMM vs SGEMM rate (C2050: 2:1 peak).
+        self.device.tick(self.device.model.time_gemm(m, n, k, dtype=pa.dtype))

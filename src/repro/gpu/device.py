@@ -107,12 +107,24 @@ class SimulatedDevice:
     # -- transfers ----------------------------------------------------------------
 
     def set_matrix(self, host: np.ndarray, dest: Optional[DeviceArray] = None) -> DeviceArray:
-        """Host -> device copy (cublasSetMatrix/SetVector analogue)."""
-        host = np.ascontiguousarray(host, dtype=np.float64)
+        """Host -> device copy (cublasSetMatrix/SetVector analogue).
+
+        The host array's dtype rides along: a float32 upload allocates
+        (or fills) a float32 device array, so a narrowed precision
+        policy halves both the device footprint and the PCIe bytes, as
+        on real hardware. A real cudaMemcpy cannot convert widths, so a
+        dtype mismatch against an existing ``dest`` is an error.
+        """
+        host = np.ascontiguousarray(host)
         if dest is None:
-            dest = self.alloc(host.shape)
+            dest = self.alloc(host.shape, dtype=host.dtype)
         elif dest.shape != host.shape:
             raise DeviceError(f"shape mismatch {dest.shape} vs {host.shape}")
+        elif dest.dtype != host.dtype:
+            raise DeviceError(
+                f"dtype mismatch {dest.dtype} vs {host.dtype} "
+                "(device copies cannot convert element width)"
+            )
         dest._payload()[...] = host
         self.h2d_bytes += host.nbytes
         self.h2d_count += 1

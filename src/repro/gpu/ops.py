@@ -60,12 +60,17 @@ class GPUPropagatorOps:
         self.fused = fused
         self.d_expk = device.set_matrix(expk)
         self.d_inv_expk = device.set_matrix(inv_expk)
+        # Everything on device follows the uploaded exponentials' width:
+        # under a narrowed precision policy the backend hands float32
+        # masters in, and scratch, diagonals and GEMMs ride along (the
+        # SGEMM rate is what buys the Fermi 2:1 speedup).
+        self.dtype = self.d_expk.dtype
         # Scratch buffers reused across calls (allocation is not free on
         # a real device either; cudaMalloc churn is a classic slowdown).
-        self._t = device.alloc((n, n))
-        self._a = device.alloc((n, n))
-        self._v = device.alloc((n,))
-        self._v2 = device.alloc((n,))
+        self._t = device.alloc((n, n), dtype=self.dtype)
+        self._a = device.alloc((n, n), dtype=self.dtype)
+        self._v = device.alloc((n,), dtype=self.dtype)
+        self._v2 = device.alloc((n,), dtype=self.dtype)
 
     # -- diagonal upload -------------------------------------------------------
 
@@ -85,7 +90,7 @@ class GPUPropagatorOps:
         if not v_diagonals:
             raise ValueError("empty cluster")
         dev, blas = self.device, self.blas
-        dv = self._send_v(np.asarray(v_diagonals[0], dtype=np.float64))
+        dv = self._send_v(np.asarray(v_diagonals[0], dtype=self.dtype))
         if self.fused:
             scale_rows_kernel(dev, dv, self.d_expk, self._a)
         else:
@@ -94,7 +99,7 @@ class GPUPropagatorOps:
                 blas.dscal(float(v_diagonals[0][j]), self._t, row=j)
             blas.dcopy(self._t, self._a)
         for v in v_diagonals[1:]:
-            dv = self._send_v(np.asarray(v, dtype=np.float64))
+            dv = self._send_v(np.asarray(v, dtype=self.dtype))
             blas.dgemm(self.d_expk, self._a, self._t)  # T <- B x A
             if self.fused:
                 scale_rows_kernel(dev, dv, self._t, self._a)  # A <- V T
@@ -112,9 +117,9 @@ class GPUPropagatorOps:
         One G upload, two DGEMMs against the resident exponentials, the
         two-sided scaling, one G download.
         """
-        v = np.asarray(v, dtype=np.float64)
+        v = np.asarray(v, dtype=self.dtype)
         dev, blas = self.device, self.blas
-        dg = dev.set_matrix(np.asarray(g, dtype=np.float64), dest=self._a)
+        dg = dev.set_matrix(np.asarray(g, dtype=self.dtype), dest=self._a)
         dv = self._send_v(v)
         blas.dgemm(self.d_expk, dg, self._t)  # T <- B G
         blas.dgemm(self._t, self.d_inv_expk, dg)  # G <- T B^{-1}
@@ -143,9 +148,9 @@ class GPUPropagatorOps:
         *original* ``v`` (re-reciprocating on device would not be bitwise
         ``v``); then two DGEMMs against the resident exponentials.
         """
-        v = np.asarray(v, dtype=np.float64)
+        v = np.asarray(v, dtype=self.dtype)
         dev, blas = self.device, self.blas
-        dg = dev.set_matrix(np.asarray(g, dtype=np.float64), dest=self._a)
+        dg = dev.set_matrix(np.asarray(g, dtype=self.dtype), dest=self._a)
         vinv = 1.0 / v
         dvinv = self._send_v(vinv)
         if self.fused:

@@ -17,7 +17,12 @@ Model forms
   ``rate(n) = R_inf * n^3 / (n^3 + n_half^3)`` — the standard
   half-performance-size saturation curve (Hockney's n_1/2 applied to
   GEMM), matching the measured C2050 DGEMM ramp from ~40 GF/s at n = 256
-  to ~290 GF/s at n = 2048.
+  to ~290 GF/s at n = 2048. The C2050's single-precision peak is 1030
+  GF/s — the Fermi 2:1 SP:DP ratio — so the model carries a second
+  asymptotic rate for float32 operands and ``time_gemm`` selects by the
+  operand dtype; bandwidth-bound kernels and transfers need no second
+  constant because their cost is in *bytes*, which float32 halves
+  automatically.
 * Bandwidth-bound kernels (scalings, copies): ``time = latency +
   bytes / B_eff`` — they do O(1) flops per element, so memory traffic is
   the cost; ``B_eff`` is the achievable (not peak) device bandwidth.
@@ -28,7 +33,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["GPUModel", "CPUModel", "TESLA_C2050", "NEHALEM_8CORE"]
+
+
+def _is_single(dtype) -> bool:
+    """True when ``dtype`` selects the single-precision rate."""
+    return dtype is not None and np.dtype(dtype).itemsize == 4
 
 
 @dataclass(frozen=True)
@@ -48,16 +60,28 @@ class GPUModel:
     kernel_latency: float
     #: fixed cost of one host<->device transfer, s
     transfer_latency: float
+    #: asymptotic SGEMM rate, flop/s; 0 means "not modeled" and float32
+    #: GEMMs fall back (conservatively) to the double-precision rate
+    gemm_rate_inf_sp: float = 0.0
 
-    def gemm_rate(self, n: float) -> float:
-        """Size-dependent DGEMM rate (flop/s) for an n x n x n product."""
+    def gemm_rate(self, n: float, dtype=None) -> float:
+        """Size-dependent GEMM rate (flop/s) for an n x n x n product.
+
+        ``dtype`` selects the precision: float32 operands use the SGEMM
+        asymptote when one is modeled. The half-performance size is
+        shared — it is set by the blocking of the CUBLAS kernels, not by
+        the operand width.
+        """
+        rate_inf = self.gemm_rate_inf
+        if _is_single(dtype) and self.gemm_rate_inf_sp > 0.0:
+            rate_inf = self.gemm_rate_inf_sp
         n3 = float(n) ** 3
-        return self.gemm_rate_inf * n3 / (n3 + self.gemm_n_half**3)
+        return rate_inf * n3 / (n3 + self.gemm_n_half**3)
 
-    def time_gemm(self, m: int, n: int, k: int) -> float:
+    def time_gemm(self, m: int, n: int, k: int, dtype=None) -> float:
         flops = 2.0 * m * n * k
         eff_n = (m * n * k) ** (1.0 / 3.0)
-        return self.kernel_latency + flops / self.gemm_rate(eff_n)
+        return self.kernel_latency + flops / self.gemm_rate(eff_n, dtype=dtype)
 
     def time_bandwidth_kernel(self, nbytes: float) -> float:
         """A kernel whose cost is pure memory traffic (scaling, copy)."""
@@ -95,10 +119,12 @@ class CPUModel:
         return fl / (frac * self.gemm_rate(min(m, n)))
 
 
-#: Tesla C2050: 515 GF/s DP peak; measured CUBLAS DGEMM saturates near
-#: ~290-300 GF/s; ECC-on STREAM-like bandwidth ~105 GB/s of the 144 GB/s
-#: raw; PCIe 2.0 x16 ~6 GB/s effective; ~8 us launch, ~15 us transfer
-#: setup. These reproduce the Fig 9 ordering and crossover scales.
+#: Tesla C2050: 515 GF/s DP peak (1030 GF/s SP — the Fermi 2:1 ratio);
+#: measured CUBLAS DGEMM saturates near ~290-300 GF/s, and SGEMM at the
+#: same ~58% efficiency lands near ~600 GF/s; ECC-on STREAM-like
+#: bandwidth ~105 GB/s of the 144 GB/s raw; PCIe 2.0 x16 ~6 GB/s
+#: effective; ~8 us launch, ~15 us transfer setup. These reproduce the
+#: Fig 9 ordering and crossover scales.
 TESLA_C2050 = GPUModel(
     name="Tesla C2050 (simulated)",
     gemm_rate_inf=300e9,
@@ -107,6 +133,7 @@ TESLA_C2050 = GPUModel(
     pcie_bandwidth=6e9,
     kernel_latency=8e-6,
     transfer_latency=15e-6,
+    gemm_rate_inf_sp=600e9,
 )
 
 #: Two-socket quad-core Nehalem (Carver node): ~85 GF/s DP peak over 8

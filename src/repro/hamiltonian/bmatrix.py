@@ -41,6 +41,10 @@ class BMatrixFactory:
         self.model = model
         self.kinetic = KineticPropagator(model.kinetic_matrix(), model.dtau)
         self.nu = model.nu
+        # dtype -> (expk, inv_expk) realized for that width; float64
+        # masters are shared, narrower widths are cast once and reused
+        # across rebinds (and across promotions back down the ladder).
+        self._exponentials: dict = {}
 
     @property
     def n(self) -> int:
@@ -53,6 +57,28 @@ class BMatrixFactory:
     @property
     def inv_expk(self) -> np.ndarray:
         return self.kinetic.inv_expk
+
+    def exponentials(self, dtype=None):
+        """``(exp(-dtau K), exp(+dtau K))`` realized in ``dtype``.
+
+        The precision-policy seam of the hamiltonian layer: backends
+        bind their compute-dtype exponentials through this cache. The
+        eigendecomposition behind the masters is never redone — only
+        the final cast is, once per width.
+        """
+        if dtype is None:
+            return self.expk, self.inv_expk
+        dt = np.dtype(dtype)
+        if dt == self.expk.dtype:
+            return self.expk, self.inv_expk
+        cached = self._exponentials.get(dt)
+        if cached is None:
+            cached = (
+                np.asarray(self.expk, dtype=dt),
+                np.asarray(self.inv_expk, dtype=dt),
+            )
+            self._exponentials[dt] = cached
+        return cached
 
     # -- single-slice products -------------------------------------------------
 

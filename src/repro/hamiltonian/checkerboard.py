@@ -136,7 +136,7 @@ class CheckerboardPropagator:
         ``[[c, s], [s, c]]`` to the (i, j) row pairs — pure gather /
         fused-multiply work, no GEMM.
         """
-        a = np.array(a, dtype=np.float64, copy=True)
+        a = np.array(a, dtype=np.float64, copy=True)  # qmclint: disable=QL008 -- checkerboard reference path applies the float64 master rotations
         for ii, jj, c, s in self._group_arrays:
             rows_i = a[ii]
             rows_j = a[jj]

@@ -26,7 +26,7 @@ class HSField:
     """
 
     def __init__(self, h: np.ndarray):
-        h = np.asarray(h, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)  # qmclint: disable=QL008 -- +-1 spins are exact at any width; float64 is the policy-independent master state
         if h.ndim != 2:
             raise ValueError("HS field must be (L, N)")
         if not np.all(np.abs(h) == 1.0):

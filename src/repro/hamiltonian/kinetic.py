@@ -39,7 +39,7 @@ class KineticPropagator:
 
     @cached_property
     def _eig(self) -> tuple:
-        w, v = sla.eigh(np.asarray(self.k_matrix, dtype=np.float64))
+        w, v = sla.eigh(np.asarray(self.k_matrix, dtype=np.float64))  # qmclint: disable=QL008 -- float64 masters; policy widths are realized via BMatrixFactory.exponentials
         return w, v
 
     @property
@@ -71,7 +71,7 @@ def free_greens_function(k_matrix: np.ndarray, beta: float) -> np.ndarray:
     the overflow-free form ``1/(1 + e^{-beta w})`` (the Fermi function of
     ``-w``), valid for any beta.
     """
-    w, v = sla.eigh(np.asarray(k_matrix, dtype=np.float64))
+    w, v = sla.eigh(np.asarray(k_matrix, dtype=np.float64))  # qmclint: disable=QL008 -- exact U=0 reference is a float64 diagnostic by definition
     # Mode occupancy <n_w> = 1/(1 + e^{beta w}), evaluated overflow-free
     # for both signs of the exponent; then <c c^dagger> = 1 - <n_w>.
     # np.where evaluates both branches, so the exponent is clipped to the

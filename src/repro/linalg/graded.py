@@ -80,7 +80,11 @@ def split_scales(d: np.ndarray) -> tuple:
     stay bounded by 1 in magnitude so the final solve mixes only
     comparable numbers.
     """
-    d = np.asarray(d, dtype=np.float64)
+    # Width follows the caller's scales: the spine dtype under a policy
+    # (float64 except fast32); non-float inputs take the spine default.
+    d = np.asarray(d)
+    if d.dtype not in (np.dtype("float32"), np.dtype("float64")):
+        d = np.asarray(d, dtype=np.float64)  # qmclint: disable=QL008 -- spine default for non-float inputs
     big = np.abs(d) > 1.0
     db = np.ones_like(d)
     ds = d.copy()

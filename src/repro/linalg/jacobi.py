@@ -55,7 +55,11 @@ def jacobi_svd(
         to converge raises (it indicates NaNs or a pathological input,
         not a tolerance problem — Jacobi converges quadratically).
     """
-    a = np.asarray(a, dtype=np.float64)
+    # Dtype-following for float inputs (matches the Householder paths);
+    # non-float inputs promote to the float64 spine default.
+    a = np.asarray(a)
+    if a.dtype not in (np.dtype("float32"), np.dtype("float64")):
+        a = np.asarray(a, dtype=np.float64)  # qmclint: disable=QL008 -- spine default for non-float inputs
     if a.ndim != 2:
         raise ValueError("expected a matrix")
     m, n = a.shape

@@ -89,7 +89,12 @@ class QRResult:
 
 
 def _check_matrix(a: np.ndarray) -> np.ndarray:
-    a = np.asarray(a, dtype=np.float64)
+    # Dtype-following for the two policy widths (a fast32 spine runs its
+    # QR in float32); any other input — ints, object arrays — promotes
+    # to the float64 spine default.
+    a = np.asarray(a)
+    if a.dtype not in (np.dtype("float32"), np.dtype("float64")):
+        a = np.asarray(a, dtype=np.float64)  # qmclint: disable=QL008 -- spine default for non-float inputs
     if a.ndim != 2:
         raise ValueError(f"expected a matrix, got ndim={a.ndim}")
     return a
@@ -154,7 +159,7 @@ def _householder_vector(x: np.ndarray) -> tuple:
     ``(I - beta v v^T) x = (-sign(x0) * ||x||) e_1`` — the LAPACK sign
     convention, which keeps the computation of v[0] cancellation-free.
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x)  # width follows the (already-checked) matrix
     normx = np.linalg.norm(x)
     v = x.copy()
     if normx == 0.0:

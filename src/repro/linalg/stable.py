@@ -77,7 +77,7 @@ def stable_log_det_from_graded(g: GradedDecomposition) -> tuple:
     return float(sign_q * sign_lu), logdet
 
 
-@shape_contract("(n,n)", dtype=np.float64, finite=True)
+@shape_contract("(n,n)", dtype=np.float64, finite=True)  # qmclint: disable=QL008 -- the strawman's breakdown demo is defined at float64
 def naive_inverse(product: np.ndarray) -> np.ndarray:
     """``(I + product)^{-1}`` with no stabilization — the strawman.
 

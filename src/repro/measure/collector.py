@@ -60,8 +60,15 @@ class MeasurementCollector:
         recorded sign-weighted so the driver can form sign-corrected
         ratios (at half filling the sign is identically +1 and the
         weighting is a no-op).
+
+        Measurement is the precision-policy floor: under a narrowed
+        policy the Green's functions arrive in the compute dtype, but
+        every estimator and accumulator runs in float64 — samples are
+        promoted here, at the single entry point.
         """
         acc = self.accumulator
+        g_up = np.asarray(g_up, dtype=np.float64)
+        g_dn = np.asarray(g_dn, dtype=np.float64)
         acc.add("sign", sign)
         acc.add("density", sign * total_density(g_up, g_dn))
         acc.add("double_occupancy", sign * double_occupancy(g_up, g_dn))

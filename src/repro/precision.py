@@ -1,0 +1,188 @@
+"""Precision policies: every dtype decision in the pipeline, in one place.
+
+The paper's GPU target (Tesla C2050, Sec. V) has a 2:1 single-to-double
+peak-FLOP ratio, and the dominant DQMC cost — clustered B-matrix GEMMs
+and Green's-function wrapping — is exactly the work that tolerates
+reduced precision *provided the graded QR stabilization stays in
+double*. A :class:`PrecisionPolicy` makes that split explicit:
+
+``compute_dtype``
+    The dtype of the propagator pipeline's hot path: cluster products,
+    wrap/unwrap, the equal-time Green's function between
+    re-stratifications, and the delayed-update rank-1 buffers.
+
+``spine_dtype``
+    The dtype of the stabilization spine: graded QR factorizations,
+    the diagonal scales ``D``, and the stratified inverse that refreshes
+    ``G``. Under ``mixed`` this never narrows — the spine is what keeps
+    ``exp(beta * bandwidth)`` dynamic range representable at all.
+
+``drift_scale``
+    Multiplier applied to the watchdog's wrap-drift tolerance. Reduced
+    precision legitimately drifts more between refreshes (float32 eps is
+    ~1e-7 against float64's ~2e-16); the scale keeps the default
+    tolerance meaningful per policy instead of tripping on healthy runs.
+
+Three policies ship:
+
+========  =============  ===========  ===========
+name      compute        spine        drift scale
+========  =============  ===========  ===========
+full64    float64        float64      1
+mixed     float32        float64      100
+fast32    float32        float32      10000
+========  =============  ===========  ===========
+
+``full64`` is the default and is bit-identical to the historical
+pipeline (its coercions are no-ops). ``mixed`` is the paper-motivated
+fast path. ``fast32`` narrows the spine too — it exists as the far end
+of the ladder for perf experiments and is expected to need watchdog
+*promotion* on cold workloads: a ``health_alert`` under ``fast32`` or
+``mixed`` promotes the running engine to :attr:`PrecisionPolicy.safer`
+in place rather than failing the run.
+
+Everything below deliberately lives *outside* ``core/``, ``linalg/``,
+``hamiltonian/`` and ``backends/`` — qmclint rule QL008 flags literal
+dtype pins inside those packages so that this module stays the single
+choke point for narrowing decisions.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "PrecisionPolicy",
+    "PrecisionError",
+    "POLICIES",
+    "PROMOTION_LADDER",
+    "DEFAULT_POLICY_NAME",
+    "ENV_VAR",
+    "resolve_policy",
+]
+
+#: environment variable consulted when the precision spec is "auto"
+ENV_VAR = "REPRO_PRECISION"
+
+#: policy applied when nothing is configured anywhere
+DEFAULT_POLICY_NAME = "full64"
+
+# The two dtypes the pipeline is allowed to narrow between. Spelled via
+# np.dtype(<name>) so the policy module itself stays the only place a
+# narrow float is ever named.
+_F32 = np.dtype("float32")
+_F64 = np.dtype("float64")
+
+
+class PrecisionError(ValueError):
+    """Unknown policy name or malformed precision spec."""
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """An immutable (compute dtype, spine dtype, tolerance scale) triple."""
+
+    name: str
+    compute_dtype: np.dtype
+    spine_dtype: np.dtype
+    drift_scale: float
+    description: str = field(default="", compare=False)
+
+    # -- dtype application ---------------------------------------------------
+
+    def compute(self, a) -> np.ndarray:
+        """``a`` as an ndarray in the compute dtype (no-op if it already
+        is — under ``full64`` this preserves object identity)."""
+        return np.asarray(a, dtype=self.compute_dtype)
+
+    def spine(self, a) -> np.ndarray:
+        """``a`` as an ndarray in the stabilization-spine dtype."""
+        return np.asarray(a, dtype=self.spine_dtype)
+
+    # -- the promotion ladder ------------------------------------------------
+
+    @property
+    def safer(self) -> Optional["PrecisionPolicy"]:
+        """The next-safer policy, or None if already at ``full64``.
+
+        This is the watchdog's promotion target: ``fast32`` -> ``mixed``
+        -> ``full64``.
+        """
+        i = PROMOTION_LADDER.index(self.name)
+        if i + 1 >= len(PROMOTION_LADDER):
+            return None
+        return POLICIES[PROMOTION_LADDER[i + 1]]
+
+    @property
+    def is_narrowed(self) -> bool:
+        """True if any part of the pipeline runs below float64."""
+        return self.compute_dtype != _F64 or self.spine_dtype != _F64
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.name
+
+
+#: least-safe first; promotion walks right.
+PROMOTION_LADDER = ("fast32", "mixed", "full64")
+
+POLICIES: Dict[str, PrecisionPolicy] = {
+    "full64": PrecisionPolicy(
+        name="full64",
+        compute_dtype=_F64,
+        spine_dtype=_F64,
+        drift_scale=1.0,
+        description="float64 everywhere (historical pipeline, bit-exact)",
+    ),
+    "mixed": PrecisionPolicy(
+        name="mixed",
+        compute_dtype=_F32,
+        spine_dtype=_F64,
+        drift_scale=100.0,
+        description=(
+            "float32 cluster products / wrapping / delayed updates, "
+            "float64 graded-QR stabilization spine and accumulators"
+        ),
+    ),
+    "fast32": PrecisionPolicy(
+        name="fast32",
+        compute_dtype=_F32,
+        spine_dtype=_F32,
+        drift_scale=10000.0,
+        description=(
+            "float32 everywhere including the spine - perf-experiment "
+            "endpoint; expect watchdog promotion on hard workloads"
+        ),
+    ),
+}
+
+
+def resolve_policy(
+    spec: Union[None, str, PrecisionPolicy] = None,
+) -> PrecisionPolicy:
+    """Resolve a precision spec to a policy.
+
+    Accepts a :class:`PrecisionPolicy` (returned unchanged), a policy
+    name, ``"auto"``/None/"" (consult ``$REPRO_PRECISION``, then fall
+    back to ``full64``). Unknown names raise :class:`PrecisionError`
+    listing the valid choices — a typo must not silently run full64.
+    """
+    if isinstance(spec, PrecisionPolicy):
+        return spec
+    if spec is None or spec == "" or spec == "auto":
+        spec = os.environ.get(ENV_VAR, "") or DEFAULT_POLICY_NAME
+    if not isinstance(spec, str):
+        raise PrecisionError(
+            f"precision spec must be a name or PrecisionPolicy, got "
+            f"{type(spec).__name__}"
+        )
+    try:
+        return POLICIES[spec]
+    except KeyError:
+        raise PrecisionError(
+            f"unknown precision policy {spec!r} "
+            f"(choose from: {', '.join(PROMOTION_LADDER[::-1])})"
+        ) from None

@@ -65,6 +65,9 @@ class HealthReport:
     dynamic_range: float
     alerts: List[str] = field(default_factory=list)
     forced_refresh: bool = False
+    #: name of the policy the engine was promoted to, when an alert
+    #: under a narrowed precision policy triggered promotion
+    promoted_to: Optional[str] = None
 
     @property
     def healthy(self) -> bool:
@@ -85,6 +88,12 @@ class NumericalHealthWatchdog:
     telemetry:
         Sink for ``health_alert`` / ``forced_refresh`` events and the
         ``health.*`` gauge series; ``None`` keeps reports in-memory only.
+    promote:
+        When True (the default, production behaviour) an alert under a
+        narrowed precision policy promotes the engine to the next-safer
+        rung. The autotuner disables this: its trials deliberately probe
+        configurations that may be unhealthy, and the gate's job is to
+        *reject* them, not to mutate the engine's policy mid-search.
     """
 
     def __init__(
@@ -92,13 +101,16 @@ class NumericalHealthWatchdog:
         engine,
         config: Optional[WatchdogConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        promote: bool = True,
     ):
         self.engine = engine
         self.config = config if config is not None else WatchdogConfig()
         self.telemetry = ensure_telemetry(telemetry)
+        self.promote = promote
         self.reports: List[HealthReport] = []
         self.alerts = 0
         self.forced_refreshes = 0
+        self.promotions = 0
 
     def maybe_check(self, sweep_index: int) -> Optional[HealthReport]:
         """Run a health sample if ``sweep_index`` falls on the cadence.
@@ -111,8 +123,20 @@ class NumericalHealthWatchdog:
         return self.check(sweep_index)
 
     def check(self, sweep_index: int = 0) -> HealthReport:
-        """Sample both diagnostics, alert + refresh past tolerance."""
+        """Sample both diagnostics, alert + refresh past tolerance.
+
+        The wrap-drift tolerance is scaled by the active precision
+        policy's ``drift_scale``: a narrowed pipeline legitimately
+        drifts more between refreshes (float32 eps ~1e-7), and the
+        scale keeps one configured tolerance meaningful on every rung
+        of the ladder. Under ``full64`` the scale is 1 — behaviour is
+        exactly historical.
+        """
         cfg = self.config
+        policy = getattr(self.engine, "policy", None)
+        drift_tol = cfg.drift_tol * (
+            policy.drift_scale if policy is not None else 1.0
+        )
         drift = max(
             self.engine.wrap_drift(sigma, n_wraps=cfg.n_wraps)
             for sigma in (1, -1)
@@ -130,9 +154,9 @@ class NumericalHealthWatchdog:
         report = HealthReport(
             sweep=sweep_index, wrap_drift=drift, dynamic_range=dyn_range
         )
-        if drift > cfg.drift_tol:
+        if drift > drift_tol:
             report.alerts.append(
-                f"wrap_drift {drift:.3e} exceeds tolerance {cfg.drift_tol:.3e}"
+                f"wrap_drift {drift:.3e} exceeds tolerance {drift_tol:.3e}"
             )
         if dyn_range > cfg.range_tol:
             report.alerts.append(
@@ -156,11 +180,48 @@ class NumericalHealthWatchdog:
                 dynamic_range=dyn_range,
                 alerts=list(report.alerts),
             )
+            # Promotion before refresh: when a narrowed policy is what
+            # drifted, the forced re-stratification below already runs
+            # under the next-safer rung.
+            self._maybe_promote(sweep_index, report)
             self._force_refresh(sweep_index)
             report.forced_refresh = True
 
         self.reports.append(report)
         return report
+
+    def _maybe_promote(self, sweep_index: int, report: "HealthReport") -> bool:
+        """Promote a narrowed engine to the next-safer precision policy.
+
+        An alert under ``mixed``/``fast32`` means the narrowed pipeline
+        is not holding this workload; instead of failing (or silently
+        measuring drifted physics) the engine is switched in place —
+        ``fast32`` -> ``mixed`` -> ``full64`` — and a
+        ``precision_promoted`` event records the transition. At
+        ``full64`` there is no safer rung and the historical
+        alert-and-refresh behaviour stands alone.
+        """
+        if not self.promote:
+            return False
+        policy = getattr(self.engine, "policy", None)
+        set_precision = getattr(self.engine, "set_precision", None)
+        if policy is None or set_precision is None:
+            return False
+        safer = policy.safer
+        if safer is None:
+            return False
+        set_precision(safer)
+        self.promotions += 1
+        report.promoted_to = safer.name
+        self.telemetry.counter("health.precision_promotions")
+        self.telemetry.event(
+            "precision_promoted",
+            sweep=sweep_index,
+            from_policy=policy.name,
+            to_policy=safer.name,
+            reason="; ".join(report.alerts),
+        )
+        return True
 
     def _force_refresh(self, sweep_index: int) -> None:
         """Graceful degradation: drop all derived state and re-stratify.

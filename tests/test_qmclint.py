@@ -412,6 +412,113 @@ class TestQL007BackendBypass:
         assert vs == []
 
 
+class TestQL008PrecisionBypass:
+    def test_flags_dtype_keyword_in_core(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad(a):
+                return np.asarray(a, dtype=np.float64)
+            """,
+            rel="repro/core/mod.py",
+        )
+        assert "QL008" in codes(vs)
+
+    def test_flags_astype_literal_in_linalg(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad(a):
+                return a.astype(np.float32)
+            """,
+            rel="repro/linalg/mod.py",
+        )
+        assert "QL008" in codes(vs)
+
+    def test_flags_string_dtype_literal(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad(a):
+                return np.zeros_like(a, dtype="float32")
+            """,
+            rel="repro/backends/mod.py",
+        )
+        assert "QL008" in codes(vs)
+
+    def test_policy_coercion_is_the_sanctioned_idiom(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            def good(self, a):
+                return self.policy.compute(a)
+            """,
+            rel="repro/core/mod.py",
+        )
+        assert vs == []
+
+    def test_out_of_scope_packages_ignored(self, tmp_path):
+        src = """
+        import numpy as np
+
+        def fine(a):
+            return np.asarray(a, dtype=np.float64)
+        """
+        assert lint_source(tmp_path, src, rel="repro/measure/mod.py") == []
+        assert lint_source(tmp_path, src, rel="repro/gpu/mod.py") == []
+        assert lint_source(tmp_path, src, rel="other/core/mod.py") == []
+
+    def test_flags_mixed_width_gemm(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad(self, a, g):
+                wide = np.asarray(a, dtype=np.float64)  # qmclint: disable=QL008
+                narrow = self.policy.compute(g)
+                return wide @ narrow
+            """,
+            rel="repro/core/mod.py",
+        )
+        assert "QL008" in codes(vs)
+
+    def test_uniform_width_gemm_not_flagged(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            from repro.linalg import flops
+
+            def good(self, a, g):
+                x = self.policy.compute(a)
+                y = self.policy.compute(g)
+                flops.record("gemm", 1)
+                return x @ y
+            """,
+            rel="repro/core/mod.py",
+        )
+        assert vs == []
+
+    def test_reasoned_pragma_suppresses(self, tmp_path):
+        vs = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def reference(a):
+                return np.asarray(a, dtype=np.float64)  # qmclint: disable=QL008 -- float64 diagnostic
+            """,
+            rel="repro/hamiltonian/mod.py",
+        )
+        assert vs == []
+
+
 class TestPragmas:
     def test_line_pragma_suppresses(self, tmp_path):
         vs = lint_source(

@@ -1,4 +1,4 @@
-"""The rule catalogue: QL001–QL007.
+"""The rule catalogue: QL001–QL008.
 
 Each rule is a small AST pass grounded in a failure mode this codebase
 actually has to defend against (see ``docs/static_analysis.md`` for the
@@ -617,6 +617,150 @@ class BackendBypassRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# QL008 — precision-policy bypass in the policy-governed packages
+# ---------------------------------------------------------------------------
+
+
+class PrecisionBypassRule(Rule):
+    """Flag literal float dtype pins inside the policy-governed packages.
+
+    Every width decision in ``repro/{core,linalg,hamiltonian,backends}/``
+    is owned by :class:`repro.precision.PrecisionPolicy` — code there
+    narrows or widens through ``policy.compute(...)`` /
+    ``policy.spine(...)`` (or follows an input array's dtype), never by
+    spelling a width. A literal ``dtype=np.float64`` pins the hot path
+    wide even under ``mixed``; a literal ``astype(np.float32)`` narrows
+    behind the policy's back and the watchdog's drift accounting stops
+    meaning anything. The rule also flags ``a @ b`` where one operand
+    was locally coerced to a literal float width and the other came
+    through the policy — a mixed-width GEMM silently upcasts, costing
+    the double-precision rate the policy was trying to avoid. Genuinely
+    width-pinned spots (float64 reference diagnostics, the graded-scale
+    masters) carry a reasoned pragma.
+    """
+
+    code = "QL008"
+    name = "precision-bypass"
+    description = "literal float dtype pin in policy-governed packages"
+
+    _SCOPED_DIRS = {"core", "linalg", "hamiltonian", "backends"}
+    _FLOAT_LITERALS = {"float64", "float32", "double", "single", "float_"}
+    #: call chains that mark a value as policy-derived
+    _POLICY_METHODS = {"compute", "spine"}
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        parts = ctx.rel.split("/")
+        return "repro" in parts and bool(
+            self._SCOPED_DIRS.intersection(parts[:-1])
+        )
+
+    def _float_literal(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute) and node.attr in self._FLOAT_LITERALS:
+            return dotted_name(node)
+        if isinstance(node, ast.Constant) and node.value in self._FLOAT_LITERALS:
+            return repr(node.value)
+        return None
+
+    def _is_policy_coercion(self, node: ast.AST) -> bool:
+        """``self.policy.compute(x)`` / ``policy.spine(x)`` and friends."""
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr not in self._POLICY_METHODS:
+            return False
+        holder = dotted_name(func.value)
+        return holder == "policy" or holder.endswith(".policy") or holder in (
+            "compute",
+            "spine",
+        )
+
+    def _literal_coercion(self, node: ast.AST) -> bool:
+        """``np.asarray(x, dtype=np.float64)`` / ``x.astype(np.float32)``."""
+        if not isinstance(node, ast.Call):
+            return False
+        if call_name(node) == "astype" and node.args:
+            return self._float_literal(node.args[0]) is not None
+        for kw in node.keywords:
+            if kw.arg == "dtype" and self._float_literal(kw.value) is not None:
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not self._in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) == "astype" and isinstance(
+                node.func, ast.Attribute
+            ):
+                for arg in node.args[:1]:
+                    lit = self._float_literal(arg)
+                    if lit:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"astype({lit}) pins a float width behind the "
+                            "precision policy's back: use policy.compute / "
+                            "policy.spine (or pragma a genuinely "
+                            "width-pinned diagnostic)",
+                        )
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    lit = self._float_literal(kw.value)
+                    if lit:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"dtype={lit} pins a float width in a "
+                            "policy-governed package: take the width from "
+                            "the PrecisionPolicy or follow an input "
+                            "array's dtype",
+                        )
+        yield from self._mixed_gemms(ctx)
+
+    def _mixed_gemms(self, ctx: FileContext) -> Iterator[Violation]:
+        """Function-local taint: a @ b with one literal-width operand and
+        one policy-derived operand upcasts the GEMM behind the policy."""
+        for fn in _functions(ctx.tree):
+            literal: Set[str] = set()
+            policy: Set[str] = set()
+            for node in _iter_scope(fn.body):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    tgt = node.targets[0]
+                    if isinstance(tgt, ast.Name):
+                        if self._literal_coercion(node.value):
+                            literal.add(tgt.id)
+                            policy.discard(tgt.id)
+                        elif self._is_policy_coercion(node.value):
+                            policy.add(tgt.id)
+                            literal.discard(tgt.id)
+            if not literal or not policy:
+                continue
+            for node in _iter_scope(fn.body):
+                if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, ast.MatMult
+                ):
+                    sides = (node.left, node.right)
+                    names = [
+                        s.id for s in sides if isinstance(s, ast.Name)
+                    ]
+                    if any(n in literal for n in names) and any(
+                        n in policy for n in names
+                    ):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"`{fn.name}` multiplies a literal-width "
+                            "operand against a policy-derived one: the "
+                            "GEMM silently upcasts and the narrowed "
+                            "policy buys nothing here",
+                        )
+
+
+# ---------------------------------------------------------------------------
 # QL9xx — meta rules (engine-emitted; descriptors only)
 # ---------------------------------------------------------------------------
 
@@ -664,6 +808,7 @@ ALL_RULES = (
     InPlaceParamRule(),
     SilentExceptRule(),
     BackendBypassRule(),
+    PrecisionBypassRule(),
 ) + CONCURRENCY_RULES + (
     PragmaReasonMeta(),
     PragmaUnusedMeta(),
