@@ -1,0 +1,271 @@
+"""Streaming-statistics benchmark: memory scaling + adaptive stopping.
+
+Two claims of the ``repro.stats`` subsystem, measured:
+
+1. **O(log n) memory.** The streaming log-binned accumulator's retained
+   state grows with the *logarithm* of the sample count while the
+   post-hoc ``Accumulator`` grows linearly — demonstrated on identical
+   AR(1) scalar + array series, with the streaming mean/error checked
+   against ``binned_statistics`` at floating-point tolerance (the bin
+   boundaries coincide whenever n = n_bins * 2^k).
+
+2. **Error-targeted stopping.** A 6x6, beta = 3 run under a
+   ``RunController`` (``--target-error`` semantics) stops as soon as the
+   target observable's relative error meets the target, against a
+   fixed-budget twin of the same seeded workload — the adaptive run must
+   meet its target without exceeding the budget.
+
+Emits ``benchmarks/results/BENCH_stats.json``. Standalone on purpose
+(not a pytest-benchmark case): CI runs it directly to publish the JSON
+artifact. ``--quick`` shrinks to a 4x4 smoke scale.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stats.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_common import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: bin count used for every estimate; sample counts are n_bins * 2^k so
+#: the streaming and post-hoc bin boundaries coincide exactly.
+N_BINS = 16
+
+#: fp-agreement tolerance for mean/error parity at coinciding boundaries
+PARITY_RTOL = 1e-10
+
+
+def _ar1(n: int, rho: float, rng, shape=()) -> np.ndarray:
+    noise = rng.standard_normal((n,) + tuple(shape))
+    out = np.empty_like(noise)
+    out[0] = noise[0]
+    for t in range(1, n):
+        out[t] = rho * out[t - 1] + noise[t]
+    return out
+
+
+def _posthoc_floats(acc) -> int:
+    return sum(int(np.asarray(acc.series(name)).size) for name in acc.names())
+
+
+def _streaming_floats(acc) -> int:
+    return sum(int(a.size) for a in acc.state_arrays().values())
+
+
+def memory_scaling(sample_counts, array_shape) -> dict:
+    """Feed identical series to both accumulator types; record retained
+    state size and the streaming-vs-post-hoc estimate deviation."""
+    from repro.measure import Accumulator, binned_statistics
+    from repro.stats import StreamingAccumulator
+
+    rows = []
+    for n in sample_counts:
+        rng = np.random.default_rng(42)
+        scalars = _ar1(n, 0.7, rng)
+        arrays = _ar1(n, 0.7, rng, shape=array_shape)
+
+        posthoc, streaming = Accumulator(), StreamingAccumulator()
+        for t in range(n):
+            posthoc.add("scalar", scalars[t])
+            posthoc.add("array", arrays[t])
+            streaming.add("scalar", scalars[t])
+            streaming.add("array", arrays[t])
+
+        ref = binned_statistics(scalars, n_bins=N_BINS)
+        est = streaming.estimate("scalar", n_bins=N_BINS)
+        rows.append(
+            {
+                "n_samples": n,
+                "posthoc_floats": _posthoc_floats(posthoc),
+                "streaming_floats": _streaming_floats(streaming),
+                "mean_rel_diff": abs(est.mean - ref.mean)
+                / max(abs(ref.mean), 1e-300),
+                "error_rel_diff": abs(est.error - ref.error)
+                / max(abs(ref.error), 1e-300),
+            }
+        )
+
+    first, last = rows[0], rows[-1]
+    n_ratio = last["n_samples"] / first["n_samples"]
+    posthoc_ratio = last["posthoc_floats"] / first["posthoc_floats"]
+    streaming_ratio = last["streaming_floats"] / first["streaming_floats"]
+    # O(log n): growing n by 2^k adds ~k Welford levels per observable,
+    # nowhere near the 2^k factor the retained-series path pays.
+    log_memory_ok = streaming_ratio <= math.log2(n_ratio)
+    parity_ok = all(
+        r["mean_rel_diff"] <= PARITY_RTOL and r["error_rel_diff"] <= PARITY_RTOL
+        for r in rows
+    )
+    return {
+        "array_shape": list(array_shape),
+        "n_bins": N_BINS,
+        "rows": rows,
+        "posthoc_growth": posthoc_ratio,
+        "streaming_growth": streaming_ratio,
+        "n_growth": n_ratio,
+        "log_memory_ok": log_memory_ok,
+        "parity_rtol": PARITY_RTOL,
+        "parity_ok": parity_ok,
+    }
+
+
+def _simulation(size, n_slices, seed, streaming):
+    from repro import HubbardModel, Simulation, SquareLattice
+
+    model = HubbardModel(
+        SquareLattice(size, size), u=4.0, beta=n_slices * 0.125,
+        n_slices=n_slices,
+    )
+    return Simulation(
+        model, seed=seed, cluster_size=8, measure_arrays=False,
+        streaming=streaming,
+    )
+
+
+def adaptive_vs_fixed(size, n_slices, warmup, budget, target_error) -> dict:
+    """The same seeded workload twice: fixed budget vs run-to-target."""
+    from repro.stats import RunController
+
+    fixed = _simulation(size, n_slices, seed=11, streaming=False)
+    t0 = time.perf_counter()
+    fixed.warmup(warmup)
+    fixed.measure_sweeps(budget)
+    fixed_wall = time.perf_counter() - t0
+    fixed_density = fixed.collector.results()["density"]
+
+    adaptive = _simulation(size, n_slices, seed=11, streaming=True)
+    adaptive.attach_controller(
+        RunController(
+            target_observable="density", target_error=target_error,
+            check_every=8, min_samples=2 * N_BINS,
+        )
+    )
+    t0 = time.perf_counter()
+    adaptive.warmup(warmup)
+    adaptive.measure_until(budget)
+    adaptive_wall = time.perf_counter() - t0
+    summary = adaptive.controller.summary()
+
+    return {
+        "workload": {
+            "lattice": f"{size}x{size}",
+            "n_slices": n_slices,
+            "beta": n_slices * 0.125,
+            "u": 4.0,
+            "seed": 11,
+            "warmup_sweeps": warmup,
+            "budget_sweeps": budget,
+            "target_error": target_error,
+        },
+        "fixed": {
+            "measured_sweeps": fixed.measured_sweeps,
+            "wall_seconds": fixed_wall,
+            "density_mean": float(fixed_density.mean),
+            "density_error": float(fixed_density.error),
+        },
+        "adaptive": {
+            "measured_sweeps": adaptive.measured_sweeps,
+            "wall_seconds": adaptive_wall,
+            "control": summary,
+        },
+        "stopped_within_budget": adaptive.measured_sweeps <= budget,
+        "target_met": bool(summary["target_met"]),
+        "sweeps_saved": budget - adaptive.measured_sweeps,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale workload (4x4, short series) instead of bench scale",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_DIR / "BENCH_stats.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        counts = [N_BINS * 2 ** k for k in (4, 6, 8, 10)]
+        shape, size, n_slices, warmup, budget = (16,), 4, 16, 10, 160
+    else:
+        counts = [N_BINS * 2 ** k for k in (4, 7, 10, 13)]
+        shape, size, n_slices, warmup, budget = (36,), 6, 24, 20, 240
+
+    print("memory scaling (identical AR(1) series into both paths) ...")
+    mem = memory_scaling(counts, shape)
+    print(format_table(
+        ["n", "post-hoc floats", "streaming floats",
+         "mean rel diff", "err rel diff"],
+        [
+            [r["n_samples"], r["posthoc_floats"], r["streaming_floats"],
+             f"{r['mean_rel_diff']:.1e}", f"{r['error_rel_diff']:.1e}"]
+            for r in mem["rows"]
+        ],
+    ))
+    print(
+        f"growth over a {mem['n_growth']:.0f}x sample-count increase: "
+        f"post-hoc {mem['posthoc_growth']:.0f}x, "
+        f"streaming {mem['streaming_growth']:.2f}x "
+        f"(log2 bound {math.log2(mem['n_growth']):.1f}) -> "
+        f"{'O(log n) holds' if mem['log_memory_ok'] else 'FAIL'}"
+    )
+
+    print("adaptive stop vs fixed budget ...")
+    run = adaptive_vs_fixed(
+        size, n_slices, warmup, budget,
+        target_error=0.004 if args.quick else 0.002,
+    )
+    ctl = run["adaptive"]["control"]
+    print(format_table(
+        ["run", "sweeps", "seconds"],
+        [
+            ["fixed", run["fixed"]["measured_sweeps"],
+             f"{run['fixed']['wall_seconds']:.2f}"],
+            ["adaptive", run["adaptive"]["measured_sweeps"],
+             f"{run['adaptive']['wall_seconds']:.2f}"],
+        ],
+    ))
+    print(
+        f"target rel. error {run['workload']['target_error']:g} on density: "
+        f"reached {ctl['relative_error']:.2e} after "
+        f"{run['adaptive']['measured_sweeps']} of {budget} budget sweeps "
+        f"({ctl['discarded']} discarded at equilibration) -> "
+        f"{'target met' if run['target_met'] else 'TARGET NOT MET'}"
+    )
+
+    ok = mem["log_memory_ok"] and mem["parity_ok"] and run["target_met"] \
+        and run["stopped_within_budget"]
+    if not mem["parity_ok"]:
+        print("WARNING: streaming estimate deviates from binned_statistics",
+              file=sys.stderr)
+    if not run["target_met"]:
+        print("WARNING: adaptive run exhausted its budget short of target",
+              file=sys.stderr)
+
+    doc = {
+        "quick": args.quick,
+        "memory_scaling": mem,
+        "adaptive_vs_fixed": run,
+        "all_ok": ok,
+    }
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

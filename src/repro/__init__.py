@@ -55,6 +55,7 @@ from .precision import (
     resolve_policy,
 )
 from .profiling import PhaseProfiler
+from .stats import RunController, StreamingAccumulator
 from .telemetry import (
     MetricsRegistry,
     NumericalHealthWatchdog,
@@ -79,10 +80,12 @@ __all__ = [
     "POLICIES",
     "PrecisionError",
     "PrecisionPolicy",
+    "RunController",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
     "SquareLattice",
+    "StreamingAccumulator",
     "Telemetry",
     "TelemetryWriter",
     "TuningCache",

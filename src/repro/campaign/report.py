@@ -36,8 +36,27 @@ def build_report(campaign_dir: Union[str, Path]) -> dict:
             entry["error"] = state.last_error
         if state.summary:
             entry["summary"] = state.summary
+            control = state.summary.get("control")
+            if control:
+                # Error-targeted jobs: the run-control digest (did the
+                # job reach its target, where the equilibration cut
+                # landed, the achieved relative error) is first-class
+                # report content, not something buried in the summary.
+                entry["control"] = control
         jobs.append(entry)
     counts = manifest.counts()
+    targeted = [j for j in jobs if j.get("control")]
+    report_control = None
+    if targeted:
+        report_control = {
+            "n_targeted": len(targeted),
+            "n_target_met": sum(
+                1 for j in targeted if j["control"].get("target_met")
+            ),
+            "total_discarded": sum(
+                int(j["control"].get("discarded", 0)) for j in targeted
+            ),
+        }
     return {
         "name": manifest.spec.name,
         "spec_hash": manifest.spec.spec_hash(),
@@ -48,6 +67,7 @@ def build_report(campaign_dir: Union[str, Path]) -> dict:
         "total_retries": manifest.total_retries(),
         "complete": manifest.complete,
         "all_done": manifest.all_done,
+        "control": report_control,
         "jobs": jobs,
     }
 
@@ -63,6 +83,13 @@ def render_report(report: dict) -> str:
         f"attempts   {report['total_runs']} runs, "
         f"{report['total_retries']} retries",
     ]
+    if report.get("control"):
+        ctl = report["control"]
+        lines.append(
+            f"targeted   {ctl['n_target_met']}/{ctl['n_targeted']} jobs "
+            f"reached target_error "
+            f"({ctl['total_discarded']} equilibration sweeps discarded)"
+        )
     header = f"{'idx':>4} {'job':<14} {'status':<8} {'runs':>4}  params"
     lines += ["", header, "-" * len(header)]
     for job in report["jobs"]:
@@ -76,6 +103,17 @@ def render_report(report: dict) -> str:
             f"{job['index']:>4} {job['id']:<14} {job['status']:<8} "
             f"{job['runs']:>4}  {params}"
         )
+        if job.get("control"):
+            ctl = job["control"]
+            rel = ctl.get("relative_error")
+            rel_s = f"{rel:.2e}" if isinstance(rel, float) else str(rel)
+            lines.append(
+                f"{'':>4} {'':<14} control: "
+                f"{ctl.get('target_observable')} rel_err {rel_s} "
+                f"(target {ctl.get('target_error')}, "
+                f"{'met' if ctl.get('target_met') else 'NOT met'}; "
+                f"cut {ctl.get('discarded', 0)} sweeps)"
+            )
         if job.get("error"):
             lines.append(f"{'':>4} {'':<14} error: {job['error']}")
     return "\n".join(lines)

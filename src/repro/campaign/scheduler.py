@@ -187,12 +187,18 @@ class SchedulerConfig:
     fault_plan: Optional[FaultPlan] = None
     #: retry jobs already marked failed in the manifest (resume --retry-failed)
     retry_failed: bool = False
+    #: extra budget rounds for error-targeted jobs that exhaust their
+    #: sweep budget before reaching target_error: round r resumes the
+    #: job checkpoint with budget npass * (1 + r). 0 = never extend.
+    max_extensions: int = 0
 
     def __post_init__(self):
         if self.executor not in ("thread", "process"):
             raise ValueError(f"unknown executor {self.executor!r}")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.max_extensions < 0:
+            raise ValueError("max_extensions must be >= 0")
         if self.backoff_base < 0 or self.backoff_factor < 1:
             raise ValueError("backoff must be non-negative and non-shrinking")
         if self.timeout is not None and self.executor == "thread":
@@ -251,7 +257,7 @@ class CampaignScheduler:
 
     # -- job execution -------------------------------------------------------
 
-    def _attempt_payload(self, job, attempt: int) -> dict:
+    def _attempt_payload(self, job, attempt: int, extend_round: int = 0) -> dict:
         cfg = self.config
         fault = cfg.fault_plan
         return {
@@ -262,6 +268,7 @@ class CampaignScheduler:
             "fault": fault.to_dict() if fault else None,
             "isolated": cfg.executor == "process",
             "tune_cache": self._tune_cache_path(),
+            "extend_round": extend_round,
         }
 
     # -- autotuning ----------------------------------------------------------
@@ -311,8 +318,8 @@ class CampaignScheduler:
                 sweeps_used=result.sweeps_used,
             )
 
-    def _run_attempt(self, job, attempt: int) -> dict:
-        payload = self._attempt_payload(job, attempt)
+    def _run_attempt(self, job, attempt: int, extend_round: int = 0) -> dict:
+        payload = self._attempt_payload(job, attempt, extend_round=extend_round)
         if self.config.executor == "process":
             return run_subprocess_task(
                 run_campaign_job, payload, timeout=self.config.timeout
@@ -364,12 +371,53 @@ class CampaignScheduler:
                 if delay:
                     time.sleep(delay)
                 continue
+            summary = self._extend_job(job, state, summary)
             self.manifest.mark_done(job.job_id, summary=summary)
             self._event(
                 "job_done", job=job.job_id, index=job.index, attempt=attempt
             )
             self._publish_gauges()
             return
+
+    def _extend_job(self, job, state, summary: dict) -> dict:
+        """Grant extension rounds to an error-targeted job that exhausted
+        its budget without reaching the target; returns the final summary.
+
+        Each round resumes the job's checkpoint with an extra ``npass``
+        of budget (the worker honours ``extend_round``). Extensions are
+        best-effort: a crash during a round keeps the last good summary
+        — the job's base attempt already produced a valid archive.
+        """
+        cfg = self.config
+        for round_ in range(1, cfg.max_extensions + 1):
+            control = summary.get("control")
+            if not control or control.get("target_met"):
+                return summary
+            attempt = state.runs + 1
+            self.manifest.mark_running(job.job_id, attempt=attempt, retry=False)
+            self._event(
+                "job_extended",
+                job=job.job_id,
+                index=job.index,
+                attempt=attempt,
+                extend_round=round_,
+                relative_error=control.get("relative_error"),
+                target_error=control.get("target_error"),
+            )
+            self._publish_gauges()
+            try:
+                summary = self._run_attempt(job, attempt, extend_round=round_)
+            except (WorkerCrash, RuntimeError) as exc:
+                self._event(
+                    "job_extension_failed",
+                    job=job.job_id,
+                    index=job.index,
+                    attempt=attempt,
+                    extend_round=round_,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                return summary
+        return summary
 
     # -- session -------------------------------------------------------------
 

@@ -97,6 +97,15 @@ class JobRecord:
         return self.path is not None and Path(self.path).exists()
 
     def observables(self) -> Dict[str, BinnedEstimate]:
+        """The job's archived estimates, keyed by observable name.
+
+        Since the stats subsystem landed, workers archive *sign-corrected*
+        estimates (< O s > / < s >, jackknife errors, equilibration cut
+        applied) under the primary names whenever the sign permits; the
+        archive metadata records this under ``sign_corrected`` and
+        ``equilibration_cut`` (see :meth:`metadata`). The raw sign
+        estimate always stays under ``"sign"``.
+        """
         from ..io import load_observables
 
         if not self.has_results:
@@ -105,6 +114,19 @@ class JobRecord:
             )
         obs, _meta = load_observables(self.path)
         return obs
+
+    def metadata(self) -> dict:
+        """The archive's metadata dict (``sign_corrected``,
+        ``equilibration_cut``, the run-control digest under
+        ``control``, job identity)."""
+        from ..io import load_observables
+
+        if not self.has_results:
+            raise CatalogError(
+                f"job {self.job_id} ({self.status}) has no results archive"
+            )
+        _obs, meta = load_observables(self.path)
+        return meta
 
     def matches(self, filters: Dict[str, object]) -> bool:
         for key, want in filters.items():
@@ -200,7 +222,12 @@ class ResultsCatalog:
 
     def merged(self, name: str, **filters) -> BinnedEstimate:
         """Matching jobs' estimates merged into one (see
-        :func:`merge_estimates`)."""
+        :func:`merge_estimates`).
+
+        Because workers archive sign-corrected, equilibration-cut
+        estimates under the primary names, this is the physical
+        < O > = < O s > / < s > merged across replicas — not a merge of
+        raw sign-weighted numerators."""
         estimates = self.estimates(name, **filters)
         if not estimates:
             raise CatalogError(

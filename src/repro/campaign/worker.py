@@ -167,6 +167,17 @@ def run_campaign_job(payload: dict) -> dict:
       ``kill`` fault mode),
     * ``tune_cache``: optional tuning-profile cache path; applied
       read-only when the job's config sets ``autotune``.
+    * ``extend_round``: 0 for a normal run; round ``r`` multiplies the
+      sweep budget to ``npass * (1 + r)`` — the scheduler's follow-up
+      attempt for an error-targeted job that exhausted its budget
+      before reaching the target (resumes from the job checkpoint).
+
+    When the job's config sets ``target_error``, the attempt runs under
+    a :class:`repro.stats.RunController` (equilibration detection +
+    error-targeted stopping) and may finish well before ``npass``
+    sweeps. The results archive then holds *sign-corrected* estimates
+    under the primary observable names (metadata ``sign_corrected``
+    records this) — the raw sign estimate stays under ``"sign"``.
     """
     # Imports live here, not at module top: the spawn entry pickles this
     # function by reference and the child pays the import cost once.
@@ -185,6 +196,11 @@ def run_campaign_job(payload: dict) -> dict:
     job_dir.mkdir(parents=True, exist_ok=True)
     cfg = job.config()
     sim = cfg.simulation(seed=job.seed_sequence())
+    controller = cfg.controller()
+    if controller is not None:
+        # Before the checkpoint load: a resumed attempt must restore
+        # the saved decision state into this controller instance.
+        sim.attach_controller(controller)
 
     # Tuning must be applied before any sweep (and before a checkpoint
     # load) so every attempt of this job runs the same engine shape.
@@ -196,34 +212,63 @@ def run_campaign_job(payload: dict) -> dict:
     measured = 0
     if checkpoint.exists():
         load_checkpoint(checkpoint, sim)
-        measured = sim.collector.n_measurements // cfg.nmeas
+        measured = sim.measured_sweeps
     else:
         sim.warmup(cfg.nwarm)
 
     if faulting and fault.after_sweeps <= measured:
         _trigger_fault(fault, isolated)
 
-    t0 = time.monotonic()
-    step = checkpoint_every if checkpoint_every > 0 else cfg.npass
-    while measured < cfg.npass:
-        chunk = min(step, cfg.npass - measured)
-        sim.measure_sweeps(chunk)
-        measured += chunk
-        if measured < cfg.npass or checkpoint_every > 0:
-            save_checkpoint(checkpoint, sim)
-        if faulting and fault.after_sweeps <= measured:
-            _trigger_fault(fault, isolated)
+    # Error-targeted jobs may be granted extension rounds by the
+    # scheduler: each round adds another npass to the sweep budget.
+    extend_round = int(payload.get("extend_round", 0))
+    budget = cfg.npass * (1 + extend_round)
 
-    result = sim.result(n_warmup=cfg.nwarm, n_measurement=cfg.npass)
+    t0 = time.monotonic()
+    step = checkpoint_every if checkpoint_every > 0 else budget
+    while measured < budget:
+        chunk = min(step, budget - measured)
+        if sim.controller is not None:
+            _, done, _ = sim.measure_until(chunk)
+            measured += done
+            stopped = done < chunk or sim.controller.stopped
+            if measured < budget or checkpoint_every > 0 or stopped:
+                save_checkpoint(checkpoint, sim)
+            if faulting and fault.after_sweeps <= measured:
+                _trigger_fault(fault, isolated)
+            if stopped:
+                break
+        else:
+            sim.measure_sweeps(chunk)
+            measured += chunk
+            if measured < budget or checkpoint_every > 0:
+                save_checkpoint(checkpoint, sim)
+            if faulting and fault.after_sweeps <= measured:
+                _trigger_fault(fault, isolated)
+
+    result = sim.result(n_warmup=cfg.nwarm, n_measurement=measured)
+    # Sign-corrected estimates are the archive's primary values — the
+    # catalog and reports surface physical < O > = < O s > / < s > with
+    # propagated errors, not raw sign-weighted numerators. At half
+    # filling (sign identically +1) they coincide with the raw binning
+    # analysis. The raw sign estimate stays under "sign"; a hard sign
+    # problem falls back to raw numerators with sign_corrected False.
+    observables = result.corrected if result.corrected else result.observables
+    control = result.control
     save_observables(
         job_dir / RESULTS_NAME,
-        result.observables,
+        observables,
         metadata={
             "job_id": job.job_id,
             "index": job.index,
             "params": job.params,
             "seed_entropy": job.seed_entropy,
             "spawn_key": list(job.spawn_key),
+            "sign_corrected": bool(result.corrected),
+            "control": control,
+            "equilibration_cut": (
+                control.get("discarded", 0) if control else 0
+            ),
         },
     )
     summary = {
@@ -231,11 +276,14 @@ def run_campaign_job(payload: dict) -> dict:
         "index": job.index,
         "attempt": attempt,
         "measured_sweeps": measured,
+        "budget_sweeps": budget,
+        "extend_round": extend_round,
         "acceptance": result.sweep_stats.acceptance_rate,
         "mean_sign": result.mean_sign,
         "backend": sim.engine.backend.name,
         "elapsed_s": round(time.monotonic() - t0, 3),
         "tuning": tuning,
+        "control": control,
     }
     _write_json_atomic(job_dir / SUMMARY_NAME, summary)
     return summary

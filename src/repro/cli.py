@@ -34,6 +34,11 @@ archive out — with checkpoint/resume for long runs:
     ``campaign report DIR [--json PATH]`` summarize the manifest and
     results catalog.
 
+``analyze``
+    Full statistical report (means, errors, tau_int, equilibration
+    cut, sign correction, cross-replica R-hat) from a checkpoint, a
+    results archive, or a campaign directory (``docs/analysis.md``).
+
 ``version``
     Print the package version.
 """
@@ -133,6 +138,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="tuning-profile cache file (default: $REPRO_TUNE_CACHE, "
         "else ~/.cache/repro/tuning.json)",
     )
+    p_run.add_argument(
+        "--streaming", action="store_true",
+        help="constant-memory streaming measurement accumulation "
+        "(log-binned Welford state, O(log n) per observable) instead of "
+        "retaining every sample; equivalent to 'streaming = 1' in the "
+        "input file (see docs/analysis.md)",
+    )
+    p_run.add_argument(
+        "--target-error", type=float, default=None, metavar="EPS",
+        help="error-targeted stopping: measure until the sign-corrected "
+        "relative error of the target observable is <= EPS, with npass "
+        "as the sweep budget (equivalent to 'target_error = EPS'; "
+        "includes automatic equilibration detection)",
+    )
+    p_run.add_argument(
+        "--target-observable", type=str, default=None, metavar="NAME",
+        help="observable --target-error aims at (default: the input "
+        "file's 'target_obs' key, else density)",
+    )
 
     p_tune = sub.add_parser(
         "tune",
@@ -215,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
             "killed and retried (process executor only)",
         )
         p.add_argument(
+            "--max-extensions", type=int, default=0, metavar="N",
+            help="extra budget rounds for error-targeted jobs that "
+            "exhaust npass before reaching target_error (default 0)",
+        )
+        p.add_argument(
             "--telemetry", type=Path, default=None, metavar="JSONL",
             help="archive campaign.* gauges and job events to this file",
         )
@@ -251,6 +280,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc_report.add_argument("campaign_dir", type=Path)
     pc_report.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the report dict to this JSON file",
+    )
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="statistical report from a checkpoint, results archive, or "
+        "campaign directory (means, errors, tau_int, equilibration, "
+        "sign correction, R-hat; see docs/analysis.md)",
+    )
+    p_analyze.add_argument(
+        "path", type=Path,
+        help="checkpoint .npz, results .npz, or campaign directory",
+    )
+    p_analyze.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the report dict to this JSON file",
     )
@@ -301,6 +345,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         except PrecisionError as exc:
             print(f"--precision {args.precision}: {exc}", file=sys.stderr)
             return 2
+    # CLI statistics flags override the input file's keys, exactly like
+    # --backend / --precision above.
+    if args.streaming:
+        cfg.streaming = 1
+    if args.target_error is not None:
+        cfg.target_error = args.target_error
+    if args.target_observable is not None:
+        cfg.target_obs = args.target_observable
+    try:
+        cfg.validate()
+    except ValueError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
     telemetry = _build_telemetry(args)
     sim = cfg.simulation(
         telemetry=telemetry,
@@ -308,6 +365,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         precision=args.precision,
     )
+    controller = cfg.controller()
+    if controller is not None:
+        # Attach before any checkpoint load so a resumed run restores
+        # the saved decision state into this controller instance.
+        sim.attach_controller(controller)
     output = args.output if args.output else args.input.with_suffix(".npz")
     _emit(
         args.quiet,
@@ -328,13 +390,23 @@ def cmd_run(args: argparse.Namespace) -> int:
             telemetry.event("run_done")
             telemetry.close()
 
+    observables = dict(result.observables)
+    if result.corrected:
+        # Raw sign-weighted averages keep their established names
+        # (resume comparisons and older tooling read them); the
+        # sign-corrected <O s>/<s> estimates ride alongside.
+        for name, est in result.corrected.items():
+            if name != "sign":
+                observables[f"{name}.corrected"] = est
     save_observables(
         output,
-        result.observables,
+        observables,
         metadata={
             "input": cfg.dumps(),
             "acceptance": result.sweep_stats.acceptance_rate,
             "mean_sign": result.mean_sign,
+            "control": result.control,
+            "streaming": bool(cfg.streaming),
         },
     )
     _emit(args.quiet, "")
@@ -373,7 +445,10 @@ def _run_stages(args, cfg, sim, telemetry):
                 sim.apply_tuning(hit)
                 _emit(args.quiet, f"autotune: cache hit -> {hit}")
         load_checkpoint(args.checkpoint, sim)
-        measured = sim.collector.n_measurements // cfg.nmeas
+        # The header's sweep counter, not n_measurements // nmeas: an
+        # equilibration discard shrinks the sample count but not the
+        # number of sweeps already spent.
+        measured = sim.measured_sweeps
         _emit(
             args.quiet,
             f"resumed from {args.checkpoint}: "
@@ -408,8 +483,27 @@ def _run_stages(args, cfg, sim, telemetry):
     step = max(1, args.checkpoint_every)
     while measured < cfg.npass:
         chunk = min(step, cfg.npass - measured)
-        sim.measure_sweeps(chunk)
-        measured += chunk
+        if sim.controller is not None:
+            _, done, _ = sim.measure_until(chunk)
+            measured += done
+            if done < chunk or sim.controller.stopped:
+                # Error target met (or a resumed, already-stopped run):
+                # the remaining budget is not owed.
+                if args.checkpoint:
+                    save_checkpoint(args.checkpoint, sim)
+                _emit(
+                    args.quiet,
+                    f"measured {measured}/{cfg.npass} sweeps -- "
+                    + (
+                        sim.controller.last.describe()
+                        if sim.controller.last is not None
+                        else "stopped"
+                    ),
+                )
+                break
+        else:
+            sim.measure_sweeps(chunk)
+            measured += chunk
         if args.checkpoint:
             save_checkpoint(args.checkpoint, sim)
             if telemetry is not None:
@@ -420,7 +514,7 @@ def _run_stages(args, cfg, sim, telemetry):
                 )
         _emit(args.quiet, f"measured {measured}/{cfg.npass} sweeps")
 
-    return sim.result(n_warmup=cfg.nwarm, n_measurement=cfg.npass)
+    return sim.result(n_warmup=cfg.nwarm, n_measurement=measured)
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
@@ -505,6 +599,7 @@ def _scheduler_config(args: argparse.Namespace):
         timeout=args.timeout,
         fault_plan=fault,
         retry_failed=getattr(args, "retry_failed", False),
+        max_extensions=getattr(args, "max_extensions", 0),
     )
 
 
@@ -567,6 +662,23 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"campaign {args.campaign_command}: {exc}", file=sys.stderr)
         return 2
     raise AssertionError("unreachable")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .stats import analyze_path, render_analysis
+
+    try:
+        report = analyze_path(args.path)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    print(render_analysis(report))
+    if args.json is not None:
+        import json as _json
+
+        args.json.write_text(_json.dumps(report, indent=1, sort_keys=True))
+        print(f"\nreport JSON -> {args.json}")
+    return 0
 
 
 def _qmclint_summary() -> Optional[str]:
@@ -659,6 +771,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_telemetry_report(args)
     if args.command == "campaign":
         return cmd_campaign(args)
+    if args.command == "analyze":
+        return cmd_analyze(args)
     raise AssertionError("unreachable")
 
 

@@ -83,9 +83,18 @@ def save_checkpoint(path: Union[str, Path], sim: Simulation) -> None:
     acc = sim.collector.accumulator
     payload = {}
     names = list(acc.names())
-    for i, name in enumerate(names):
-        if acc.n_samples(name):
-            payload[f"obs{i}"] = acc.series(name)
+    streaming_meta = None
+    if getattr(acc, "streaming", False):
+        # Streaming mode: the log-binned Welford state (plus tracked
+        # control series) is the whole resumable measurement state —
+        # O(log n) floats per observable instead of the sample series.
+        streaming_meta = acc.state_meta()
+        for key, arr in acc.state_arrays().items():
+            payload[f"stream/{key}"] = arr
+    else:
+        for i, name in enumerate(names):
+            if acc.n_samples(name):
+                payload[f"obs{i}"] = acc.series(name)
     header = {
         "version": _FORMAT_VERSION,
         "rng": _rng_state_to_json(sim.rng),
@@ -108,7 +117,13 @@ def save_checkpoint(path: Union[str, Path], sim: Simulation) -> None:
         # the engine mid-run, so this is live engine state, not config:
         # resuming must continue on the promoted rung to stay bit-exact.
         "precision": sim.precision,
+        "measured_sweeps": sim.measured_sweeps,
     }
+    if streaming_meta is not None:
+        header["streaming"] = streaming_meta
+    controller = getattr(sim, "controller", None)
+    if controller is not None:
+        header["controller"] = controller.state_dict()
     dest = Path(path)
     # Same directory as the destination so os.replace is a same-filesystem
     # rename (atomic on POSIX), never a copy.
@@ -189,8 +204,48 @@ def load_checkpoint(path: Union[str, Path], sim: Simulation) -> Simulation:
         # including zero-sample ones (measured names that had no samples
         # yet), which must survive the round trip rather than vanish.
         acc = sim.collector.accumulator
-        acc.clear()
-        for i, name in enumerate(header.get("observable_names", [])):
-            key = f"obs{i}"
-            acc.restore_series(name, npz[key] if key in npz.files else [])
+        stream_meta = header.get("streaming")
+        if stream_meta is not None:
+            if not getattr(acc, "streaming", False):
+                raise CheckpointError(
+                    "checkpoint was written by a streaming run; construct "
+                    "the Simulation with streaming=True to resume it"
+                )
+            arrays = {
+                key[len("stream/"):]: np.asarray(npz[key])
+                for key in npz.files
+                if key.startswith("stream/")
+            }
+            acc.restore_state(stream_meta, arrays)
+        else:
+            if getattr(acc, "streaming", False):
+                raise CheckpointError(
+                    "checkpoint retains full sample series (post-hoc "
+                    "mode); resume it with streaming=False"
+                )
+            acc.clear()
+            for i, name in enumerate(header.get("observable_names", [])):
+                key = f"obs{i}"
+                acc.restore_series(
+                    name, npz[key] if key in npz.files else []
+                )
+
+        # Older checkpoints predate the sweep counter; fall back to the
+        # sample-count heuristic (exact when nothing was discarded).
+        # After the accumulator restore so the fallback sees the counts.
+        sim.measured_sweeps = int(
+            header.get(
+                "measured_sweeps",
+                sim.collector.n_measurements
+                // max(1, sim.measurements_per_sweep),
+            )
+        )
+
+        # Controller decision state (equilibration flag, discard count,
+        # stop record): restored into an already-attached controller so
+        # the resumed run replays the remaining decisions identically.
+        ctl_state = header.get("controller")
+        controller = getattr(sim, "controller", None)
+        if ctl_state is not None and controller is not None:
+            controller.restore_state(ctl_state)
     return sim

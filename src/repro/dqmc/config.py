@@ -65,6 +65,15 @@ class SimulationConfig:
     #: autotune pass instead of trusting north/ndelay (see
     #: docs/performance.md); 0 = run exactly what the file says
     autotune: int = 0
+    #: 1 = constant-memory streaming (log-binned) measurement
+    #: accumulation; 0 = retain every sample (post-hoc analysis)
+    streaming: int = 0
+    #: > 0 = error-targeted stopping: measure until the sign-corrected
+    #: relative error of target_obs reaches this value (npass becomes
+    #: the sweep *budget*); 0 = fixed npass sweeps
+    target_error: float = 0.0
+    #: observable whose relative error target_error aims at
+    target_obs: str = "density"
 
     @property
     def beta(self) -> float:
@@ -120,7 +129,26 @@ class SimulationConfig:
                 resolve_policy(self.precision)
             except PrecisionError as exc:
                 raise ValueError(f"precision = {self.precision!r}: {exc}") from exc
+        if self.target_error < 0:
+            raise ValueError(
+                f"target_error = {self.target_error} must be >= 0 "
+                "(0 disables error-targeted stopping)"
+            )
+        if not self.target_obs or "/" in self.target_obs:
+            raise ValueError(f"bad target_obs {self.target_obs!r}")
         return self
+
+    def controller(self):
+        """The configured :class:`repro.stats.RunController`, or None
+        when ``target_error`` is 0 (fixed-budget run)."""
+        if not self.target_error:
+            return None
+        from ..stats import RunController
+
+        return RunController(
+            target_observable=self.target_obs,
+            target_error=self.target_error,
+        )
 
     def simulation(
         self,
@@ -161,6 +189,7 @@ class SimulationConfig:
             watchdog=watchdog,
             backend=None if chosen == "auto" else chosen,
             precision=None if chosen_precision == "auto" else chosen_precision,
+            streaming=bool(self.streaming),
         )
 
     def dumps(self) -> str:

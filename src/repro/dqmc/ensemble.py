@@ -48,6 +48,15 @@ class EnsembleResult:
     per_chain: List[Dict[str, BinnedEstimate]]
     sweep_stats: SweepStats
     n_chains: int
+    #: sign-corrected < O s > / < s > over the merged streams (None when
+    #: the sign problem makes the ratio unquotable)
+    corrected: Optional[Dict[str, BinnedEstimate]] = None
+    #: cross-chain convergence per scalar observable: split-R-hat over
+    #: retained series (post-hoc chains) or the moment-based R-hat from
+    #: per-chain estimates (streaming chains); ~1 means the chains agree
+    rhat: Optional[Dict[str, float]] = None
+    #: per-chain RunController digests when error-targeted stopping ran
+    controls: Optional[List[dict]] = None
 
     def chain_spread(self, name: str) -> float:
         """Std-dev of a scalar observable's mean across chains.
@@ -71,8 +80,17 @@ def _chain_task(payload: dict) -> dict:
         telemetry=payload["telemetry"],
         **payload["kwargs"],
     )
+    controller_kwargs = payload.get("controller")
+    if controller_kwargs is not None:
+        from ..stats import RunController
+
+        sim.attach_controller(RunController(**controller_kwargs))
     sim.warmup(payload["warmup"])
-    sim.measure_sweeps(payload["sweeps"])
+    if sim.controller is not None:
+        _, sweeps_done, _ = sim.measure_until(payload["sweeps"])
+    else:
+        sim.measure_sweeps(payload["sweeps"])
+        sweeps_done = payload["sweeps"]
     tel = payload["telemetry"]
     if tel is not None:
         tel.snapshot()  # poll profiler/cache sources
@@ -81,6 +99,10 @@ def _chain_task(payload: dict) -> dict:
         "stats": sim.total_stats,
         "sign": sim._sign,
         "registry": tel.registry if tel is not None else None,
+        "sweeps": sweeps_done,
+        "control": (
+            sim.controller.summary() if sim.controller is not None else None
+        ),
     }
 
 
@@ -94,6 +116,8 @@ def run_ensemble(
     n_bins: int = 16,
     telemetry: Optional[Telemetry] = None,
     executor: str = "thread",
+    target_error: Optional[float] = None,
+    target_observable: str = "density",
     **simulation_kwargs,
 ) -> EnsembleResult:
     """Run ``n_chains`` independent simulations concurrently and merge.
@@ -118,10 +142,25 @@ def run_ensemble(
     chain contributes a whole number of bins when ``measurement_sweeps``
     is a multiple of the bin size — and is still a valid estimate
     otherwise).
+
+    ``target_error`` switches every chain to error-targeted stopping: a
+    per-chain :class:`repro.stats.RunController` aims the sign-corrected
+    relative error of ``target_observable`` at the target and each chain
+    stops as soon as it gets there (``measurement_sweeps`` becomes the
+    per-chain *budget*). The result then carries per-chain control
+    digests plus cross-chain ``rhat`` convergence diagnostics.
     """
     if n_chains < 1:
         raise ValueError("need at least one chain")
     tel = ensure_telemetry(telemetry)
+    controller_kwargs = (
+        {
+            "target_observable": target_observable,
+            "target_error": float(target_error),
+        }
+        if target_error is not None
+        else None
+    )
     payloads = [
         {
             "model": model,
@@ -130,6 +169,7 @@ def run_ensemble(
             "warmup": warmup_sweeps,
             "sweeps": measurement_sweeps,
             "kwargs": simulation_kwargs,
+            "controller": controller_kwargs,
             "telemetry": (
                 Telemetry(writer=None, snapshot_every=0)
                 if tel.enabled
@@ -149,7 +189,15 @@ def run_ensemble(
         max_workers=max_workers if max_workers is not None else n_chains,
     )
 
-    merged = Accumulator()
+    streaming = bool(
+        getattr(chains[0]["accumulator"], "streaming", False)
+    )
+    if streaming:
+        from ..stats import StreamingAccumulator
+
+        merged = StreamingAccumulator()
+    else:
+        merged = Accumulator()
     stats = SweepStats()
     per_chain = []
     for c, chain in enumerate(chains):
@@ -172,10 +220,43 @@ def run_ensemble(
         tel.event("ensemble_done", chains=n_chains, executor=executor)
         tel.snapshot()
 
+    from ..stats import (
+        rhat_from_estimates,
+        sign_corrected_results,
+        split_rhat,
+    )
+
+    try:
+        corrected = sign_corrected_results(
+            merged, n_bins=n_bins * min(n_chains, 4)
+        )
+    except ValueError:
+        corrected = None  # hard sign problem: no quotable ratio
+
+    rhat: Dict[str, float] = {}
+    scalar_names = [
+        name
+        for name, est in per_chain[0].items()
+        if np.asarray(est.mean).ndim == 0
+    ]
+    for name in scalar_names:
+        if not all(name in r for r in per_chain):
+            continue
+        if streaming:
+            rhat[name] = rhat_from_estimates([r[name] for r in per_chain])
+        else:
+            rhat[name] = split_rhat(
+                [chain["accumulator"].series(name) for chain in chains]
+            )
+
+    controls = [chain.get("control") for chain in chains]
     return EnsembleResult(
         model=model,
         observables=merged.reduce(n_bins=n_bins * min(n_chains, 4)),
         per_chain=per_chain,
         sweep_stats=stats,
         n_chains=n_chains,
+        corrected=corrected,
+        rhat=rhat if n_chains > 1 else None,
+        controls=controls if any(c is not None for c in controls) else None,
     )

@@ -80,6 +80,12 @@ class SimulationResult:
     n_warmup: int
     n_measurement: int
     mean_sign: float
+    #: sign-corrected < O s > / < s > estimates with propagated errors
+    #: (None when nothing was measured)
+    corrected: Optional[Dict[str, BinnedEstimate]] = None
+    #: run-control digest (RunController.summary()) when a controller
+    #: drove the measurement stage
+    control: Optional[dict] = None
 
     def summary(self) -> str:
         """A human-readable digest of the scalar observables."""
@@ -174,6 +180,13 @@ class Simulation:
         floating-point trajectory; observables agree to the compute
         dtype's accuracy, and measurement accumulators always stay
         float64.
+    streaming:
+        Accumulate measurements through the constant-memory streaming
+        pipeline (:class:`repro.stats.StreamingAccumulator`): O(log n)
+        log-binned state per observable instead of every retained
+        sample. Estimates agree with post-hoc binning (identical means,
+        errors matching at power-of-two sample counts); sample series
+        are only available for observables a controller tracks.
     """
 
     def __init__(
@@ -194,6 +207,7 @@ class Simulation:
         watchdog: Optional[WatchdogConfig] = None,
         backend=None,
         precision=None,
+        streaming: bool = False,
     ):
         self.model = model
         self.rng = np.random.default_rng(seed)
@@ -230,7 +244,9 @@ class Simulation:
             t=model.t,
             t_perp=model.t_perp,
             with_arrays=measure_arrays,
+            streaming=streaming,
         )
+        self.controller = None
         if measurements_per_sweep < 1:
             raise ValueError("measurements_per_sweep must be >= 1")
         # Remember the *requested* cadence: re-partitioning the engine
@@ -244,6 +260,9 @@ class Simulation:
         self.measure_dynamic = measure_dynamic
         self._sweep_parity = 0
         self._sweep_index = 0
+        #: measurement sweeps completed (survives checkpoint resume;
+        #: unlike sample counts it is immune to equilibration discards)
+        self.measured_sweeps = 0
         self._sign = self.engine.configuration_sign()
         self.total_stats = SweepStats()
 
@@ -405,9 +424,51 @@ class Simulation:
             if self.measure_dynamic:
                 self._measure_dynamic_sample()
             self._after_sweep(st, stage="measure")
+            self.measured_sweeps += 1
             agg.merge(st)
         self.total_stats.merge(agg)
         return agg
+
+    def attach_controller(self, controller):
+        """Put the measurement stage under a
+        :class:`repro.stats.RunController`.
+
+        The controller is consulted after every measurement sweep of
+        :meth:`measure_until`; its decision state rides along in
+        checkpoints. Attach *before* :func:`load_checkpoint` when
+        resuming so the saved decision state lands in this instance.
+        """
+        self.controller = controller
+        controller.bind(self)
+        return controller
+
+    def measure_until(self, max_sweeps: int):
+        """Measurement sweeps under the attached controller.
+
+        Sweeps until the controller says the error target is met or
+        ``max_sweeps`` have run, whichever is first. Returns
+        ``(stats, sweeps_done, last_decision)`` — the decision is None
+        when the budget ran out between controller cadence points.
+        """
+        if self.controller is None:
+            raise RuntimeError(
+                "no controller attached; call attach_controller() first "
+                "or use measure_sweeps() for a fixed budget"
+            )
+        if self.controller.stopped:
+            return SweepStats(), 0, self.controller.last
+        agg = SweepStats()
+        done = 0
+        decision = None
+        while done < max_sweeps:
+            agg.merge(self.measure_sweeps(1))
+            done += 1
+            latest = self.controller.check(self)
+            if latest is not None:
+                decision = latest
+                if decision.stop:
+                    break
+        return agg, done, decision
 
     def run(
         self, warmup_sweeps: int = 100, measurement_sweeps: int = 200,
@@ -427,8 +488,18 @@ class Simulation:
     ) -> SimulationResult:
         obs = self.collector.results(n_bins=n_bins)
         mean_sign = (
-            float(obs["sign"].mean) if "sign" in obs else 1.0
+            float(np.asarray(obs["sign"].mean)) if "sign" in obs else 1.0
         )
+        try:
+            corrected = (
+                self.collector.corrected_results(n_bins=n_bins)
+                if obs
+                else None
+            )
+        except ValueError:
+            # Hard sign problem (< s > numerically zero): raw
+            # sign-weighted averages stand, no ratio is quotable.
+            corrected = None
         stats = SweepStats()
         stats.merge(self.total_stats)
         stats.sign = self._sign
@@ -440,4 +511,10 @@ class Simulation:
             n_warmup=n_warmup,
             n_measurement=n_measurement,
             mean_sign=mean_sign,
+            corrected=corrected,
+            control=(
+                self.controller.summary()
+                if self.controller is not None
+                else None
+            ),
         )

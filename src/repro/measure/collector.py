@@ -37,6 +37,12 @@ class MeasurementCollector:
     with_arrays:
         Collect the array-valued observables (<n_k>, C_zz) — O(N^2) per
         measurement; switch off for pure-performance benches.
+    streaming:
+        Accumulate through the constant-memory
+        :class:`repro.stats.StreamingAccumulator` (O(log n) log-binned
+        state per observable) instead of retaining every sample. The
+        ``results()`` interface is unchanged; sample series are only
+        available for explicitly tracked scalars.
     """
 
     def __init__(
@@ -45,13 +51,20 @@ class MeasurementCollector:
         t: float = 1.0,
         t_perp: float = 1.0,
         with_arrays: bool = True,
+        streaming: bool = False,
     ):
         self.lattice = lattice
         self.t = t
         self.t_perp = t_perp
         self.is_square = isinstance(lattice, SquareLattice)
         self.with_arrays = with_arrays and self.is_square
-        self.accumulator = Accumulator()
+        if streaming:
+            # Deferred import: repro.stats sits above repro.measure.
+            from ..stats import StreamingAccumulator
+
+            self.accumulator = StreamingAccumulator()
+        else:
+            self.accumulator = Accumulator()
 
     def measure(self, g_up: np.ndarray, g_dn: np.ndarray, sign: float = 1.0) -> None:
         """Record one sample's worth of every enabled observable.
@@ -96,10 +109,27 @@ class MeasurementCollector:
     def n_measurements(self) -> int:
         return self.accumulator.n_samples("sign")
 
+    @property
+    def streaming(self) -> bool:
+        return bool(getattr(self.accumulator, "streaming", False))
+
     def results(self, n_bins: int = 16) -> Dict[str, BinnedEstimate]:
         """Binned estimates of everything collected so far.
 
-        Values are the raw sign-weighted averages; divide by the "sign"
-        estimate for sign-corrected expectation values when < sign > != 1.
+        Values are the raw sign-weighted averages; use
+        :meth:`corrected_results` for sign-corrected expectation values
+        with propagated errors when < sign > != 1.
         """
         return self.accumulator.reduce(n_bins=n_bins)
+
+    def corrected_results(self, n_bins: int = 16) -> Dict[str, BinnedEstimate]:
+        """Sign-corrected estimates < O s > / < s > with error bars.
+
+        Post-hoc accumulation gets the jackknife ratio (exact for the
+        nonlinearity); streaming accumulation gets delta-method
+        propagation. The ``"sign"`` entry stays the raw sign estimate.
+        See :func:`repro.stats.sign_corrected_results`.
+        """
+        from ..stats import sign_corrected_results
+
+        return sign_corrected_results(self.accumulator, n_bins=n_bins)

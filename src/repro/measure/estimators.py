@@ -36,13 +36,35 @@ class BinnedEstimate:
     def scalar(self) -> float:
         """The mean as a float (raises for array observables)."""
         if np.ndim(self.mean) != 0:
-            raise ValueError("observable is array-valued")
+            raise ValueError(
+                f"observable is array-valued (shape "
+                f"{np.shape(self.mean)}); index into .mean/.error instead "
+                "of asking for a scalar"
+            )
         return float(self.mean)
+
+    @property
+    def relative_error(self):
+        """``|error / mean|`` — 0-d float for scalars, array otherwise.
+
+        Safe at zero mean: a zero mean with a nonzero error yields inf
+        (the relative error genuinely diverges), a zero mean with zero
+        error yields 0.0, and no RuntimeWarning is emitted either way.
+        """
+        mean = np.asarray(self.mean, dtype=np.float64)
+        err = np.asarray(self.error, dtype=np.float64)
+        zero = mean == 0.0
+        rel = np.abs(err) / np.where(zero, 1.0, np.abs(mean))
+        rel = np.where(zero, np.where(err == 0.0, 0.0, np.inf), rel)
+        return float(rel) if rel.ndim == 0 else rel
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         if np.ndim(self.mean) == 0:
             return f"{float(self.mean):.6f} +- {float(self.error):.6f}"
-        return f"<array[{np.shape(self.mean)}] over {self.n_bins} bins>"
+        return (
+            f"<array{np.shape(self.mean)} observable over "
+            f"{self.n_bins} bins; use .mean/.error>"
+        )
 
 
 def binned_statistics(samples: np.ndarray, n_bins: int = 16) -> BinnedEstimate:
@@ -89,6 +111,13 @@ def integrated_autocorrelation_time(
     samples tau = 1/2; the effective sample count is ``n / (2 tau)``,
     and a binned error bar is honest once bins exceed ~2 tau. Scalar
     series only.
+
+    The autocovariances for every lag come from one FFT round trip
+    (Wiener-Khinchin: zero-pad to >= 2n so the circular correlation
+    equals the linear one), turning the former O(n * W) direct-sum
+    loop into O(n log n) regardless of how wide the self-consistent
+    window ends up; the windowed summation itself is unchanged, so the
+    result matches the direct sum to floating-point roundoff.
     """
     x = np.asarray(samples, dtype=np.float64)
     if x.ndim != 1:
@@ -97,12 +126,16 @@ def integrated_autocorrelation_time(
     if n < 4:
         raise ValueError("series too short")
     x = x - x.mean()
-    var = float(x @ x) / n
+    nfft = 1 << (2 * n - 1).bit_length()
+    f = np.fft.rfft(x, nfft)
+    # acov[t] = sum_i x[i] x[i+t], every lag at once
+    acov = np.fft.irfft(f * np.conj(f), nfft)[:n]
+    var = acov[0] / n
     if var == 0.0:
         return 0.5  # constant series: iid-like by convention
     tau = 0.5
     for t in range(1, n // 2):
-        rho = float(x[:-t] @ x[t:]) / ((n - t) * var)
+        rho = acov[t] / ((n - t) * var)  # same unbiased normalization
         tau += rho
         if t >= window_factor * tau:
             break
@@ -156,7 +189,13 @@ class Accumulator:
     Observables may be scalars or numpy arrays; all samples of one name
     must share a shape. ``reduce()`` returns a dict of
     :class:`BinnedEstimate`.
+
+    The constant-memory twin is
+    :class:`repro.stats.StreamingAccumulator`; code that must work with
+    either mode can branch on the ``streaming`` class attribute.
     """
+
+    streaming = False
 
     def __init__(self) -> None:
         self._samples: Dict[str, List[np.ndarray]] = {}
@@ -186,6 +225,29 @@ class Accumulator:
         if not vals:
             return np.empty((0,), dtype=np.float64)
         return np.stack(vals, axis=0)
+
+    def estimate(self, name: str, n_bins: int = 16) -> BinnedEstimate:
+        """Binned estimate of one observable (interface parity with
+        :meth:`repro.stats.StreamingAccumulator.estimate`)."""
+        return binned_statistics(self.series(name), n_bins=n_bins)
+
+    def discard_prefix(self, n: int) -> None:
+        """Drop the first ``n`` samples of every observable.
+
+        The equilibration cut: measurements recorded before the chain
+        forgot its initial condition are removed from every series (a
+        series shorter than ``n`` is emptied). Series are assumed to
+        share a cadence — when they do not (per-sweep dynamic
+        observables alongside per-measurement scalars), the same sample
+        count is cut from each, which is conservative for the
+        lower-cadence series.
+        """
+        if n < 0:
+            raise ValueError("cannot discard a negative prefix")
+        if n == 0:
+            return
+        for vals in self._samples.values():
+            del vals[:n]
 
     # -- checkpoint restore API ---------------------------------------------
 

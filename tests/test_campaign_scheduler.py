@@ -364,6 +364,92 @@ class TestTelemetry:
         assert gauges["campaign.retries"] == 1
 
 
+class TestExtensions:
+    """Error-targeted jobs get extra budget rounds (max_extensions)."""
+
+    def summaries(self, campaign_dir):
+        man = Manifest.load(campaign_dir)
+        try:
+            return {
+                j.index: man.states[j.job_id].summary for j in man.jobs
+            }
+        finally:
+            man.close()
+
+    def test_unmet_target_exhausts_extension_rounds(self, tmp_path):
+        # npass = 16 and the controller's min_samples is 64, so the
+        # target is never evaluated, never met — every round is granted.
+        spec = CampaignSpec(
+            name="ext",
+            base={**BASE, "npass": 16, "target_error": 1e-9},
+            grid={"u": [4.0]},
+            base_seed=7,
+            checkpoint_every=4,
+        )
+        tel = Telemetry(writer=None, snapshot_every=0)
+        events = []
+        tel.event = lambda kind, **f: events.append((kind, f))
+        summary = run_campaign(
+            spec,
+            tmp_path / "c",
+            config=thread_cfg(max_extensions=2),
+            telemetry=tel,
+        )
+        assert summary.all_done
+        kinds = [k for k, _ in events]
+        assert kinds.count("job_extended") == 2
+        job = self.summaries(tmp_path / "c")[0]
+        assert job["extend_round"] == 2
+        assert job["budget_sweeps"] == 48
+        assert job["measured_sweeps"] == 48
+        assert job["control"]["target_met"] is False
+
+    def test_extension_reaches_target_and_stops(self, tmp_path):
+        # Base budget 48 < min_samples 64: the first round's extra
+        # budget lets the controller evaluate — and half-filled density
+        # converges immediately, so round 2 is never requested.
+        spec = CampaignSpec(
+            name="ext2",
+            base={**BASE, "npass": 48, "target_error": 0.05},
+            grid={"u": [4.0]},
+            base_seed=7,
+            checkpoint_every=4,
+        )
+        tel = Telemetry(writer=None, snapshot_every=0)
+        events = []
+        tel.event = lambda kind, **f: events.append((kind, f))
+        summary = run_campaign(
+            spec,
+            tmp_path / "c",
+            config=thread_cfg(max_extensions=3),
+            telemetry=tel,
+        )
+        assert summary.all_done
+        kinds = [k for k, _ in events]
+        assert kinds.count("job_extended") == 1
+        job = self.summaries(tmp_path / "c")[0]
+        assert job["extend_round"] == 1
+        assert job["control"]["target_met"] is True
+        assert job["measured_sweeps"] <= job["budget_sweeps"]
+
+    def test_no_extensions_without_controller(self, tmp_path):
+        tel = Telemetry(writer=None, snapshot_every=0)
+        events = []
+        tel.event = lambda kind, **f: events.append((kind, f))
+        summary = run_campaign(
+            make_spec(),
+            tmp_path / "c",
+            config=thread_cfg(max_extensions=3),
+            telemetry=tel,
+        )
+        assert summary.all_done
+        assert "job_extended" not in [k for k, _ in events]
+
+    def test_negative_max_extensions_rejected(self):
+        with pytest.raises(ValueError, match="max_extensions"):
+            SchedulerConfig(executor="thread", max_extensions=-1)
+
+
 # module-level helpers for the subprocess worker tests (the child
 # process imports them by qualified name)
 def _echo(payload):

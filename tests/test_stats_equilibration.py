@@ -1,0 +1,84 @@
+"""Equilibration detection: MSER-5 truncation + Geweke cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.stats import detect_equilibration, geweke_z, mser_cut
+
+
+def drifting_series(n=1000, burn=120, seed=0):
+    """Exponential transient decaying into stationary noise."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 3.0 * np.exp(-t / (burn / 3.0)) + 0.3 * rng.standard_normal(n)
+
+
+class TestMserCut:
+    def test_stationary_series_keeps_almost_everything(self):
+        x = np.random.default_rng(1).standard_normal(1000)
+        assert mser_cut(x) <= 100
+
+    def test_transient_is_cut(self):
+        cut = mser_cut(drifting_series())
+        # The transient is ~120 samples; MSER should land near it and
+        # never throw away the stationary bulk.
+        assert 20 <= cut <= 350
+
+    def test_cut_is_batch_multiple(self):
+        assert mser_cut(drifting_series(), batch=5) % 5 == 0
+
+    def test_short_series_returns_zero(self):
+        assert mser_cut(np.arange(10.0)) == 0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="scalar"):
+            mser_cut(np.zeros((10, 2)))
+        with pytest.raises(ValueError, match="batch"):
+            mser_cut(np.zeros(100), batch=0)
+
+
+class TestGeweke:
+    def test_stationary_z_is_small(self):
+        x = np.random.default_rng(2).standard_normal(2000)
+        assert abs(geweke_z(x)) < 3.0
+
+    def test_drift_inflates_z(self):
+        t = np.arange(2000)
+        x = 0.002 * t + 0.1 * np.random.default_rng(3).standard_normal(2000)
+        assert abs(geweke_z(x)) > 3.0
+
+    def test_short_series_is_nan(self):
+        assert np.isnan(geweke_z(np.arange(12.0)))
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            geweke_z(np.zeros(100), first=0.6, last=0.6)
+        with pytest.raises(ValueError):
+            geweke_z(np.zeros((4, 4)))
+
+
+class TestDetectEquilibration:
+    def test_converges_on_stationary_tail(self):
+        eq = detect_equilibration(drifting_series(n=2000, burn=100, seed=4))
+        assert eq.converged
+        assert eq.n_cut <= 1000
+        assert np.isfinite(eq.z_score)
+        assert "converged" in eq.describe()
+
+    def test_pure_drift_does_not_converge(self):
+        # A series that never settles: the cut hits the guard / the
+        # z-check fails; either way the verdict is "not converged".
+        t = np.arange(400, dtype=np.float64)
+        eq = detect_equilibration(0.05 * t)
+        assert not eq.converged
+        assert "NOT converged" in eq.describe()
+
+    def test_too_short_to_judge(self):
+        eq = detect_equilibration(np.random.default_rng(5).standard_normal(6))
+        assert not eq.converged  # NaN z-score is never "converged"
+
+    def test_result_counts_samples(self):
+        x = drifting_series(n=500, seed=6)
+        eq = detect_equilibration(x)
+        assert eq.n_samples == 500
+        assert eq.batch == 5

@@ -759,7 +759,10 @@ class LedgerReachabilityRule(ProjectRule):
     severity = "warning"
     description = "sweep-reachable kernel with no flops.record on any path"
 
-    _KERNEL_DIRS = {"linalg", "core", "gpu", "backends"}
+    # "stats" rides along: the streaming accumulators run inside the
+    # measurement path of every sweep, so a heavy-linalg call sneaking
+    # in there would deflate the GFLOPS ledger just like a core kernel.
+    _KERNEL_DIRS = {"linalg", "core", "gpu", "backends", "stats"}
     _HEAVY_CALLS = {"qr", "solve", "lu_factor", "lu_solve", "svd"}
 
     def _is_heavy(self, fn: FunctionInfo) -> bool:
