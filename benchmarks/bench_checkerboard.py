@@ -1,0 +1,189 @@
+"""Checkerboard kinetic fast-path benchmark: structured vs dense.
+
+Times the two B-matrix hot kernels — the Green's-function wrap and the
+cluster product — through the numpy backend under both kinetic modes on
+L x L lattices, and emits ``benchmarks/results/BENCH_checkerboard.json``
+(and a tracked copy at the repo root) with:
+
+* per-size wall seconds for the dense GEMM pipeline
+  (``kinetic="exact"``) and the blocked bond-group rotation passes
+  (``kinetic="checkerboard"``), min-of-repeats,
+* the structured-over-dense speedup per kernel per size. The ISSUE
+  acceptance bar is >= 2x for both kernels at 16x16 (the blocked
+  batched-GEMM representation typically lands near 2.7x wrap / 3.4x
+  cluster there, and grows with N since the dense kernels are O(N^2)
+  per column against the fast path's O(N (lx + ly))),
+* the max |structured - dense| wrap deviation at the smallest size — a
+  cheap guard that the fast path is applying the *same* operator up to
+  the documented O(dtau^2) split.
+
+Standalone on purpose (not a pytest-benchmark case): CI runs it directly
+to publish the JSON artifact. ``--quick`` shrinks repeats and drops the
+24x24 size for a CI smoke leg; the acceptance bar still applies at
+16x16.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_checkerboard.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ROOT_COPY = Path(__file__).parents[1] / "BENCH_checkerboard.json"
+
+#: ISSUE acceptance: the structured path must beat the dense GEMMs by
+#: at least this factor for both kernels on the 16x16 workload.
+MIN_SPEEDUP = 2.0
+BAR_SIZE = 16
+
+
+def _bound_backend(size, kinetic):
+    from repro import BMatrixFactory, HubbardModel, SquareLattice
+    from repro.backends import get_backend
+
+    model = HubbardModel(
+        SquareLattice(size, size), u=4.0, beta=2.0, n_slices=16
+    )
+    factory = BMatrixFactory(model, kinetic=kinetic)
+    return get_backend("numpy").bind(factory)
+
+
+def _time_kernel(fn, repeats):
+    """Min-of-repeats wall seconds (min is robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_size(size, repeats, inner) -> dict:
+    """Wrap + cluster timings for both kinetic modes at one size."""
+    import numpy as np
+
+    rng = np.random.default_rng(size)
+    n = size * size
+    g = rng.standard_normal((n, n))
+    v = np.exp(0.3 * rng.standard_normal(n))
+    vs = [np.exp(0.3 * rng.standard_normal(n)) for _ in range(8)]
+
+    out = {"size": size, "n_sites": n}
+    wraps = {}
+    for kinetic in ("exact", "checkerboard"):
+        backend = _bound_backend(size, kinetic)
+
+        def do_wrap():
+            h = g
+            for _ in range(inner):
+                h = backend.wrap(h, v)
+            return h
+
+        def do_cluster():
+            for _ in range(inner):
+                backend.cluster_product(vs)
+
+        wraps[kinetic] = backend.wrap(g, v)
+        out[kinetic] = {
+            "wrap_seconds": _time_kernel(do_wrap, repeats),
+            "cluster_seconds": _time_kernel(do_cluster, repeats),
+        }
+    out["wrap_speedup"] = (
+        out["exact"]["wrap_seconds"] / out["checkerboard"]["wrap_seconds"]
+    )
+    out["cluster_speedup"] = (
+        out["exact"]["cluster_seconds"]
+        / out["checkerboard"]["cluster_seconds"]
+    )
+    # One-wrap deviation between the modes: bounded by the split's
+    # O(dtau^2) operator distance scaled by the workload.
+    import numpy as np
+
+    out["wrap_deviation"] = float(
+        np.max(np.abs(wraps["exact"] - wraps["checkerboard"]))
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale repeats and sizes {8, 16} instead of {8, 16, 24}",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=RESULTS_DIR / "BENCH_checkerboard.json",
+    )
+    parser.add_argument(
+        "--no-root-copy", action="store_true",
+        help="skip refreshing the tracked copy at the repo root",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes, repeats, inner = (8, 16), 3, 4
+    else:
+        sizes, repeats, inner = (8, 16, 24), 5, 10
+
+    results = []
+    for size in sizes:
+        r = bench_size(size, repeats, inner)
+        results.append(r)
+        print(
+            f"{size}x{size}: wrap {r['wrap_speedup']:.2f}x, "
+            f"cluster {r['cluster_speedup']:.2f}x "
+            f"(dense wrap {r['exact']['wrap_seconds'] * 1e3:.2f} ms, "
+            f"structured {r['checkerboard']['wrap_seconds'] * 1e3:.2f} ms; "
+            f"deviation {r['wrap_deviation']:.2e})"
+        )
+
+    bar = next((r for r in results if r["size"] == BAR_SIZE), None)
+    speedup_ok = bar is not None and (
+        bar["wrap_speedup"] >= MIN_SPEEDUP
+        and bar["cluster_speedup"] >= MIN_SPEEDUP
+    )
+    if bar is None:
+        print(f"WARNING: no {BAR_SIZE}x{BAR_SIZE} leg ran", file=sys.stderr)
+    elif not speedup_ok:
+        print(
+            f"WARNING: structured path below the {MIN_SPEEDUP}x bar at "
+            f"{BAR_SIZE}x{BAR_SIZE}",
+            file=sys.stderr,
+        )
+
+    doc = {
+        "quick": args.quick,
+        "workload": {
+            "u": 4.0,
+            "beta": 2.0,
+            "n_slices": 16,
+            "backend": "numpy",
+            "cluster_slices": 8,
+            "inner_iterations": inner,
+            "repeats": repeats,
+        },
+        "sizes": results,
+        "min_speedup": MIN_SPEEDUP,
+        "bar_size": BAR_SIZE,
+        "speedup_ok": speedup_ok,
+    }
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    if not args.no_root_copy:
+        shutil.copyfile(args.output, ROOT_COPY)
+        print(f"wrote {ROOT_COPY}")
+    return 0 if speedup_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

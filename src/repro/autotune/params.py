@@ -46,6 +46,9 @@ class TuningParameters:
     #: precision-policy name to run under, or None to keep whatever the
     #: simulation already uses (the historical three-knob profile).
     precision: Optional[str] = None
+    #: kinetic propagator mode (exact / checkerboard), or None to keep
+    #: whatever the simulation already uses.
+    kinetic: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cluster_size < 1:
@@ -61,6 +64,10 @@ class TuningParameters:
             from ..precision import resolve_policy
 
             resolve_policy(self.precision)  # raises on unknown names
+        if self.kinetic is not None:
+            from ..hamiltonian import resolve_kinetic
+
+            resolve_kinetic(self.kinetic)  # raises on unknown names
 
     @classmethod
     def make(
@@ -68,6 +75,7 @@ class TuningParameters:
         cluster_size: int,
         max_delay: int,
         precision: Optional[str] = None,
+        kinetic: Optional[str] = None,
     ) -> "TuningParameters":
         """The canonical constructor with the wrap interval tied to k."""
         return cls(
@@ -75,6 +83,7 @@ class TuningParameters:
             wrap_interval=int(cluster_size),
             max_delay=int(max_delay),
             precision=precision,
+            kinetic=kinetic,
         )
 
     def to_dict(self) -> dict:
@@ -84,9 +93,11 @@ class TuningParameters:
             "max_delay": self.max_delay,
         }
         # Only when set — keeps cached three-knob profiles byte-stable
-        # and lets old caches round-trip without a precision key.
+        # and lets old caches round-trip without precision/kinetic keys.
         if self.precision is not None:
             d["precision"] = self.precision
+        if self.kinetic is not None:
+            d["kinetic"] = self.kinetic
         return d
 
     @classmethod
@@ -96,6 +107,7 @@ class TuningParameters:
             wrap_interval=int(d.get("wrap_interval", d["cluster_size"])),
             max_delay=int(d["max_delay"]),
             precision=d.get("precision"),
+            kinetic=d.get("kinetic"),
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -105,6 +117,8 @@ class TuningParameters:
         )
         if self.precision is not None:
             text += f", precision={self.precision}"
+        if self.kinetic is not None:
+            text += f", kinetic={self.kinetic}"
         return text
 
 
@@ -171,6 +185,7 @@ def candidate_grid(
     delays: Optional[Sequence[int]] = None,
     max_candidates: int = 12,
     precisions: Optional[Sequence[Optional[str]]] = None,
+    kinetics: Optional[Sequence[Optional[str]]] = None,
 ) -> List[TuningParameters]:
     """The deterministic candidate list a warmup tune searches.
 
@@ -178,10 +193,12 @@ def candidate_grid(
     the tuner can never choose something slower than the defaults *as
     measured* — the defaults are themselves a candidate. The rest is the
     cartesian product of cluster sizes near the target, the delay
-    ladder and (when ``precisions`` is given) the precision-policy axis,
-    in sorted order, truncated to ``max_candidates`` total. The policy
-    axis defaults to "keep the run's current precision" only — tuning
-    never silently narrows a pipeline the user asked for in float64.
+    ladder and (when given) the ``precisions`` / ``kinetics`` axes, in
+    sorted order, truncated to ``max_candidates`` total. Both optional
+    axes default to "keep the run's configured value" only — tuning
+    never silently narrows precision or swaps the kinetic propagator
+    unless explicitly asked to (both change the floating-point
+    trajectory, which is the user's call).
     """
     from ..core.delayed_update import delay_ladder
 
@@ -200,14 +217,27 @@ def candidate_grid(
     )
     if baseline.precision not in precision_list:
         precision_list.insert(0, baseline.precision)
+    kinetic_list: List[Optional[str]] = (
+        list(kinetics) if kinetics else [baseline.kinetic]
+    )
+    if baseline.kinetic not in kinetic_list:
+        kinetic_list.insert(0, baseline.kinetic)
 
+    # The kinetic axis varies fastest: a requested mode swap is the
+    # most expensive hypothesis to leave untested, so every (k, delay)
+    # point tries all modes before the grid moves on — truncation can
+    # shrink the cluster/delay coverage but never starve an explicitly
+    # requested kinetics axis.
     grid = [baseline]
     for p in precision_list:
         for k in clusters:
             for m in delay_list:
-                cand = TuningParameters.make(k, m, precision=p)
-                if cand != baseline:
-                    grid.append(cand)
-                if len(grid) >= max_candidates:
-                    return grid
+                for kin in kinetic_list:
+                    cand = TuningParameters.make(
+                        k, m, precision=p, kinetic=kin
+                    )
+                    if cand != baseline:
+                        grid.append(cand)
+                    if len(grid) >= max_candidates:
+                        return grid
     return grid

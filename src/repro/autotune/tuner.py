@@ -164,6 +164,14 @@ class WarmupAutotuner:
         ``["mixed"]`` to also try the narrowed pipeline). Omitted, the
         search keeps the run's configured policy — tuning never narrows
         precision unless explicitly asked to.
+    kinetics:
+        Optional kinetic-propagator axis for the default grid (e.g.
+        ``["checkerboard"]`` to also try the structured fast path).
+        Omitted, the search keeps the run's configured mode — like
+        precision, a kinetic swap changes the floating-point trajectory
+        (one extra Trotter term), so it is opt-in. Candidates on a mode
+        the lattice cannot support (multilayer, general graphs) are
+        rejected as inapplicable by the health gate, not crashed on.
     """
 
     def __init__(
@@ -177,6 +185,7 @@ class WarmupAutotuner:
         timing_source: Optional[Callable[[], float]] = None,
         key: str = "",
         precisions: Optional[Sequence[str]] = None,
+        kinetics: Optional[Sequence[str]] = None,
     ):
         if sweeps_per_candidate < 1:
             raise ValueError("sweeps_per_candidate must be >= 1")
@@ -184,10 +193,12 @@ class WarmupAutotuner:
         self.baseline = TuningParameters.make(
             sim.engine.cluster_size, sim.max_delay
         )
-        # Candidates with precision=None mean "the run's configured
-        # policy", pinned here so a trial that narrowed the engine can
-        # never leak its policy into later None-precision trials.
+        # Candidates with precision=None / kinetic=None mean "the run's
+        # configured value", pinned here so a trial that narrowed the
+        # engine or swapped its propagator can never leak that state
+        # into later None-valued trials.
         self._initial_precision = getattr(sim, "precision", None)
+        self._initial_kinetic = getattr(sim, "kinetic", None)
         if candidates is None:
             from ..linalg.condition import max_safe_cluster_size
 
@@ -202,11 +213,12 @@ class WarmupAutotuner:
                 target_cluster=min(10, max(1, cap)),
                 cluster_cap=cap,
                 precisions=precisions,
+                kinetics=kinetics,
             )
-        elif precisions is not None:
+        elif precisions is not None or kinetics is not None:
             raise ValueError(
-                "pass either an explicit candidate list or a precisions "
-                "axis, not both"
+                "pass either an explicit candidate list or "
+                "precisions/kinetics axes, not both"
             )
         self.candidates = list(candidates)
         self.sweeps_per_candidate = sweeps_per_candidate
@@ -242,6 +254,8 @@ class WarmupAutotuner:
         try:
             if params.precision is None and self._initial_precision is not None:
                 sim.set_precision(self._initial_precision)
+            if params.kinetic is None and self._initial_kinetic is not None:
+                sim.set_kinetic(self._initial_kinetic)
             sim.apply_tuning(params)
         except ValueError as exc:
             return TuningTrial(
@@ -329,6 +343,8 @@ class WarmupAutotuner:
             chosen, fallback = self.baseline, True
         if chosen.precision is None and self._initial_precision is not None:
             self.sim.set_precision(self._initial_precision)
+        if chosen.kinetic is None and self._initial_kinetic is not None:
+            self.sim.set_kinetic(self._initial_kinetic)
         self.sim.apply_tuning(chosen)
         result = AutotuneResult(
             chosen=chosen,

@@ -105,6 +105,14 @@ class PropagatorBackend:
     def cluster_product_batched(self, v_stack):
         raise NotImplementedError
 
+    def apply_structured(self, a, side="left", inverse=False, category="structured"):
+        raise NotImplementedError
+
+    def apply_structured_batched(
+        self, stack, side="left", inverse=False, category="structured"
+    ):
+        raise NotImplementedError
+
     def wrap(self, g, v):
         raise NotImplementedError
 
@@ -137,6 +145,11 @@ class BaseBackend(PropagatorBackend):
         self.expk: Optional[np.ndarray] = None
         self.inv_expk: Optional[np.ndarray] = None
         self.bound_factory = None
+        #: the factory's structured kinetic operator (a
+        #: CheckerboardPropagator) or None under the exact mode; set at
+        #: bind() time and consulted by the wrap / cluster kernels to
+        #: pick the structured fast path over the dense GEMM.
+        self.structured = None
         self.n: int = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -158,6 +171,7 @@ class BaseBackend(PropagatorBackend):
         else:
             self.expk = self.policy.compute(factory.expk)
             self.inv_expk = self.policy.compute(factory.inv_expk)
+        self.structured = getattr(factory, "structured", None)
         self.bound_factory = factory
         self.n = self.expk.shape[0]
         return self
@@ -194,6 +208,52 @@ class BaseBackend(PropagatorBackend):
         }
         out[f"backend.active.{self.name}"] = 1.0
         return out
+
+    # -- structured kinetic application ------------------------------------
+
+    def apply_structured(self, a, side="left", inverse=False, category="structured"):
+        """Apply the bound structured kinetic operator to ``a``.
+
+        ``side="left"`` is ``B_cb @ a``; ``side="right"`` is ``a @ B_cb``;
+        ``inverse=True`` applies the exact reversed-rotation inverse. The
+        operand is realized in the policy compute dtype and the flops are
+        charged to ``category`` — O(N (lx + ly)) per column instead of the
+        dense GEMM's O(N^2), which is the whole point of the fast path.
+        Raises :class:`BackendError` when the bound factory has no
+        structured operator (exact kinetic mode).
+        """
+        self._count("apply_structured")
+        self._require_bound()
+        if self.structured is None:
+            raise BackendError(
+                f"backend {self.name!r}: no structured kinetic operator is "
+                "bound — the factory was built with kinetic='exact'"
+            )
+        if side not in ("left", "right"):
+            raise BackendError(f"apply_structured side must be left/right, got {side!r}")
+        a = self.policy.compute(a)
+        width = a.shape[-1] if side == "left" else a.shape[-2]
+        batch = 1
+        for extent in a.shape[: a.ndim - 2]:
+            batch *= extent
+        flops.record(category, batch * self.structured.apply_flops(width))
+        if side == "left":
+            return self.structured.apply_expk_left(a, inverse=inverse)
+        return self.structured.apply_expk_right(a, inverse=inverse)
+
+    def apply_structured_batched(
+        self, stack, side="left", inverse=False, category="structured"
+    ):
+        """Stacked :meth:`apply_structured` over a leading sector axis.
+
+        The blocked kernels broadcast over leading axes, so the default
+        is genuinely stacked (one pair of batched GEMMs for all sectors),
+        not a loop.
+        """
+        self._count("apply_structured_batched")
+        return self.apply_structured(
+            stack, side=side, inverse=inverse, category=category
+        )
 
     # -- batched defaults (loop the single-matrix ops) ---------------------
 

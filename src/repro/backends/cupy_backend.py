@@ -60,12 +60,73 @@ class CupyBackend(NumpyBackend):
         self._cp = cupy
         self._d_expk = None
         self._d_inv_expk = None
+        self._d_blocks = None
 
     def bind(self, factory) -> "CupyBackend":
         super().bind(factory)
         self._d_expk = self._cp.asarray(self.expk)
         self._d_inv_expk = self._cp.asarray(self.inv_expk)
+        # Checkerboard direction blocks are tiny (lx^2 + ly^2 elements);
+        # resident uploads like the exponentials.
+        self._d_blocks = None
+        if self.structured is not None:
+            host_blocks = self.structured.blocks(self.policy.compute_dtype)
+            self._d_blocks = tuple(self._cp.asarray(b) for b in host_blocks)
         return self
+
+    # -- device-side structured application --------------------------------
+
+    def _structured_dev(self, a, side: str = "left", inverse: bool = False):
+        """Blocked checkerboard apply on a device array (same spelling as
+        :meth:`CheckerboardPropagator.apply_expk_left/right`)."""
+        cp = self._cp
+        cb = self.structured
+        bx, by, bx_inv, by_inv = self._d_blocks
+        lx, ly = cb.lattice.lx, cb.lattice.ly
+        n = cb.n_sites
+        a = cp.ascontiguousarray(a)
+        if side == "left":
+            lead = a.shape[:-2]
+            ncols = a.shape[-1]
+            if not inverse:
+                t = cp.matmul(bx, a.reshape(lead + (ly, lx, ncols)))
+                t = cp.matmul(by, t.reshape(lead + (ly, lx * ncols)))
+            else:
+                t = cp.matmul(by_inv, a.reshape(lead + (ly, lx * ncols)))
+                t = cp.matmul(bx_inv, t.reshape(lead + (ly, lx, ncols)))
+            out = t.reshape(lead + (n, ncols))
+        else:
+            lead = a.shape[:-1]
+            nrows = lead[-1]
+            batch = lead[:-1]
+            if not inverse:
+                t = cp.matmul(by.T, a.reshape(lead + (ly, lx)))
+                t = cp.matmul(t.reshape(batch + (nrows * ly, lx)), bx)
+            else:
+                t = cp.matmul(a.reshape(batch + (nrows * ly, lx)), bx_inv)
+                t = cp.matmul(by_inv.T, t.reshape(lead + (ly, lx)))
+            out = t.reshape(lead + (n,))
+        if cb.mu != 0.0:
+            factor = np.exp((-cb.dtau if inverse else cb.dtau) * cb.mu)
+            out *= out.dtype.type(factor)
+        return out
+
+    def apply_structured(self, a, side="left", inverse=False, category="structured"):
+        """Host-in / host-out checkerboard application on the device."""
+        self._count("apply_structured")
+        self._require_bound()
+        if self.structured is None:
+            from .base import BackendError
+
+            raise BackendError(
+                "backend 'cupy': no structured kinetic operator is bound "
+                "— the factory was built with kinetic='exact'"
+            )
+        cp = self._cp
+        a = self.policy.compute(a)
+        width = a.shape[-1] if side == "left" else a.shape[-2]
+        flops.record(category, self.structured.apply_flops(width))
+        return cp.asnumpy(self._structured_dev(cp.asarray(a), side, inverse))
 
     # -- ops (host in / host out) ------------------------------------------
 
@@ -86,9 +147,13 @@ class CupyBackend(NumpyBackend):
         self._record_scale("clustering", n, n)
         out = self._d_expk * cp.asarray(v_diagonals[0])[:, None]
         for v in v_diagonals[1:]:
-            self._record_gemm("clustering", n, n, n)
             self._record_scale("clustering", n, n)
-            out = self._d_expk @ out
+            if self.structured is not None:
+                flops.record("clustering", self.structured.apply_flops(n))
+                out = self._structured_dev(out)
+            else:
+                self._record_gemm("clustering", n, n, n)
+                out = self._d_expk @ out
             out *= cp.asarray(v)[:, None]
         return cp.asnumpy(out)
 
@@ -96,13 +161,16 @@ class CupyBackend(NumpyBackend):
         self._count("wrap")
         self._require_bound()
         cp, n = self._cp, self.n
-        flops.record(
-            "wrapping",
-            2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n),
-        )
+        flops.record("wrapping", 2 * flops.scale_flops(n, n))
         dv = cp.asarray(v)
-        t = self._d_expk @ cp.asarray(g)
-        t = t @ self._d_inv_expk
+        if self.structured is not None:
+            flops.record("wrapping", 2 * self.structured.apply_flops(n))
+            t = self._structured_dev(cp.asarray(g))
+            t = self._structured_dev(t, side="right", inverse=True)
+        else:
+            flops.record("wrapping", 2 * flops.gemm_flops(n, n, n))
+            t = self._d_expk @ cp.asarray(g)
+            t = t @ self._d_inv_expk
         t *= dv[:, None]
         t *= (1.0 / dv)[None, :]
         return cp.asnumpy(t)
@@ -111,13 +179,15 @@ class CupyBackend(NumpyBackend):
         self._count("unwrap")
         self._require_bound()
         cp, n = self._cp, self.n
-        flops.record(
-            "wrapping",
-            2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n),
-        )
+        flops.record("wrapping", 2 * flops.scale_flops(n, n))
         dv = cp.asarray(v)
         t = cp.asarray(g) * (1.0 / dv)[:, None]
         t *= dv[None, :]
+        if self.structured is not None:
+            flops.record("wrapping", 2 * self.structured.apply_flops(n))
+            t = self._structured_dev(t, inverse=True)
+            return cp.asnumpy(self._structured_dev(t, side="right"))
+        flops.record("wrapping", 2 * flops.gemm_flops(n, n, n))
         t = self._d_inv_expk @ t
         return cp.asnumpy(t @ self._d_expk)
 
@@ -127,14 +197,17 @@ class CupyBackend(NumpyBackend):
         self._require_bound()
         cp = self._cp
         s, n = np.asarray(vs).shape
-        flops.record(
-            "wrapping",
-            s * (2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n)),
-        )
+        flops.record("wrapping", 2 * s * flops.scale_flops(n, n))
         dg = cp.asarray(gs)
         dv = cp.asarray(vs)
-        t = cp.matmul(self._d_expk[None], dg)
-        t = cp.matmul(t, self._d_inv_expk[None])
+        if self.structured is not None:
+            flops.record("wrapping", 2 * s * self.structured.apply_flops(n))
+            t = self._structured_dev(dg)
+            t = self._structured_dev(t, side="right", inverse=True)
+        else:
+            flops.record("wrapping", 2 * s * flops.gemm_flops(n, n, n))
+            t = cp.matmul(self._d_expk[None], dg)
+            t = cp.matmul(t, self._d_inv_expk[None])
         t *= dv[:, :, None]
         t *= (1.0 / dv)[:, None, :]
         return cp.asnumpy(t)

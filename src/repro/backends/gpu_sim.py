@@ -54,15 +54,21 @@ class SimulatedGPUBackend(NumpyBackend):
 
         super().bind(factory)
         # self.expk is the policy-realized exponential (compute dtype);
-        # re-upload when either the model shape or the dtype changed —
-        # a precision promotion must not keep stale-width device state.
+        # re-upload when the model shape, the dtype, or the structured
+        # kinetic operator changed — a precision promotion or a kinetic
+        # switch must not keep stale device state.
         if (
             self.ops is None
             or self.ops.d_expk.shape != self.expk.shape
             or self.ops.d_expk.dtype != self.expk.dtype
+            or self.ops.structured is not self.structured
         ):
             self.ops = GPUPropagatorOps(
-                self.device, self.expk, self.inv_expk, fused=self.fused
+                self.device,
+                self.expk,
+                self.inv_expk,
+                fused=self.fused,
+                structured=self.structured,
             )
         return self
 
@@ -88,6 +94,38 @@ class SimulatedGPUBackend(NumpyBackend):
     def unwrap(self, g, v):
         self._count("unwrap")
         return self._require_ops().unwrap(g, v)
+
+    def apply_structured(self, a, side="left", inverse=False, category="structured"):
+        """Device-side checkerboard application (upload, rotate, download)."""
+        self._count("apply_structured")
+        ops = self._require_ops()
+        if self.structured is None:
+            from .base import BackendError
+
+            raise BackendError(
+                "backend 'gpu-sim': no structured kinetic operator is "
+                "bound — the factory was built with kinetic='exact'"
+            )
+        from ..linalg import flops
+
+        a = self.policy.compute(a)
+        width = a.shape[-1] if side == "left" else a.shape[-2]
+        flops.record(category, self.structured.apply_flops(width))
+        return ops.apply_structured(a, side=side, inverse=inverse)
+
+    def apply_structured_batched(
+        self, stack, side="left", inverse=False, category="structured"
+    ):
+        """Per-sector device applications (one scratch set per device)."""
+        self._count("apply_structured_batched")
+        import numpy as np
+
+        return np.stack(
+            [
+                self.apply_structured(a, side=side, inverse=inverse, category=category)
+                for a in stack
+            ]
+        )
 
     # The batched entry points loop per sector on the device (one scratch
     # set per device; a real multi-stream port would override these).

@@ -90,9 +90,12 @@ class NumpyBackend(BaseBackend):
         self._record_scale("clustering", n, n)
         out = self.expk * compute(v_diagonals[0])[:, None]
         for v in v_diagonals[1:]:
-            self._record_gemm("clustering", n, n, n)
+            if self.structured is not None:
+                out = self.apply_structured(out, side="left", category="clustering")
+            else:
+                self._record_gemm("clustering", n, n, n)
+                out = self.expk @ out
             self._record_scale("clustering", n, n)
-            out = self.expk @ out
             out *= compute(v)[:, None]
         return out
 
@@ -105,11 +108,14 @@ class NumpyBackend(BaseBackend):
         self._record_scale("clustering", n, n, passes=s)
         out = self.expk[None] * vs[:, 0, :, None]
         for j in range(1, k):
-            flops.record(
-                "clustering",
-                s * (flops.gemm_flops(n, n, n) + flops.scale_flops(n, n)),
-            )
-            out = np.matmul(self.expk[None], out)
+            if self.structured is not None:
+                out = self.apply_structured_batched(
+                    out, side="left", category="clustering"
+                )
+            else:
+                flops.record("clustering", s * flops.gemm_flops(n, n, n))
+                out = np.matmul(self.expk[None], out)
+            flops.record("clustering", s * flops.scale_flops(n, n))
             out *= vs[:, j, :, None]
         return out
 
@@ -121,8 +127,12 @@ class NumpyBackend(BaseBackend):
         self._require_bound()
         g = self.policy.compute(g)
         v = self.policy.compute(v)
-        t = self.gemm(self.expk, g, category="wrapping")
-        t = self.gemm(t, self.inv_expk, category="wrapping")
+        if self.structured is not None:
+            t = self.apply_structured(g, side="left", category="wrapping")
+            t = self.apply_structured(t, side="right", inverse=True, category="wrapping")
+        else:
+            t = self.gemm(self.expk, g, category="wrapping")
+            t = self.gemm(t, self.inv_expk, category="wrapping")
         return self.scale_two_sided(t, v, out=t, category="wrapping")
 
     def unwrap(self, g, v):
@@ -133,6 +143,9 @@ class NumpyBackend(BaseBackend):
         v = self.policy.compute(v)
         vinv = 1.0 / v
         t = self.scale_two_sided(g, vinv, col_v=v, category="wrapping")
+        if self.structured is not None:
+            t = self.apply_structured(t, side="left", inverse=True, category="wrapping")
+            return self.apply_structured(t, side="right", category="wrapping")
         t = self.gemm(self.inv_expk, t, category="wrapping")
         return self.gemm(t, self.expk, category="wrapping")
 
@@ -143,12 +156,16 @@ class NumpyBackend(BaseBackend):
         gs = self.policy.compute(gs)
         vs = self.policy.compute(vs)
         s, n = vs.shape
-        flops.record(
-            "wrapping",
-            s * (2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n)),
-        )
-        t = np.matmul(self.expk[None], gs)
-        t = np.matmul(t, self.inv_expk[None])
+        flops.record("wrapping", 2 * s * flops.scale_flops(n, n))
+        if self.structured is not None:
+            t = self.apply_structured_batched(gs, side="left", category="wrapping")
+            t = self.apply_structured_batched(
+                t, side="right", inverse=True, category="wrapping"
+            )
+        else:
+            flops.record("wrapping", 2 * s * flops.gemm_flops(n, n, n))
+            t = np.matmul(self.expk[None], gs)
+            t = np.matmul(t, self.inv_expk[None])
         t *= vs[:, :, None]
         t *= (1.0 / vs)[:, None, :]
         return t
@@ -159,12 +176,15 @@ class NumpyBackend(BaseBackend):
         gs = self.policy.compute(gs)
         vs = self.policy.compute(vs)
         s, n = vs.shape
-        flops.record(
-            "wrapping",
-            s * (2 * flops.gemm_flops(n, n, n) + 2 * flops.scale_flops(n, n)),
-        )
+        flops.record("wrapping", 2 * s * flops.scale_flops(n, n))
         vinv = 1.0 / vs
         t = gs * vinv[:, :, None]
         t *= vs[:, None, :]
+        if self.structured is not None:
+            t = self.apply_structured_batched(
+                t, side="left", inverse=True, category="wrapping"
+            )
+            return self.apply_structured_batched(t, side="right", category="wrapping")
+        flops.record("wrapping", 2 * s * flops.gemm_flops(n, n, n))
         t = np.matmul(self.inv_expk[None], t)
         return np.matmul(t, self.expk[None])

@@ -66,7 +66,10 @@ class ThreadedBackend(NumpyBackend):
             self.expk, compute(v_diagonals[0]), category="clustering"
         )
         for v in v_diagonals[1:]:
-            t = self.gemm(self.expk, out, category="clustering")
+            if self.structured is not None:
+                t = self.apply_structured(out, side="left", category="clustering")
+            else:
+                t = self.gemm(self.expk, out, category="clustering")
             out = self.scale_rows(t, compute(v), out=t, category="clustering")
         return out
 

@@ -104,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         "watchdog-guarded accuracy (see docs/performance.md)",
     )
     p_run.add_argument(
+        "--kinetic", type=str, default=None, metavar="MODE",
+        help="kinetic propagator: exact or checkerboard (default: the "
+        "input file's 'kinetic' key, else $REPRO_KINETIC, else exact); "
+        "checkerboard swaps the dense exp(-dtau K) GEMMs for O(N) "
+        "bond-group rotation passes at the cost of one extra O(dtau^2) "
+        "Trotter term (see docs/performance.md)",
+    )
+    p_run.add_argument(
         "--telemetry", type=Path, default=None, metavar="JSONL",
         help="archive metrics snapshots and structured events to this "
         "JSONL file (inspectable mid-run; see docs/observability.md)",
@@ -192,6 +200,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--precisions", type=str, default=None, metavar="P1,P2",
         help="comma-separated precision policies to add to the search "
         "grid (e.g. 'mixed'); default: only the run's configured policy",
+    )
+    p_tune.add_argument(
+        "--kinetics", type=str, default=None, metavar="K1,K2",
+        help="comma-separated kinetic propagator modes to add to the "
+        "search grid (e.g. 'checkerboard'); default: only the run's "
+        "configured mode",
     )
     p_tune.add_argument("--quiet", action="store_true")
 
@@ -345,6 +359,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         except PrecisionError as exc:
             print(f"--precision {args.precision}: {exc}", file=sys.stderr)
             return 2
+    if args.kinetic is not None:
+        from .hamiltonian import resolve_kinetic
+
+        try:
+            resolve_kinetic(args.kinetic)
+        except ValueError as exc:
+            print(f"--kinetic {args.kinetic}: {exc}", file=sys.stderr)
+            return 2
     # CLI statistics flags override the input file's keys, exactly like
     # --backend / --precision above.
     if args.streaming:
@@ -364,6 +386,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         watchdog=_build_watchdog(args),
         backend=args.backend,
         precision=args.precision,
+        kinetic=args.kinetic,
     )
     controller = cfg.controller()
     if controller is not None:
@@ -373,7 +396,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     output = args.output if args.output else args.input.with_suffix(".npz")
     _emit(
         args.quiet,
-        f"backend: {sim.engine.backend.name}  precision: {sim.precision}",
+        f"backend: {sim.engine.backend.name}  precision: {sim.precision}  "
+        f"kinetic: {sim.kinetic}",
     )
     try:
         with flops.tally() as flop_tally:
@@ -550,6 +574,17 @@ def cmd_tune(args: argparse.Namespace) -> int:
         except PrecisionError as exc:
             print(f"--precisions {args.precisions}: {exc}", file=sys.stderr)
             return 2
+    kinetics = None
+    if args.kinetics:
+        from .hamiltonian import resolve_kinetic
+
+        kinetics = [k.strip() for k in args.kinetics.split(",") if k.strip()]
+        try:
+            for k in kinetics:
+                resolve_kinetic(k)
+        except ValueError as exc:
+            print(f"--kinetics {args.kinetics}: {exc}", file=sys.stderr)
+            return 2
     result = tune_simulation(
         sim,
         cache=cache,
@@ -559,6 +594,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
         drift_tol=args.drift_tol,
         range_tol=args.range_tol,
         precisions=precisions,
+        kinetics=kinetics,
     )
     if not args.quiet:
         for t in result.trials:
@@ -723,6 +759,14 @@ def cmd_info(args: argparse.Namespace) -> int:
 
     policy = resolve_policy(None if cfg.precision == "auto" else cfg.precision)
     print(f"precision        {policy.name} ({policy.description})")
+    from .hamiltonian import resolve_kinetic
+
+    kin = resolve_kinetic(None if cfg.kinetic == "auto" else cfg.kinetic)
+    kin_desc = {
+        "exact": "dense exp(-dtau K) GEMMs",
+        "checkerboard": "split bond-group rotation passes, O(N) apply",
+    }[kin]
+    print(f"kinetic          {kin} ({kin_desc})")
     print(f"conditioning     {report.describe()}")
     if cfg.north > report.suggested_cluster_size:
         print(

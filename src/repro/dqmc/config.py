@@ -61,6 +61,11 @@ class SimulationConfig:
     #: precision policy name (full64 / mixed / fast32); "auto" defers to
     #: $REPRO_PRECISION / "full64"
     precision: str = "auto"
+    #: kinetic propagator (exact / checkerboard); "auto" defers to
+    #: $REPRO_KINETIC / "exact" — checkerboard swaps the dense
+    #: exp(-dtau K) GEMMs for O(N) bond-group rotation passes at the
+    #: cost of one more O(dtau^2) Trotter term
+    kinetic: str = "auto"
     #: 1 = pick (cluster size, delay) from the tuning cache / a warmup
     #: autotune pass instead of trusting north/ndelay (see
     #: docs/performance.md); 0 = run exactly what the file says
@@ -129,6 +134,19 @@ class SimulationConfig:
                 resolve_policy(self.precision)
             except PrecisionError as exc:
                 raise ValueError(f"precision = {self.precision!r}: {exc}") from exc
+        if self.kinetic != "auto":
+            from ..hamiltonian import resolve_kinetic
+
+            try:
+                resolve_kinetic(self.kinetic)
+            except ValueError as exc:
+                raise ValueError(f"kinetic = {self.kinetic!r}: {exc}") from exc
+            if self.kinetic == "checkerboard" and self.nlayers > 1:
+                raise ValueError(
+                    "kinetic = 'checkerboard' cannot partition a "
+                    "multilayer stack into disjoint bond groups; use "
+                    "kinetic = 'exact' for nlayers > 1"
+                )
         if self.target_error < 0:
             raise ValueError(
                 f"target_error = {self.target_error} must be >= 0 "
@@ -157,6 +175,7 @@ class SimulationConfig:
         backend=None,
         seed=None,
         precision=None,
+        kinetic=None,
     ) -> Simulation:
         """Build the configured :class:`Simulation`.
 
@@ -174,9 +193,13 @@ class SimulationConfig:
         the file's ``precision`` key the same way ``backend`` does —
         unlike a backend swap it *does* change the floating-point
         trajectory, which is exactly the point of the policy ladder.
+        ``kinetic`` (e.g. from ``repro run --kinetic``) overrides the
+        file's ``kinetic`` key; like precision it changes the numerics
+        (one extra Trotter term), so it is physics the user opts into.
         """
         chosen = backend if backend is not None else self.backend
         chosen_precision = precision if precision is not None else self.precision
+        chosen_kinetic = kinetic if kinetic is not None else self.kinetic
         return Simulation(
             self.model(),
             seed=self.seed if seed is None else seed,
@@ -189,6 +212,7 @@ class SimulationConfig:
             watchdog=watchdog,
             backend=None if chosen == "auto" else chosen,
             precision=None if chosen_precision == "auto" else chosen_precision,
+            kinetic=None if chosen_kinetic == "auto" else chosen_kinetic,
             streaming=bool(self.streaming),
         )
 

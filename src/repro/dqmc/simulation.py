@@ -207,6 +207,7 @@ class Simulation:
         watchdog: Optional[WatchdogConfig] = None,
         backend=None,
         precision=None,
+        kinetic=None,
         streaming: bool = False,
     ):
         self.model = model
@@ -217,7 +218,7 @@ class Simulation:
             self.telemetry.add_snapshot_source(
                 self.profiler.export_to_registry
             )
-        self.factory = BMatrixFactory(model)
+        self.factory = BMatrixFactory(model, kinetic=kinetic)
         self.field = HSField.random(model.n_slices, model.n_sites, self.rng)
         backend = _resolve_backend_knobs(backend, use_gpu, threaded_norms)
         self.engine = GreensFunctionEngine(
@@ -298,11 +299,35 @@ class Simulation:
         precision = getattr(params, "precision", None)
         if precision is not None:
             self.set_precision(precision)
+        kinetic = getattr(params, "kinetic", None)
+        if kinetic is not None:
+            self.set_kinetic(kinetic)
 
     @property
     def precision(self) -> str:
         """Name of the engine's active precision policy."""
         return self.engine.policy.name
+
+    @property
+    def kinetic(self) -> str:
+        """Name of the active kinetic-propagator mode."""
+        return self.factory.kinetic_mode
+
+    def set_kinetic(self, kinetic) -> bool:
+        """Switch the kinetic propagator on the live run (between sweeps).
+
+        Delegates to :meth:`GreensFunctionEngine.set_kinetic` (which
+        rebuilds the factory and re-binds the backend) and adopts the
+        engine's new factory so the measurement paths see the same
+        operator. Like a precision switch this changes the numerics —
+        checkerboard carries one extra O(dtau^2) Trotter term — which is
+        why the autotuner health-gates the axis. Returns True when the
+        mode actually changed.
+        """
+        changed = self.engine.set_kinetic(kinetic)
+        if changed:
+            self.factory = self.engine.factory
+        return changed
 
     def set_precision(self, policy) -> bool:
         """Switch the precision policy on the live run (between sweeps).

@@ -25,7 +25,11 @@ import numpy as np
 
 from .cublas import Cublas
 from .device import DeviceArray, SimulatedDevice
-from .kernels import scale_rows_kernel, two_sided_scale_kernel
+from .kernels import (
+    checkerboard_apply_kernel,
+    scale_rows_kernel,
+    two_sided_scale_kernel,
+)
 
 __all__ = ["GPUPropagatorOps"]
 
@@ -42,6 +46,13 @@ class GPUPropagatorOps:
     fused:
         Select the fused-kernel implementations (Algorithms 5/7) instead
         of the plain CUBLAS listings (Algorithms 4/6) for the scalings.
+    structured:
+        A :class:`~repro.hamiltonian.CheckerboardPropagator` (or None).
+        When set, the kinetic GEMMs of clustering and wrapping are
+        replaced by per-bond-group rotation kernels
+        (:func:`~repro.gpu.kernels.checkerboard_apply_kernel`) — the
+        resident dense exponentials remain uploaded only as the first
+        cluster factor / dense fallback.
     """
 
     def __init__(
@@ -50,6 +61,7 @@ class GPUPropagatorOps:
         expk: np.ndarray,
         inv_expk: np.ndarray,
         fused: bool = True,
+        structured=None,
     ):
         n = expk.shape[0]
         if expk.shape != (n, n) or inv_expk.shape != (n, n):
@@ -58,6 +70,7 @@ class GPUPropagatorOps:
         self.blas = Cublas(device)
         self.n = n
         self.fused = fused
+        self.structured = structured
         self.d_expk = device.set_matrix(expk)
         self.d_inv_expk = device.set_matrix(inv_expk)
         # Everything on device follows the uploaded exponentials' width:
@@ -100,6 +113,11 @@ class GPUPropagatorOps:
             blas.dcopy(self._t, self._a)
         for v in v_diagonals[1:]:
             dv = self._send_v(np.asarray(v, dtype=self.dtype))
+            if self.structured is not None:
+                # A <- B_cb A via per-group rotation passes, then V A
+                checkerboard_apply_kernel(dev, self.structured, self._a)
+                scale_rows_kernel(dev, dv, self._a, self._a)
+                continue
             blas.dgemm(self.d_expk, self._a, self._t)  # T <- B x A
             if self.fused:
                 scale_rows_kernel(dev, dv, self._t, self._a)  # A <- V T
@@ -108,6 +126,23 @@ class GPUPropagatorOps:
                     blas.dscal(float(v[j]), self._t, row=j)
                 blas.dcopy(self._t, self._a)
         return dev.get_matrix(self._a)
+
+    # -- structured kinetic application ------------------------------------------
+
+    def apply_structured(
+        self, a: np.ndarray, side: str = "left", inverse: bool = False
+    ) -> np.ndarray:
+        """Checkerboard-apply ``a`` on device (upload, rotate, download)."""
+        if self.structured is None:
+            raise ValueError("no structured propagator bound to these ops")
+        dev = self.device
+        da = dev.set_matrix(np.asarray(a, dtype=self.dtype))
+        checkerboard_apply_kernel(
+            dev, self.structured, da, side=side, inverse=inverse
+        )
+        out = dev.get_matrix(da)
+        dev.free(da)
+        return out
 
     # -- wrapping (Algorithm 6) -----------------------------------------------------
 
@@ -121,8 +156,15 @@ class GPUPropagatorOps:
         dev, blas = self.device, self.blas
         dg = dev.set_matrix(np.asarray(g, dtype=self.dtype), dest=self._a)
         dv = self._send_v(v)
-        blas.dgemm(self.d_expk, dg, self._t)  # T <- B G
-        blas.dgemm(self._t, self.d_inv_expk, dg)  # G <- T B^{-1}
+        if self.structured is not None:
+            # G <- B_cb G B_cb^{-1} as four rotation passes per direction
+            checkerboard_apply_kernel(dev, self.structured, dg, side="left")
+            checkerboard_apply_kernel(
+                dev, self.structured, dg, side="right", inverse=True
+            )
+        else:
+            blas.dgemm(self.d_expk, dg, self._t)  # T <- B G
+            blas.dgemm(self._t, self.d_inv_expk, dg)  # G <- T B^{-1}
         if self.fused:
             two_sided_scale_kernel(dev, dv, dg)
         else:
@@ -166,6 +208,12 @@ class GPUPropagatorOps:
                 dev.tick(
                     dev.model.time_bandwidth_kernel(2 * payload[:, j].nbytes)
                 )
-        blas.dgemm(self.d_inv_expk, dg, self._t)  # T <- B^{-1} G'
-        blas.dgemm(self._t, self.d_expk, dg)  # G <- T B
+        if self.structured is not None:
+            checkerboard_apply_kernel(
+                dev, self.structured, dg, side="left", inverse=True
+            )
+            checkerboard_apply_kernel(dev, self.structured, dg, side="right")
+        else:
+            blas.dgemm(self.d_inv_expk, dg, self._t)  # T <- B^{-1} G'
+            blas.dgemm(self._t, self.d_expk, dg)  # G <- T B
         return dev.get_matrix(dg)

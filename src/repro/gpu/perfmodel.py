@@ -87,6 +87,22 @@ class GPUModel:
         """A kernel whose cost is pure memory traffic (scaling, copy)."""
         return self.kernel_latency + nbytes / self.mem_bandwidth
 
+    def time_checkerboard_pass(
+        self, n_bonds: int, ncols: int, itemsize: int = 8
+    ) -> float:
+        """One bond-group rotation pass of the checkerboard propagator.
+
+        A thread per bond streams its two operand rows in and out
+        (``4 * n_bonds * ncols`` elements of traffic) doing O(1) flops per
+        element — bandwidth-bound like the scaling kernels, so the cost
+        is bytes over ``mem_bandwidth`` plus one launch. Summed over the
+        ~4-6 groups this is O(N^2) traffic versus the dense propagator
+        GEMM's O(N^3) flops, which is why the structured path moves the
+        Fig 9/10 crossover toward smaller lattices.
+        """
+        nbytes = 4.0 * n_bonds * ncols * itemsize
+        return self.kernel_latency + nbytes / self.mem_bandwidth
+
     def time_transfer(self, nbytes: float) -> float:
         return self.transfer_latency + nbytes / self.pcie_bandwidth
 

@@ -1,16 +1,19 @@
 """Hubbard Hamiltonian, Trotter discretization, HS field and B matrices."""
 
-from .bmatrix import BMatrixFactory
-from .checkerboard import CheckerboardPropagator, bond_groups
+from .bmatrix import BMatrixFactory, KINETIC_MODES, resolve_kinetic
+from .checkerboard import CheckerboardError, CheckerboardPropagator, bond_groups
 from .hs_field import HSField
 from .hubbard import HubbardModel, hs_coupling
 from .kinetic import KineticPropagator, free_dispersion_2d, free_greens_function
 
 __all__ = [
     "BMatrixFactory",
+    "CheckerboardError",
     "CheckerboardPropagator",
     "HSField",
+    "KINETIC_MODES",
     "bond_groups",
+    "resolve_kinetic",
     "HubbardModel",
     "KineticPropagator",
     "free_dispersion_2d",

@@ -11,16 +11,37 @@ sampling.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
 
 from ..linalg import flops
+from .checkerboard import CheckerboardPropagator
 from .hs_field import HSField
 from .hubbard import HubbardModel
 from .kinetic import KineticPropagator
 
-__all__ = ["BMatrixFactory"]
+__all__ = ["KINETIC_MODES", "resolve_kinetic", "BMatrixFactory"]
+
+#: the two kinetic propagators QUEST supports (paper Sec. II).
+KINETIC_MODES = ("exact", "checkerboard")
+
+
+def resolve_kinetic(name: Optional[str] = None) -> str:
+    """Resolve a kinetic-propagator mode name.
+
+    ``None`` falls back to ``$REPRO_KINETIC`` and then to ``"exact"`` —
+    the bit-identical default. Unknown names are rejected loudly.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_KINETIC") or "exact"
+    name = str(name).lower()
+    if name not in KINETIC_MODES:
+        raise ValueError(
+            f"unknown kinetic mode {name!r}: expected one of {KINETIC_MODES}"
+        )
+    return name
 
 
 class BMatrixFactory:
@@ -37,10 +58,24 @@ class BMatrixFactory:
     whole simulation while the field evolves.
     """
 
-    def __init__(self, model: HubbardModel):
+    def __init__(self, model: HubbardModel, kinetic: Optional[str] = None):
         self.model = model
+        self.kinetic_mode = resolve_kinetic(kinetic)
         self.kinetic = KineticPropagator(model.kinetic_matrix(), model.dtau)
         self.nu = model.nu
+        #: the structured checkerboard operator, or ``None`` under the
+        #: exact mode — backends pick this up at bind() time to decide
+        #: whether the structured fast path exists.
+        self.structured: Optional[CheckerboardPropagator] = None
+        if self.kinetic_mode == "checkerboard":
+            self.structured = CheckerboardPropagator(
+                model.lattice, t=model.t, dtau=model.dtau, mu=model.mu
+            )
+            # Force the lattice-type / disjointness validation now, so a
+            # non-partitionable geometry fails at construction (a typed
+            # ValueError the autotuner treats as "candidate inapplicable")
+            # rather than mid-sweep.
+            self.structured.groups
         # dtype -> (expk, inv_expk) realized for that width; float64
         # masters are shared, narrower widths are cast once and reused
         # across rebinds (and across promotions back down the ladder).
@@ -52,10 +87,14 @@ class BMatrixFactory:
 
     @property
     def expk(self) -> np.ndarray:
+        if self.structured is not None:
+            return self.structured.as_matrix()
         return self.kinetic.expk
 
     @property
     def inv_expk(self) -> np.ndarray:
+        if self.structured is not None:
+            return self.structured.inverse_matrix()
         return self.kinetic.inv_expk
 
     def exponentials(self, dtype=None):
@@ -64,8 +103,16 @@ class BMatrixFactory:
         The precision-policy seam of the hamiltonian layer: backends
         bind their compute-dtype exponentials through this cache. The
         eigendecomposition behind the masters is never redone — only
-        the final cast is, once per width.
+        the final cast is, once per width. Under checkerboard mode the
+        pair is the *checkerboard* product and its exact inverse (the
+        propagator keeps its own per-dtype cache), so dense fallbacks
+        stay consistent with the structured applications.
         """
+        if self.structured is not None:
+            return (
+                self.structured.as_matrix(dtype),
+                self.structured.inverse_matrix(dtype),
+            )
         if dtype is None:
             return self.expk, self.inv_expk
         dt = np.dtype(dtype)
@@ -79,6 +126,35 @@ class BMatrixFactory:
             )
             self._exponentials[dt] = cached
         return cached
+
+    # -- kinetic-factor application (structured seam) ---------------------------
+
+    def apply_expk_left(
+        self, a: np.ndarray, inverse: bool = False, category: str = "kinetic"
+    ) -> np.ndarray:
+        """``exp(-dtau K) @ a`` (``exp(+dtau K) @ a`` when ``inverse``).
+
+        Exact mode spells this as the dense GEMM it always was;
+        checkerboard mode routes through the bond-group direction blocks
+        in O(N (lx+ly)) flops per column instead of O(N^2).
+        """
+        ncols = a.shape[1] if a.ndim == 2 else 1
+        if self.structured is not None:
+            flops.record(category, self.structured.apply_flops(ncols))
+            return self.structured.apply_expk_left(a, inverse=inverse)
+        flops.record(category, flops.gemm_flops(self.n, ncols, self.n))
+        return (self.inv_expk if inverse else self.expk) @ a
+
+    def apply_expk_right(
+        self, a: np.ndarray, inverse: bool = False, category: str = "kinetic"
+    ) -> np.ndarray:
+        """``a @ exp(-dtau K)`` (``a @ exp(+dtau K)`` when ``inverse``)."""
+        nrows = a.shape[0] if a.ndim == 2 else 1
+        if self.structured is not None:
+            flops.record(category, self.structured.apply_flops(nrows))
+            return self.structured.apply_expk_right(a, inverse=inverse)
+        flops.record(category, flops.gemm_flops(nrows, self.n, self.n))
+        return a @ (self.inv_expk if inverse else self.expk)
 
     # -- single-slice products -------------------------------------------------
 
@@ -106,9 +182,9 @@ class BMatrixFactory:
         diagonal never mixes into the GEMM.
         """
         n = self.n
-        flops.record("clustering", flops.gemm_flops(n, a.shape[1], n) + n * a.shape[1])
+        flops.record("clustering", n * a.shape[1])
         v = field.v_diagonal(l, sigma, self.nu)
-        out = self.expk @ a
+        out = self.apply_expk_left(a, category="clustering")
         out *= v[:, None]
         return out
 
@@ -121,9 +197,9 @@ class BMatrixFactory:
         *result's* columns: ``(a @ invexpK) / v``.
         """
         n = self.n
-        flops.record("wrapping", flops.gemm_flops(a.shape[0], n, n) + a.shape[0] * n)
+        flops.record("wrapping", a.shape[0] * n)
         v = field.v_diagonal(l, sigma, self.nu)
-        out = a @ self.inv_expk
+        out = self.apply_expk_right(a, inverse=True, category="wrapping")
         out /= v[None, :]
         return out
 

@@ -1,0 +1,396 @@
+"""Integration tests for the structured (checkerboard) kinetic fast path.
+
+The checkerboard propagator's unit behaviour lives in
+``test_hamiltonian_checkerboard.py``; this file covers the *pipeline*:
+the factory's kinetic modes, the backend ``apply_structured`` protocol,
+cross-backend equivalence under the fast path, the Trotter-error
+property the mode trades on, and end-to-end observable parity between
+the two kinetic modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BMatrixFactory, HSField, HubbardModel, Simulation, SquareLattice
+from repro.backends import BackendError, get_backend
+from repro.hamiltonian import (
+    CheckerboardError,
+    CheckerboardPropagator,
+    KINETIC_MODES,
+    bond_groups,
+    resolve_kinetic,
+)
+from repro.lattice import GeneralLattice, MultilayerLattice
+
+STRUCTURED_BACKENDS = ("numpy", "threaded", "gpu-sim")
+
+
+def model_4x4(beta=2.0, n_slices=16, u=4.0, mu=0.0):
+    return HubbardModel(
+        SquareLattice(4, 4), u=u, beta=beta, n_slices=n_slices, mu=mu
+    )
+
+
+def factories(model=None):
+    model = model if model is not None else model_4x4()
+    return (
+        BMatrixFactory(model, kinetic="exact"),
+        BMatrixFactory(model, kinetic="checkerboard"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# mode resolution + typed failures
+# ---------------------------------------------------------------------------
+
+
+class TestKineticModes:
+    def test_catalogue(self):
+        assert KINETIC_MODES == ("exact", "checkerboard")
+
+    def test_resolve_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KINETIC", raising=False)
+        assert resolve_kinetic(None) == "exact"
+        monkeypatch.setenv("REPRO_KINETIC", "checkerboard")
+        assert resolve_kinetic(None) == "checkerboard"
+        assert resolve_kinetic("exact") == "exact"  # explicit beats env
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown kinetic mode"):
+            resolve_kinetic("trotterize-harder")
+
+    def test_factory_default_is_exact(self):
+        assert BMatrixFactory(model_4x4()).kinetic_mode == "exact"
+        assert BMatrixFactory(model_4x4()).structured is None
+
+    def test_multilayer_lattice_raises_typed_error(self):
+        lat = MultilayerLattice(4, 4, 2)
+        with pytest.raises(CheckerboardError):
+            bond_groups(lat)
+        model = HubbardModel(lat, u=2.0, beta=1.0, n_slices=8)
+        with pytest.raises(CheckerboardError):
+            BMatrixFactory(model, kinetic="checkerboard")
+
+    def test_general_lattice_raises_typed_error(self):
+        lat = GeneralLattice(4, ((0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)))
+        with pytest.raises(CheckerboardError):
+            bond_groups(lat)
+
+    def test_checkerboard_error_is_value_error(self):
+        # The autotuner's "inapplicable candidate" gate catches
+        # ValueError; the typed error must stay inside that net.
+        assert issubclass(CheckerboardError, ValueError)
+
+
+# ---------------------------------------------------------------------------
+# group invariants
+# ---------------------------------------------------------------------------
+
+
+class TestGroupInvariants:
+    @pytest.mark.parametrize(
+        "shape", [(4, 4), (6, 4), (5, 5), (5, 3), (2, 2), (8, 1), (16, 16)]
+    )
+    def test_groups_disjoint_and_exact_cover(self, shape):
+        """Within each group no site appears twice (the rotations
+        commute), and across all groups every lattice bond appears
+        exactly once (the split loses no hopping)."""
+        lat = SquareLattice(*shape)
+        seen = {}
+        for gi, group in enumerate(bond_groups(lat)):
+            sites = [s for bond in group for s in bond]
+            assert len(sites) == len(set(sites)), (shape, gi)
+            for i, j in group:
+                key = frozenset((i, j))
+                seen[key] = seen.get(key, 0) + 1
+        adj = lat.adjacency
+        n = lat.n_sites
+        for i in range(n):
+            for j in range(i + 1, n):
+                if adj[i, j] > 0:
+                    assert seen.get(frozenset((i, j))) == 1, (shape, i, j)
+        assert len(seen) == sum(
+            1
+            for i in range(n)
+            for j in range(i + 1, n)
+            if adj[i, j] > 0
+        )
+
+
+# ---------------------------------------------------------------------------
+# Trotter-error property: the constant shrinks 4x when dtau halves
+# ---------------------------------------------------------------------------
+
+
+class TestSplittingErrorScaling:
+    @pytest.mark.parametrize("shape", [(6, 6), (6, 4), (5, 5)])
+    def test_error_constant_shrinks_4x_per_halving(self, shape):
+        """|| B_cb - B_exact || = C * dtau^2 + O(dtau^3): halving dtau
+        must shrink the measured error by ~4x (we accept [3, 5] to
+        leave room for the cubic term at the coarse end)."""
+        lat = SquareLattice(*shape)
+        dtaus = (0.2, 0.1, 0.05)
+        errs = [
+            CheckerboardPropagator(lat, t=1.0, dtau=d).splitting_error()
+            for d in dtaus
+        ]
+        for coarse, fine in zip(errs, errs[1:]):
+            ratio = coarse / fine
+            assert 3.0 < ratio < 5.0, (shape, errs)
+
+    def test_error_constant_is_dtau_free(self):
+        """The same statement as a collapsed constant: C = err / dtau^2
+        is flat across dtau to ~25%."""
+        lat = SquareLattice(6, 6)
+        consts = [
+            CheckerboardPropagator(lat, t=1.0, dtau=d).splitting_error() / d**2
+            for d in (0.2, 0.1, 0.05)
+        ]
+        assert max(consts) / min(consts) < 1.25
+
+
+# ---------------------------------------------------------------------------
+# factory routing
+# ---------------------------------------------------------------------------
+
+
+class TestFactoryRouting:
+    def test_exact_mode_bit_identical_to_legacy(self, rng):
+        """kinetic='exact' must be byte-for-byte the old pipeline."""
+        model = model_4x4()
+        legacy = BMatrixFactory(model)
+        exact = BMatrixFactory(model, kinetic="exact")
+        assert np.array_equal(legacy.expk, exact.expk)
+        assert np.array_equal(legacy.inv_expk, exact.inv_expk)
+        a = rng.standard_normal((model.n_sites, 5))
+        assert np.array_equal(
+            legacy.apply_expk_left(a), exact.apply_expk_left(a)
+        )
+
+    def test_checkerboard_expk_is_structured_product(self):
+        exact, cb = factories()
+        assert cb.structured is not None
+        np.testing.assert_allclose(
+            cb.expk, cb.structured.as_matrix(), atol=0.0
+        )
+        # ... and close to (but not equal to) the dense exponential.
+        assert not np.array_equal(cb.expk, exact.expk)
+        assert (
+            np.linalg.norm(cb.expk - exact.expk)
+            / np.linalg.norm(exact.expk)
+            < 0.05
+        )
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_apply_expk_left_matches_dense(self, rng, inverse):
+        _, cb = factories()
+        a = rng.standard_normal((16, 7))
+        dense = cb.inv_expk if inverse else cb.expk
+        np.testing.assert_allclose(
+            cb.apply_expk_left(a, inverse=inverse), dense @ a, atol=1e-13
+        )
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_apply_expk_right_matches_dense(self, rng, inverse):
+        _, cb = factories()
+        a = rng.standard_normal((7, 16))
+        dense = cb.inv_expk if inverse else cb.expk
+        np.testing.assert_allclose(
+            cb.apply_expk_right(a, inverse=inverse), a @ dense, atol=1e-13
+        )
+
+    def test_inverse_round_trip(self, rng):
+        _, cb = factories()
+        a = rng.standard_normal((16, 16))
+        out = cb.apply_expk_left(cb.apply_expk_left(a), inverse=True)
+        np.testing.assert_allclose(out, a, atol=1e-12)
+
+    def test_b_matrix_definition_under_checkerboard(self, rng):
+        """B_l = diag(v) * B_cb exactly, in either mode's own algebra."""
+        model = model_4x4()
+        cb = BMatrixFactory(model, kinetic="checkerboard")
+        field = HSField.random(model.n_slices, model.n_sites, rng)
+        b = cb.b_matrix(field, 0, +1)
+        v = field.v_diagonal(0, +1, cb.nu)
+        np.testing.assert_allclose(
+            b, v[:, None] * cb.structured.as_matrix(), atol=1e-13
+        )
+
+    def test_mu_enters_structured_propagator(self, rng):
+        model = model_4x4(mu=0.3)
+        cb = BMatrixFactory(model, kinetic="checkerboard")
+        a = rng.standard_normal((16, 3))
+        base = CheckerboardPropagator(model.lattice, t=model.t, dtau=model.dtau)
+        np.testing.assert_allclose(
+            cb.apply_expk_left(a),
+            np.exp(model.dtau * 0.3) * base.apply_expk_left(a),
+            atol=1e-12,
+        )
+
+
+# ---------------------------------------------------------------------------
+# backend protocol
+# ---------------------------------------------------------------------------
+
+
+class TestBackendStructuredOps:
+    @pytest.mark.parametrize("name", STRUCTURED_BACKENDS)
+    def test_apply_structured_matches_numpy(self, name, rng):
+        _, cb = factories()
+        ref = get_backend("numpy").bind(cb)
+        other = get_backend(name).bind(cb)
+        a = rng.standard_normal((16, 16))
+        for side in ("left", "right"):
+            for inverse in (False, True):
+                assert np.array_equal(
+                    other.apply_structured(a, side=side, inverse=inverse),
+                    ref.apply_structured(a, side=side, inverse=inverse),
+                ), (name, side, inverse)
+
+    @pytest.mark.parametrize("name", STRUCTURED_BACKENDS)
+    def test_apply_structured_raises_without_structured(self, name):
+        exact, _ = factories()
+        backend = get_backend(name).bind(exact)
+        with pytest.raises(BackendError, match="structured"):
+            backend.apply_structured(np.eye(16))
+
+    def test_apply_structured_counts_dispatch(self, rng):
+        _, cb = factories()
+        backend = get_backend("numpy").bind(cb)
+        backend.apply_structured(rng.standard_normal((16, 4)))
+        assert backend.stats()["backend.dispatch.apply_structured"] == 1.0
+
+    def test_apply_structured_records_flops(self, rng):
+        from repro.linalg import flops
+
+        _, cb = factories()
+        backend = get_backend("numpy").bind(cb)
+        a = rng.standard_normal((16, 16))
+        with flops.tally() as t:
+            backend.apply_structured(a, category="structured")
+        assert t.flops.get("structured", 0) >= cb.structured.apply_flops(16)
+
+    @pytest.mark.parametrize("name", STRUCTURED_BACKENDS)
+    def test_wrap_matches_exact_mode_to_splitting_error(self, name, rng):
+        """Under checkerboard the wrap is the same transform with the
+        structured propagator; on 4x4 the split is exact (commuting
+        groups), so wraps agree to rounding across kinetic modes."""
+        exact, cb = factories()
+        b_exact = get_backend(name).bind(exact)
+        b_cb = get_backend(name).bind(cb)
+        g = rng.standard_normal((16, 16))
+        v = np.exp(rng.standard_normal(16))
+        np.testing.assert_allclose(
+            b_cb.wrap(g, v), b_exact.wrap(g, v), atol=1e-11
+        )
+
+    @pytest.mark.parametrize("name", STRUCTURED_BACKENDS)
+    def test_unwrap_inverts_wrap_under_checkerboard(self, name, rng):
+        _, cb = factories()
+        backend = get_backend(name).bind(cb)
+        g = rng.standard_normal((16, 16))
+        v = np.exp(rng.standard_normal(16))
+        np.testing.assert_allclose(
+            backend.unwrap(backend.wrap(g, v), v), g, atol=1e-11
+        )
+
+    @pytest.mark.parametrize("name", STRUCTURED_BACKENDS)
+    def test_cluster_product_matches_structured_reference(self, name, rng):
+        _, cb = factories()
+        backend = get_backend(name).bind(cb)
+        vs = [np.exp(rng.standard_normal(16)) for _ in range(4)]
+        expect = cb.structured.as_matrix() * vs[0][:, None]
+        for v in vs[1:]:
+            expect = cb.structured.apply_expk_left(expect) * v[:, None]
+        np.testing.assert_allclose(
+            backend.cluster_product(vs), expect, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("name", STRUCTURED_BACKENDS)
+    def test_batched_ops_match_loop(self, name, rng):
+        _, cb = factories()
+        backend = get_backend(name).bind(cb)
+        gs = rng.standard_normal((2, 16, 16))
+        vs = np.exp(rng.standard_normal((2, 16)))
+        want = np.stack([backend.wrap(g, v) for g, v in zip(gs, vs)])
+        assert np.array_equal(backend.wrap_batched(gs, vs), want)
+        stack = rng.standard_normal((2, 16, 5))
+        want = np.stack([backend.apply_structured(a) for a in stack])
+        assert np.array_equal(backend.apply_structured_batched(stack), want)
+
+    def test_gpu_sim_launches_checkerboard_kernels(self, rng):
+        _, cb = factories()
+        backend = get_backend("gpu-sim").bind(cb)
+        before = backend.device.kernel_launches
+        clock = backend.device.elapsed
+        backend.wrap(rng.standard_normal((16, 16)), np.exp(rng.standard_normal(16)))
+        assert backend.device.kernel_launches > before
+        assert backend.device.elapsed > clock
+
+
+# ---------------------------------------------------------------------------
+# engine / driver switching
+# ---------------------------------------------------------------------------
+
+
+class TestKineticSwitching:
+    def test_set_kinetic_swaps_factory_and_invalidates(self):
+        sim = Simulation(model_4x4(n_slices=8), seed=3, cluster_size=4)
+        assert sim.kinetic == "exact"
+        assert sim.set_kinetic("checkerboard") is True
+        assert sim.kinetic == "checkerboard"
+        assert sim.factory.structured is not None
+        assert sim.engine.backend.structured is sim.factory.structured
+        # idempotent: switching to the current mode is a no-op
+        assert sim.set_kinetic("checkerboard") is False
+
+    def test_switched_simulation_still_runs(self):
+        sim = Simulation(model_4x4(n_slices=8), seed=3, cluster_size=4)
+        sim.warmup(1)
+        sim.set_kinetic("checkerboard")
+        res = sim.run(warmup_sweeps=0, measurement_sweeps=2)
+        assert np.isfinite(res.observables["density"].scalar)
+
+    def test_apply_tuning_kinetic_axis(self):
+        from repro.autotune import TuningParameters
+
+        sim = Simulation(model_4x4(n_slices=8), seed=3, cluster_size=4)
+        sim.apply_tuning(
+            TuningParameters.make(4, 8, kinetic="checkerboard")
+        )
+        assert sim.kinetic == "checkerboard"
+
+    def test_constructor_kinetic(self):
+        sim = Simulation(
+            model_4x4(n_slices=8), seed=3, cluster_size=4,
+            kinetic="checkerboard",
+        )
+        assert sim.kinetic == "checkerboard"
+        assert sim.factory.kinetic_mode == "checkerboard"
+
+
+# ---------------------------------------------------------------------------
+# end-to-end observable parity (same seed, both modes)
+# ---------------------------------------------------------------------------
+
+
+class TestObservableParity:
+    def test_4x4_beta2_same_seed_parity(self):
+        """On 4x4 the checkerboard split is exact in the one-body
+        sector, so a same-seed beta = 2 run must reproduce the exact
+        mode's observables within (tight) statistical error — this
+        exercises every structured pipeline branch end to end."""
+        results = {}
+        for mode in KINETIC_MODES:
+            sim = Simulation(
+                model_4x4(beta=2.0, n_slices=16),
+                seed=42,
+                cluster_size=4,
+                kinetic=mode,
+            )
+            results[mode] = sim.run(warmup_sweeps=5, measurement_sweeps=15)
+        for name in ("density", "double_occupancy", "kinetic_energy"):
+            a = results["exact"].observables[name]
+            b = results["checkerboard"].observables[name]
+            err = max(float(a.error), float(b.error), 1e-12)
+            assert abs(float(a.mean) - float(b.mean)) < 5.0 * err, name

@@ -817,6 +817,63 @@ class TestQL105LedgerReachability:
         )
         assert vs == []
 
+    # The checkerboard fast path spells its batched products as
+    # np.matmul(...) inside repro.hamiltonian — both the call spelling
+    # and the directory must be in QL105's net.
+
+    CB_KERNEL = """
+        import numpy as np
+
+        def apply_expk_left(bx, a):
+            return np.matmul(bx, a)
+    """
+
+    def test_uncovered_checkerboard_apply_flagged(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/dqmc/__init__.py": "",
+                "src/repro/dqmc/sweep.py": """
+                    from repro.hamiltonian import checkerboard
+
+                    def do_sweep(bx, a):
+                        return checkerboard.apply_expk_left(bx, a)
+                """,
+                "src/repro/hamiltonian/__init__.py": "",
+                "src/repro/hamiltonian/checkerboard.py": self.CB_KERNEL,
+            },
+            select={"QL105"},
+        )
+        assert codes(vs) == ["QL105"]
+        assert "apply_expk_left" in vs[0].message
+
+    def test_recording_caller_covers_checkerboard_apply(self, tmp_path):
+        vs = lint_tree(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/dqmc/__init__.py": "",
+                "src/repro/dqmc/sweep.py": """
+                    from repro.hamiltonian import checkerboard
+                    from repro.linalg import flops
+
+                    def do_sweep(bx, a, n):
+                        flops.record("structured", 4 * n * n)
+                        return checkerboard.apply_expk_left(bx, a)
+                """,
+                "src/repro/linalg/__init__.py": "",
+                "src/repro/linalg/flops.py": """
+                    def record(category, count):
+                        pass
+                """,
+                "src/repro/hamiltonian/__init__.py": "",
+                "src/repro/hamiltonian/checkerboard.py": self.CB_KERNEL,
+            },
+            select={"QL105"},
+        )
+        assert "QL105" not in codes(vs)
+
 
 # ---------------------------------------------------------------------------
 # pragma meta checks (QL901/QL902)

@@ -762,8 +762,15 @@ class LedgerReachabilityRule(ProjectRule):
     # "stats" rides along: the streaming accumulators run inside the
     # measurement path of every sweep, so a heavy-linalg call sneaking
     # in there would deflate the GFLOPS ledger just like a core kernel.
-    _KERNEL_DIRS = {"linalg", "core", "gpu", "backends", "stats"}
-    _HEAVY_CALLS = {"qr", "solve", "lu_factor", "lu_solve", "svd"}
+    # "hamiltonian" holds the structured kinetic applies (checkerboard
+    # bond-group rotations) that replace dense GEMMs on the wrap and
+    # cluster paths — skipping them would hide exactly the work the
+    # fast path is supposed to account for.
+    _KERNEL_DIRS = {"linalg", "core", "gpu", "backends", "stats", "hamiltonian"}
+    # "matmul" catches the function-call spelling of batched matrix
+    # products (np.matmul / cp.matmul), which the blocked checkerboard
+    # applies use instead of the `@` operator.
+    _HEAVY_CALLS = {"qr", "solve", "lu_factor", "lu_solve", "svd", "matmul"}
 
     def _is_heavy(self, fn: FunctionInfo) -> bool:
         for node in _iter_scope(
